@@ -1,0 +1,105 @@
+// Command iobench microbenchmarks storage tiers the way the paper's
+// Figure 4 does: raw read/write throughput and per-process latency for
+// 1, 2 and 4 concurrent processes, against real (throttled) tiers.
+//
+// Usage:
+//
+//	iobench                       # throttled in-memory tiers (Table-1/1000 rates)
+//	iobench -dir /mnt/nvme        # a real directory (no throttle)
+//	iobench -size 8388608 -ops 16
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	mlpoffload "github.com/datastates/mlpoffload"
+)
+
+func main() {
+	var (
+		dir  = flag.String("dir", "", "benchmark a real directory instead of emulated tiers")
+		size = flag.Int("size", 4<<20, "object size in bytes")
+		ops  = flag.Int("ops", 8, "objects per process")
+	)
+	flag.Parse()
+
+	type device struct {
+		name string
+		tier mlpoffload.Tier
+	}
+	var devices []device
+	if *dir != "" {
+		t, err := mlpoffload.NewFileTier("dir", *dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+			os.Exit(1)
+		}
+		devices = []device{{"dir", t}}
+	} else {
+		nvme := mlpoffload.NewThrottledTier(mlpoffload.NewMemTier("nvme"),
+			mlpoffload.ThrottleSpec{ReadBW: 6.9e6 * 10, WriteBW: 5.3e6 * 10, InterferenceAlpha: 0.08})
+		pfs := mlpoffload.NewThrottledTier(mlpoffload.NewMemTier("pfs"),
+			mlpoffload.ThrottleSpec{ReadBW: 3.6e6 * 10, WriteBW: 3.6e6 * 10, InterferenceAlpha: 0.05})
+		devices = []device{{"nvme (local)", nvme}, {"pfs (remote)", pfs}}
+	}
+
+	fmt.Printf("%-14s %-6s %-16s %-16s %-14s %-14s\n",
+		"device", "procs", "read (MB/s)", "write (MB/s)", "read (s/GB)", "write (s/GB)")
+	for _, dev := range devices {
+		for _, procs := range []int{1, 2, 4} {
+			w := run(dev.tier, procs, *size, *ops, false)
+			r := run(dev.tier, procs, *size, *ops, true)
+			fmt.Printf("%-14s %-6d %-16.1f %-16.1f %-14.3f %-14.3f\n",
+				dev.name, procs, r/1e6, w/1e6, 1e9/r*float64(procs), 1e9/w*float64(procs))
+		}
+	}
+}
+
+// run measures aggregate throughput (bytes/second) for procs concurrent
+// processes each moving ops objects of size bytes.
+func run(tier mlpoffload.Tier, procs, size, ops int, read bool) float64 {
+	ctx := context.Background()
+	payload := make([]byte, size)
+	// Pre-populate for reads.
+	if read {
+		for p := 0; p < procs; p++ {
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("bench-%d-%d", p, i)
+				if err := tier.Write(ctx, key, payload); err != nil {
+					fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			buf := make([]byte, size)
+			for i := 0; i < ops; i++ {
+				key := fmt.Sprintf("bench-%d-%d", p, i)
+				var err error
+				if read {
+					err = tier.Read(ctx, key, buf)
+				} else {
+					err = tier.Write(ctx, key, buf)
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	return float64(procs*ops*size) / elapsed
+}

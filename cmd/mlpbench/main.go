@@ -1,0 +1,48 @@
+// Command mlpbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	mlpbench -exp all            # every artifact, paper methodology
+//	mlpbench -exp fig7,fig8      # selected artifacts
+//	mlpbench -exp fig14 -iters 4 # reduced iterations (quick look)
+//	mlpbench -list               # show available experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	mlpoffload "github.com/datastates/mlpoffload"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment IDs, or 'all'")
+		iters = flag.Int("iters", 0, "simulated iterations per run (0 = paper default of 10)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range mlpoffload.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := mlpoffload.ExperimentIDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		out, err := mlpoffload.RunExperiment(id, *iters)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mlpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,82 @@
+// Multitier: the laptop-scale analogue of the paper's headline experiment.
+// Four worker engines (one per simulated GPU) share bandwidth-throttled
+// NVMe and PFS tiers on one "node"; we train the same scaled-down shard
+// under the DeepSpeed-ZeRO-3 baseline and under MLP-Offload and compare
+// iteration times — every byte really moves through the throttled tiers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	mlpoffload "github.com/datastates/mlpoffload"
+)
+
+const (
+	paramsPerWorker = 1_500_000
+	subgroupParams  = 150_000
+	iterations      = 5
+	workers         = 4
+)
+
+// Table-1 bandwidth ratios scaled to ~1/10000 so an iteration takes
+// milliseconds: NVMe 690/530 KB/s -> use MB/s scale for speed.
+func tiers(includePFS bool) []mlpoffload.TierSpec {
+	nvme := mlpoffload.NewThrottledTier(mlpoffload.NewMemTier("nvme"),
+		mlpoffload.ThrottleSpec{ReadBW: 69e6, WriteBW: 53e6, InterferenceAlpha: 0.2})
+	out := []mlpoffload.TierSpec{{Tier: nvme, ReadBW: 69e6, WriteBW: 53e6}}
+	if includePFS {
+		pfs := mlpoffload.NewThrottledTier(mlpoffload.NewMemTier("pfs"),
+			mlpoffload.ThrottleSpec{ReadBW: 36e6, WriteBW: 36e6, InterferenceAlpha: 0.1})
+		out = append(out, mlpoffload.TierSpec{Tier: pfs, ReadBW: 36e6, WriteBW: 36e6})
+	}
+	return out
+}
+
+// trainNode runs `workers` engines concurrently and returns the mean
+// iteration time across workers.
+func trainNode(mode string) float64 {
+	ts := tiers(mode == "mlp")
+	locks := mlpoffload.NewNodeLocks(mode == "mlp")
+	var wg sync.WaitGroup
+	totals := make([]float64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			var cfg mlpoffload.EngineConfig
+			if mode == "mlp" {
+				cfg = mlpoffload.MLPConfig(rank, paramsPerWorker, subgroupParams, ts, locks)
+			} else {
+				cfg = mlpoffload.BaselineConfig(rank, paramsPerWorker, subgroupParams, ts)
+			}
+			eng, err := mlpoffload.NewEngine(cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer eng.Close()
+			for i := 0; i < iterations; i++ {
+				if _, err := eng.TrainIteration(i); err != nil {
+					log.Fatal(err)
+				}
+			}
+			totals[rank] = eng.Series().Mean().Phases.Total()
+		}(w)
+	}
+	wg.Wait()
+	sum := 0.0
+	for _, t := range totals {
+		sum += t
+	}
+	return sum / workers
+}
+
+func main() {
+	fmt.Println("training 4 workers x 1.5M params on one throttled node...")
+	base := trainNode("baseline")
+	fmt.Printf("DeepSpeed ZeRO-3 (NVMe only, sequential, grad flush): %.3fs/iter\n", base)
+	mlp := trainNode("mlp")
+	fmt.Printf("MLP-Offload (NVMe+PFS, alternating, skip grads):      %.3fs/iter\n", mlp)
+	fmt.Printf("speedup: %.2fx (paper reports ~2.5x at 40B-280B scale)\n", base/mlp)
+}

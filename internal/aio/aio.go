@@ -1,0 +1,314 @@
+// Package aio is the asynchronous I/O engine of the offloading runtime —
+// the stand-in for DeepNVMe/libaio in the paper's implementation. Callers
+// submit reads and writes against a storage tier and receive futures; a
+// bounded worker pool per engine drains the submission queue. The engine
+// integrates the tierlock concurrency control: when a lock manager is
+// supplied, each operation holds the node-level exclusive lock for its
+// tier while the device transfer is in flight.
+//
+// One engine object is created per storage path per worker process, as in
+// the paper ("we instantiate multiple offloading engine objects per
+// process, corresponding to the number of storage tiers").
+package aio
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/datastates/mlpoffload/internal/storage"
+	"github.com/datastates/mlpoffload/internal/tierlock"
+)
+
+// ErrEngineClosed is returned for submissions after Close.
+var ErrEngineClosed = errors.New("aio: engine closed")
+
+// OpKind distinguishes reads from writes.
+type OpKind int
+
+const (
+	// Read fetches an object into the caller's buffer.
+	Read OpKind = iota
+	// Write flushes the caller's buffer to the tier.
+	Write
+)
+
+func (k OpKind) String() string {
+	if k == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// Op is one asynchronous I/O operation (a future). Wait blocks until
+// completion and returns the operation error.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Bytes int
+
+	done     chan struct{}
+	err      error
+	queuedAt time.Time
+	started  time.Time
+	finished time.Time
+}
+
+// Wait blocks until the operation completes and returns its error.
+func (o *Op) Wait() error {
+	<-o.done
+	return o.err
+}
+
+// WaitCtx blocks until completion or context cancellation. The operation
+// itself keeps running even if the wait is abandoned.
+func (o *Op) WaitCtx(ctx context.Context) error {
+	select {
+	case <-o.done:
+		return o.err
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Done returns a channel closed at completion.
+func (o *Op) Done() <-chan struct{} { return o.done }
+
+// Err returns the operation error; valid only after Done.
+func (o *Op) Err() error { return o.err }
+
+// QueueTime returns how long the op sat in the submission queue.
+func (o *Op) QueueTime() time.Duration { return o.started.Sub(o.queuedAt) }
+
+// TransferTime returns how long the device transfer took (including the
+// exclusive-lock wait when concurrency control is active).
+func (o *Op) TransferTime() time.Duration { return o.finished.Sub(o.started) }
+
+// Engine is an asynchronous I/O engine bound to one storage tier.
+type Engine struct {
+	tier   storage.Tier
+	locks  *tierlock.Manager
+	subCh  chan *task
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	// metrics
+	executing    atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	readTimeNS   atomic.Int64
+	writeTimeNS  atomic.Int64
+	opsDone      atomic.Int64
+	opsFailed    atomic.Int64
+}
+
+type task struct {
+	op  *Op
+	buf []byte
+}
+
+// Config configures an Engine.
+type Config struct {
+	// Workers is the I/O parallelism against this tier (the paper: "a
+	// worker can leverage the preferred I/O parallelism of the alternative
+	// storage"). Default 2.
+	Workers int
+	// QueueDepth bounds pending submissions; Submit blocks when full.
+	// Default 64.
+	QueueDepth int
+	// Locks, when non-nil, provides node-level exclusive access control.
+	Locks *tierlock.Manager
+}
+
+// New creates an engine for the given tier.
+func New(tier storage.Tier, cfg Config) *Engine {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		tier:   tier,
+		locks:  cfg.Locks,
+		subCh:  make(chan *task, cfg.QueueDepth),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Tier returns the engine's storage tier.
+func (e *Engine) Tier() storage.Tier { return e.tier }
+
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for t := range e.subCh {
+		e.execute(t)
+	}
+}
+
+func (e *Engine) execute(t *task) {
+	e.executing.Add(1)
+	defer e.executing.Add(-1)
+	op := t.op
+	op.started = time.Now()
+
+	var rel tierlock.Release
+	if e.locks != nil {
+		var err error
+		rel, err = e.locks.Acquire(e.ctx, e.tier.Name())
+		if err != nil {
+			e.finish(op, fmt.Errorf("aio: %s %s: lock: %w", op.Kind, op.Key, err))
+			return
+		}
+	}
+	var err error
+	switch op.Kind {
+	case Read:
+		err = e.tier.Read(e.ctx, op.Key, t.buf)
+	case Write:
+		err = e.tier.Write(e.ctx, op.Key, t.buf)
+	}
+	if rel != nil {
+		rel()
+	}
+	e.finish(op, err)
+}
+
+func (e *Engine) finish(op *Op, err error) {
+	op.finished = time.Now()
+	op.err = err
+	d := op.finished.Sub(op.started).Nanoseconds()
+	if err == nil {
+		switch op.Kind {
+		case Read:
+			e.bytesRead.Add(int64(op.Bytes))
+			e.readTimeNS.Add(d)
+		case Write:
+			e.bytesWritten.Add(int64(op.Bytes))
+			e.writeTimeNS.Add(d)
+		}
+		e.opsDone.Add(1)
+	} else {
+		e.opsFailed.Add(1)
+	}
+	close(op.done)
+}
+
+// submit enqueues a task, blocking if the queue is full.
+func (e *Engine) submit(kind OpKind, key string, buf []byte) (*Op, error) {
+	if e.closed.Load() {
+		return nil, ErrEngineClosed
+	}
+	op := &Op{Kind: kind, Key: key, Bytes: len(buf), done: make(chan struct{}), queuedAt: time.Now()}
+	select {
+	case e.subCh <- &task{op: op, buf: buf}:
+		return op, nil
+	case <-e.ctx.Done():
+		return nil, ErrEngineClosed
+	}
+}
+
+// SubmitRead enqueues an asynchronous fetch of key into dst. The caller
+// must not touch dst until the returned op completes.
+func (e *Engine) SubmitRead(key string, dst []byte) (*Op, error) {
+	return e.submit(Read, key, dst)
+}
+
+// SubmitWrite enqueues an asynchronous flush of src under key. The caller
+// must not modify src until the returned op completes.
+func (e *Engine) SubmitWrite(key string, src []byte) (*Op, error) {
+	return e.submit(Write, key, src)
+}
+
+// ReadSync is a convenience synchronous read through the async path.
+func (e *Engine) ReadSync(key string, dst []byte) error {
+	op, err := e.SubmitRead(key, dst)
+	if err != nil {
+		return err
+	}
+	return op.Wait()
+}
+
+// WriteSync is a convenience synchronous write through the async path.
+func (e *Engine) WriteSync(key string, src []byte) error {
+	op, err := e.SubmitWrite(key, src)
+	if err != nil {
+		return err
+	}
+	return op.Wait()
+}
+
+// Metrics is a snapshot of engine counters.
+type Metrics struct {
+	BytesRead    int64
+	BytesWritten int64
+	ReadTime     time.Duration
+	WriteTime    time.Duration
+	OpsDone      int64
+	OpsFailed    int64
+}
+
+// ReadBW returns the observed read bandwidth in bytes/second (0 when no
+// reads completed).
+func (m Metrics) ReadBW() float64 {
+	if m.ReadTime <= 0 {
+		return 0
+	}
+	return float64(m.BytesRead) / m.ReadTime.Seconds()
+}
+
+// WriteBW returns the observed write bandwidth in bytes/second.
+func (m Metrics) WriteBW() float64 {
+	if m.WriteTime <= 0 {
+		return 0
+	}
+	return float64(m.BytesWritten) / m.WriteTime.Seconds()
+}
+
+// Metrics returns a snapshot of the engine counters.
+func (e *Engine) Metrics() Metrics {
+	return Metrics{
+		BytesRead:    e.bytesRead.Load(),
+		BytesWritten: e.bytesWritten.Load(),
+		ReadTime:     time.Duration(e.readTimeNS.Load()),
+		WriteTime:    time.Duration(e.writeTimeNS.Load()),
+		OpsDone:      e.opsDone.Load(),
+		OpsFailed:    e.opsFailed.Load(),
+	}
+}
+
+// Drain waits for all currently queued and executing operations to finish.
+// It is the barrier the engine uses at phase boundaries ("wait for all
+// lazy flushes before starting the next backward pass"). Drain polls; it is
+// a phase-boundary call, not a hot path.
+func (e *Engine) Drain() {
+	for {
+		if len(e.subCh) == 0 && e.executing.Load() == 0 {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Close stops accepting submissions, waits for queued ops to finish, and
+// releases workers. Close is idempotent.
+func (e *Engine) Close() {
+	if e.closed.Swap(true) {
+		return
+	}
+	close(e.subCh)
+	e.wg.Wait()
+	e.cancel()
+}

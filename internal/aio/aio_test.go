@@ -1,0 +1,278 @@
+package aio
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/datastates/mlpoffload/internal/storage"
+	"github.com/datastates/mlpoffload/internal/tierlock"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	e := New(storage.NewMemTier("m"), Config{Workers: 2})
+	defer e.Close()
+
+	payload := []byte{1, 2, 3, 4, 5}
+	wop, err := e.SubmitWrite("k", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wop.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(payload))
+	rop, err := e.SubmitRead("k", dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rop.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst, payload) {
+		t.Fatalf("round trip: %v", dst)
+	}
+	if wop.Kind.String() != "write" || rop.Kind.String() != "read" {
+		t.Error("kind strings wrong")
+	}
+}
+
+func TestSyncHelpers(t *testing.T) {
+	e := New(storage.NewMemTier("m"), Config{})
+	defer e.Close()
+	if err := e.WriteSync("k", []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 1)
+	if err := e.ReadSync("k", dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 7 {
+		t.Fatal("sync round trip failed")
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	e := New(storage.NewMemTier("m"), Config{})
+	defer e.Close()
+	op, err := e.SubmitRead("missing", make([]byte, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Wait(); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	m := e.Metrics()
+	if m.OpsFailed != 1 {
+		t.Errorf("OpsFailed = %d", m.OpsFailed)
+	}
+}
+
+func TestMetricsAccumulate(t *testing.T) {
+	e := New(storage.NewMemTier("m"), Config{Workers: 1})
+	defer e.Close()
+	for i := 0; i < 5; i++ {
+		if err := e.WriteSync(fmt.Sprintf("k%d", i), make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := make([]byte, 100)
+	for i := 0; i < 3; i++ {
+		if err := e.ReadSync(fmt.Sprintf("k%d", i), dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := e.Metrics()
+	if m.BytesWritten != 500 || m.BytesRead != 300 {
+		t.Errorf("bytes = %d/%d", m.BytesRead, m.BytesWritten)
+	}
+	if m.OpsDone != 8 {
+		t.Errorf("OpsDone = %d", m.OpsDone)
+	}
+	if m.ReadBW() <= 0 || m.WriteBW() <= 0 {
+		t.Error("bandwidth should be measurable")
+	}
+}
+
+func TestMetricsZeroBW(t *testing.T) {
+	var m Metrics
+	if m.ReadBW() != 0 || m.WriteBW() != 0 {
+		t.Error("empty metrics should report 0 bandwidth")
+	}
+}
+
+func TestCloseRejectsNewWork(t *testing.T) {
+	e := New(storage.NewMemTier("m"), Config{})
+	e.Close()
+	e.Close() // idempotent
+	if _, err := e.SubmitWrite("k", []byte{1}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("want ErrEngineClosed, got %v", err)
+	}
+}
+
+func TestCloseWaitsForQueued(t *testing.T) {
+	mem := storage.NewMemTier("m")
+	e := New(mem, Config{Workers: 1, QueueDepth: 32})
+	ops := make([]*Op, 0, 10)
+	for i := 0; i < 10; i++ {
+		op, err := e.SubmitWrite(fmt.Sprintf("k%d", i), make([]byte, 10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, op)
+	}
+	e.Close()
+	for i, op := range ops {
+		select {
+		case <-op.Done():
+			if op.Err() != nil {
+				t.Errorf("op %d failed: %v", i, op.Err())
+			}
+		default:
+			t.Fatalf("op %d not complete after Close", i)
+		}
+	}
+	keys, _ := mem.Keys(context.Background())
+	if len(keys) != 10 {
+		t.Errorf("only %d objects written", len(keys))
+	}
+}
+
+func TestDrainBarrier(t *testing.T) {
+	e := New(storage.NewMemTier("m"), Config{Workers: 2, QueueDepth: 64})
+	defer e.Close()
+	for i := 0; i < 50; i++ {
+		if _, err := e.SubmitWrite(fmt.Sprintf("k%d", i), make([]byte, 8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Drain()
+	m := e.Metrics()
+	if m.OpsDone != 50 {
+		t.Errorf("after Drain OpsDone = %d, want 50", m.OpsDone)
+	}
+}
+
+func TestWaitCtx(t *testing.T) {
+	// A slow tier lets us observe WaitCtx cancellation while the op runs.
+	slow := storage.NewThrottled(storage.NewMemTier("m"), storage.ThrottleConfig{
+		ReadBW: 1e9, WriteBW: 64 * 1024, // ~0.75s for a 64KiB write
+	})
+	e := New(slow, Config{Workers: 1})
+	defer e.Close()
+	op, err := e.SubmitWrite("k", make([]byte, 64*1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := op.WaitCtx(ctx); err == nil {
+		t.Fatal("WaitCtx should time out")
+	}
+}
+
+func TestExclusiveLockSerializesTierAccess(t *testing.T) {
+	locks := tierlock.NewManager(true)
+	// Two engines on the same tier name (two workers of one node).
+	tier := storage.NewMemTier("nvme")
+	e1 := New(tier, Config{Workers: 2, Locks: locks})
+	e2 := New(tier, Config{Workers: 2, Locks: locks})
+	defer e1.Close()
+	defer e2.Close()
+
+	var wg sync.WaitGroup
+	for i, e := range []*Engine{e1, e2} {
+		wg.Add(1)
+		go func(i int, e *Engine) {
+			defer wg.Done()
+			for k := 0; k < 20; k++ {
+				if err := e.WriteSync(fmt.Sprintf("w%d-%d", i, k), make([]byte, 64)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i, e)
+	}
+	wg.Wait()
+	if s := locks.Stats("nvme"); s.Grants != 40 {
+		t.Errorf("lock grants = %d, want 40", s.Grants)
+	}
+}
+
+func TestOpTimings(t *testing.T) {
+	e := New(storage.NewMemTier("m"), Config{Workers: 1})
+	defer e.Close()
+	op, err := e.SubmitWrite("k", make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if op.QueueTime() < 0 || op.TransferTime() < 0 {
+		t.Error("negative timings")
+	}
+}
+
+func TestConcurrentSubmitters(t *testing.T) {
+	e := New(storage.NewMemTier("m"), Config{Workers: 4, QueueDepth: 16})
+	defer e.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i)
+				if err := e.WriteSync(key, []byte{byte(w), byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				dst := make([]byte, 2)
+				if err := e.ReadSync(key, dst); err != nil {
+					t.Error(err)
+					return
+				}
+				if dst[0] != byte(w) || dst[1] != byte(i) {
+					t.Errorf("corrupted read %v for %s", dst, key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m := e.Metrics(); m.OpsDone != 400 {
+		t.Errorf("OpsDone = %d, want 400", m.OpsDone)
+	}
+}
+
+func BenchmarkAsyncWriteThroughput(b *testing.B) {
+	e := New(storage.NewMemTier("m"), Config{Workers: 4, QueueDepth: 128})
+	defer e.Close()
+	buf := make([]byte, 64*1024)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	ops := make([]*Op, 0, 128)
+	for i := 0; i < b.N; i++ {
+		op, err := e.SubmitWrite(fmt.Sprintf("k%d", i%256), buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops = append(ops, op)
+		if len(ops) == 128 {
+			for _, o := range ops {
+				if err := o.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ops = ops[:0]
+		}
+	}
+	for _, o := range ops {
+		_ = o.Wait()
+	}
+}

@@ -1,0 +1,160 @@
+// Package checkpoint implements the checkpoint acceleration opportunity
+// the paper describes at the end of §3.3: because MLP-Offload's virtual
+// third-level tier includes *persistent* storage (the PFS), the fraction
+// of the optimizer state already resident there is pre-staged "for free" —
+// a checkpoint only needs to flush the remainder (host-cached subgroups
+// and those on non-persistent node-local NVMe), in the style of multi-tier
+// asynchronous checkpointing engines such as DataStates-LLM.
+package checkpoint
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/datastates/mlpoffload/internal/aio"
+	"github.com/datastates/mlpoffload/internal/storage"
+)
+
+// Location describes where one subgroup's state currently lives.
+type Location struct {
+	SubgroupID int
+	// TierName is "" or "host" for host-resident state; otherwise a
+	// storage tier name.
+	TierName string
+	// Persistent reports whether that tier survives job teardown.
+	Persistent bool
+	// Bytes is the serialized state size.
+	Bytes int64
+}
+
+// Plan partitions subgroups into already-persistent (pre-staged) and
+// to-flush sets.
+type Plan struct {
+	PreStaged []Location
+	ToFlush   []Location
+}
+
+// BuildPlan classifies the current placement.
+func BuildPlan(locs []Location) Plan {
+	var p Plan
+	for _, l := range locs {
+		if l.Persistent && l.TierName != "" && l.TierName != "host" {
+			p.PreStaged = append(p.PreStaged, l)
+		} else {
+			p.ToFlush = append(p.ToFlush, l)
+		}
+	}
+	return p
+}
+
+// PreStagedBytes returns the bytes that need no I/O at checkpoint time.
+func (p Plan) PreStagedBytes() int64 {
+	var n int64
+	for _, l := range p.PreStaged {
+		n += l.Bytes
+	}
+	return n
+}
+
+// FlushBytes returns the bytes the checkpoint must still write.
+func (p Plan) FlushBytes() int64 {
+	var n int64
+	for _, l := range p.ToFlush {
+		n += l.Bytes
+	}
+	return n
+}
+
+// Savings returns the fraction of checkpoint I/O avoided by pre-staging.
+func (p Plan) Savings() float64 {
+	total := p.PreStagedBytes() + p.FlushBytes()
+	if total == 0 {
+		return 0
+	}
+	return float64(p.PreStagedBytes()) / float64(total)
+}
+
+// Writer flushes the ToFlush set of a plan to a persistent checkpoint
+// tier asynchronously.
+type Writer struct {
+	engine *aio.Engine
+	prefix string
+}
+
+// NewWriter creates a checkpoint writer over a persistent tier.
+func NewWriter(tier storage.Tier, prefix string) *Writer {
+	return &Writer{
+		engine: aio.New(tier, aio.Config{Workers: 2, QueueDepth: 32}),
+		prefix: prefix,
+	}
+}
+
+// key returns the checkpoint object key for a subgroup.
+func (w *Writer) key(step, sg int) string {
+	return fmt.Sprintf("%s-step%06d-sg%05d.ckpt", w.prefix, step, sg)
+}
+
+// Fetcher retrieves a subgroup's serialized state for checkpointing (the
+// engine supplies host-resident bytes or reads them back from a tier).
+type Fetcher func(ctx context.Context, sg int) ([]byte, error)
+
+// Write checkpoints the plan's ToFlush set at the given step, fetching
+// each subgroup's bytes via fetch and writing them concurrently. It
+// returns the number of bytes written.
+func (w *Writer) Write(ctx context.Context, step int, plan Plan, fetch Fetcher) (int64, error) {
+	var (
+		mu       sync.Mutex
+		written  int64
+		firstErr error
+	)
+	ops := make([]*aio.Op, 0, len(plan.ToFlush))
+	bufs := make([][]byte, 0, len(plan.ToFlush))
+	for _, loc := range plan.ToFlush {
+		data, err := fetch(ctx, loc.SubgroupID)
+		if err != nil {
+			return written, fmt.Errorf("checkpoint: fetch subgroup %d: %w", loc.SubgroupID, err)
+		}
+		op, err := w.engine.SubmitWrite(w.key(step, loc.SubgroupID), data)
+		if err != nil {
+			return written, err
+		}
+		ops = append(ops, op)
+		bufs = append(bufs, data)
+	}
+	for i, op := range ops {
+		if err := op.Wait(); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			continue
+		}
+		written += int64(len(bufs[i]))
+	}
+	return written, firstErr
+}
+
+// Manifest records a completed checkpoint: which subgroups were written
+// fresh and which were satisfied by pre-staged tier objects.
+type Manifest struct {
+	Step      int
+	Written   []int // subgroup IDs flushed by the checkpoint
+	PreStaged []int // subgroup IDs already persistent
+}
+
+// BuildManifest derives the manifest from a plan.
+func BuildManifest(step int, p Plan) Manifest {
+	m := Manifest{Step: step}
+	for _, l := range p.ToFlush {
+		m.Written = append(m.Written, l.SubgroupID)
+	}
+	for _, l := range p.PreStaged {
+		m.PreStaged = append(m.PreStaged, l.SubgroupID)
+	}
+	return m
+}
+
+// Close shuts down the writer.
+func (w *Writer) Close() { w.engine.Close() }

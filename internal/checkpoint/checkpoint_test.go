@@ -1,0 +1,119 @@
+package checkpoint
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/datastates/mlpoffload/internal/storage"
+)
+
+func mkLocs() []Location {
+	return []Location{
+		{SubgroupID: 0, TierName: "host", Persistent: false, Bytes: 100},
+		{SubgroupID: 1, TierName: "nvme", Persistent: false, Bytes: 100},
+		{SubgroupID: 2, TierName: "pfs", Persistent: true, Bytes: 100},
+		{SubgroupID: 3, TierName: "pfs", Persistent: true, Bytes: 100},
+		{SubgroupID: 4, TierName: "", Persistent: false, Bytes: 100},
+	}
+}
+
+func TestBuildPlan(t *testing.T) {
+	p := BuildPlan(mkLocs())
+	if len(p.PreStaged) != 2 || len(p.ToFlush) != 3 {
+		t.Fatalf("plan = %d pre-staged, %d to flush", len(p.PreStaged), len(p.ToFlush))
+	}
+	if p.PreStagedBytes() != 200 || p.FlushBytes() != 300 {
+		t.Errorf("bytes = %d/%d", p.PreStagedBytes(), p.FlushBytes())
+	}
+	if s := p.Savings(); s != 0.4 {
+		t.Errorf("savings = %v, want 0.4", s)
+	}
+}
+
+func TestEmptyPlanSavings(t *testing.T) {
+	var p Plan
+	if p.Savings() != 0 {
+		t.Error("empty plan savings should be 0")
+	}
+}
+
+func TestWriterFlushesRemainder(t *testing.T) {
+	tier := storage.NewMemTier("pfs")
+	w := NewWriter(tier, "ckpt")
+	defer w.Close()
+	plan := BuildPlan(mkLocs())
+	fetch := func(_ context.Context, sg int) ([]byte, error) {
+		return []byte(fmt.Sprintf("state-%d", sg)), nil
+	}
+	n, err := w.Write(context.Background(), 7, plan, fetch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len("state-0")+len("state-1")+len("state-4")) {
+		t.Errorf("written = %d", n)
+	}
+	keys, _ := tier.Keys(context.Background())
+	if len(keys) != 3 {
+		t.Fatalf("keys = %v", keys)
+	}
+	// Pre-staged subgroups (2, 3) must NOT be rewritten.
+	for _, k := range keys {
+		if k == "ckpt-step000007-sg00002.ckpt" || k == "ckpt-step000007-sg00003.ckpt" {
+			t.Errorf("pre-staged subgroup rewritten: %s", k)
+		}
+	}
+	// Round-trip one object.
+	dst := make([]byte, len("state-0"))
+	if err := tier.Read(context.Background(), "ckpt-step000007-sg00000.ckpt", dst); err != nil {
+		t.Fatal(err)
+	}
+	if string(dst) != "state-0" {
+		t.Errorf("payload = %q", dst)
+	}
+}
+
+func TestWriterFetchError(t *testing.T) {
+	w := NewWriter(storage.NewMemTier("pfs"), "ckpt")
+	defer w.Close()
+	boom := errors.New("fetch failed")
+	plan := BuildPlan(mkLocs())
+	_, err := w.Write(context.Background(), 1, plan, func(_ context.Context, sg int) ([]byte, error) {
+		if sg == 1 {
+			return nil, boom
+		}
+		return []byte{1}, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestManifest(t *testing.T) {
+	m := BuildManifest(5, BuildPlan(mkLocs()))
+	if m.Step != 5 {
+		t.Error("step lost")
+	}
+	if len(m.Written) != 3 || len(m.PreStaged) != 2 {
+		t.Errorf("manifest = %+v", m)
+	}
+}
+
+func TestSavingsGrowWithPFSShare(t *testing.T) {
+	// The more subgroups the placement model sends to the persistent
+	// path, the cheaper checkpoints get — the §3.3 claim.
+	mk := func(pfsCount int) Plan {
+		locs := make([]Location, 10)
+		for i := range locs {
+			locs[i] = Location{SubgroupID: i, TierName: "nvme", Bytes: 10}
+			if i < pfsCount {
+				locs[i] = Location{SubgroupID: i, TierName: "pfs", Persistent: true, Bytes: 10}
+			}
+		}
+		return BuildPlan(locs)
+	}
+	if !(mk(6).Savings() > mk(3).Savings()) {
+		t.Error("savings should grow with the PFS share")
+	}
+}

@@ -1,0 +1,210 @@
+// Package data provides the training-data substrate of the paper's
+// methodology (§4.1): the paper tokenizes a subset of the OSCAR-en corpus
+// with the LLaMA2 tokenizer into fixed-length sequences (2048 tokens,
+// micro-batch 1). Neither the corpus nor the tokenizer is available
+// offline, so this package substitutes a deterministic synthetic corpus
+// with OSCAR-like statistics (Zipfian token frequencies, document
+// boundaries) and a byte-pair-free greedy vocabulary tokenizer — enough to
+// exercise the same data path: tokenize → pack into sequences → sample
+// micro-batches.
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Tokenizer maps text to token IDs with a fixed vocabulary of words and
+// single bytes (greedy longest-match, lowercased), vaguely like a unigram
+// LM tokenizer. Token 0 is reserved for <unk>/padding, token 1 for <doc>.
+type Tokenizer struct {
+	vocab map[string]int
+	words []string
+}
+
+// Special token IDs.
+const (
+	TokUnk = 0
+	TokDoc = 1
+)
+
+// NewTokenizer builds a tokenizer whose vocabulary is the given word list
+// plus all single ASCII letters; IDs are assigned in order after the
+// specials.
+func NewTokenizer(words []string) *Tokenizer {
+	t := &Tokenizer{vocab: make(map[string]int)}
+	add := func(w string) {
+		if _, ok := t.vocab[w]; !ok {
+			t.vocab[w] = len(t.words) + 2 // after specials
+			t.words = append(t.words, w)
+		}
+	}
+	for _, w := range words {
+		add(strings.ToLower(w))
+	}
+	for c := 'a'; c <= 'z'; c++ {
+		add(string(c))
+	}
+	return t
+}
+
+// VocabSize returns the number of token IDs (including specials).
+func (t *Tokenizer) VocabSize() int { return len(t.words) + 2 }
+
+// Encode tokenizes text: words found in the vocabulary become their ID,
+// unknown words decompose into letter tokens, anything else becomes <unk>.
+func (t *Tokenizer) Encode(text string) []int {
+	var out []int
+	for _, w := range strings.Fields(strings.ToLower(text)) {
+		if id, ok := t.vocab[w]; ok {
+			out = append(out, id)
+			continue
+		}
+		matched := false
+		for _, r := range w {
+			if id, ok := t.vocab[string(r)]; ok {
+				out = append(out, id)
+				matched = true
+			}
+		}
+		if !matched {
+			out = append(out, TokUnk)
+		}
+	}
+	return out
+}
+
+// Decode maps IDs back to words (specials render symbolically).
+func (t *Tokenizer) Decode(ids []int) string {
+	parts := make([]string, 0, len(ids))
+	for _, id := range ids {
+		switch {
+		case id == TokUnk:
+			parts = append(parts, "<unk>")
+		case id == TokDoc:
+			parts = append(parts, "<doc>")
+		case id-2 >= 0 && id-2 < len(t.words):
+			parts = append(parts, t.words[id-2])
+		default:
+			parts = append(parts, fmt.Sprintf("<bad:%d>", id))
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// Corpus is a deterministic synthetic token stream with Zipfian token
+// frequencies and document boundaries, standing in for tokenized OSCAR-en.
+type Corpus struct {
+	tokens []int
+	seqLen int
+}
+
+// SynthesizeCorpus generates n tokens over the given vocabulary size with
+// Zipf-distributed IDs (exponent ~1.1, like natural text) and a document
+// boundary (TokDoc) roughly every docLen tokens.
+func SynthesizeCorpus(n, vocab, docLen, seqLen int, seed int64) (*Corpus, error) {
+	if vocab < 4 || n < seqLen || seqLen < 2 {
+		return nil, fmt.Errorf("data: degenerate corpus spec n=%d vocab=%d seq=%d", n, vocab, seqLen)
+	}
+	if docLen < 2 {
+		docLen = 64
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.1, 1, uint64(vocab-3))
+	toks := make([]int, n)
+	for i := range toks {
+		if i%docLen == 0 {
+			toks[i] = TokDoc
+			continue
+		}
+		toks[i] = int(zipf.Uint64()) + 2 // skip specials
+	}
+	return &Corpus{tokens: toks, seqLen: seqLen}, nil
+}
+
+// FromTokens wraps an existing token stream.
+func FromTokens(tokens []int, seqLen int) (*Corpus, error) {
+	if len(tokens) < seqLen || seqLen < 2 {
+		return nil, fmt.Errorf("data: stream too short (%d) for seqLen %d", len(tokens), seqLen)
+	}
+	return &Corpus{tokens: tokens, seqLen: seqLen}, nil
+}
+
+// Len returns the token count.
+func (c *Corpus) Len() int { return len(c.tokens) }
+
+// Sequences returns how many non-overlapping sequences the corpus packs.
+func (c *Corpus) Sequences() int { return len(c.tokens) / c.seqLen }
+
+// Sequence returns the i-th packed sequence (no copy).
+func (c *Corpus) Sequence(i int) ([]int, error) {
+	if i < 0 || i >= c.Sequences() {
+		return nil, fmt.Errorf("data: sequence %d out of %d", i, c.Sequences())
+	}
+	return c.tokens[i*c.seqLen : (i+1)*c.seqLen], nil
+}
+
+// Sampler yields micro-batches of sequences in shuffled epoch order,
+// deterministic per seed — the per-iteration data feed of the trainer.
+type Sampler struct {
+	corpus *Corpus
+	order  []int
+	pos    int
+	rng    *rand.Rand
+	epoch  int
+}
+
+// NewSampler creates a sampler over the corpus.
+func NewSampler(c *Corpus, seed int64) *Sampler {
+	s := &Sampler{corpus: c, rng: rand.New(rand.NewSource(seed))}
+	s.reshuffle()
+	return s
+}
+
+func (s *Sampler) reshuffle() {
+	n := s.corpus.Sequences()
+	s.order = s.rng.Perm(n)
+	s.pos = 0
+}
+
+// Next returns the next micro-batch of sequences, crossing epoch
+// boundaries transparently.
+func (s *Sampler) Next(microBatch int) [][]int {
+	if microBatch < 1 {
+		microBatch = 1
+	}
+	out := make([][]int, 0, microBatch)
+	for len(out) < microBatch {
+		if s.pos >= len(s.order) {
+			s.epoch++
+			s.reshuffle()
+		}
+		seq, _ := s.corpus.Sequence(s.order[s.pos])
+		s.pos++
+		out = append(out, seq)
+	}
+	return out
+}
+
+// Epoch returns the number of completed passes over the corpus.
+func (s *Sampler) Epoch() int { return s.epoch }
+
+// TokenEntropy estimates the empirical unigram entropy of the corpus in
+// nats — a sanity statistic: Zipfian text has entropy well below the
+// uniform log(V) bound, which is what makes next-token prediction
+// learnable.
+func (c *Corpus) TokenEntropy() float64 {
+	counts := make(map[int]int)
+	for _, t := range c.tokens {
+		counts[t]++
+	}
+	n := float64(len(c.tokens))
+	var h float64
+	for _, cnt := range counts {
+		p := float64(cnt) / n
+		h -= p * math.Log(p)
+	}
+	return h
+}

@@ -1,0 +1,172 @@
+package data
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTokenizerRoundTrip(t *testing.T) {
+	tk := NewTokenizer([]string{"the", "gpu", "memory", "wall"})
+	ids := tk.Encode("The GPU memory WALL")
+	if len(ids) != 4 {
+		t.Fatalf("ids = %v", ids)
+	}
+	for _, id := range ids {
+		if id == TokUnk {
+			t.Fatalf("known word mapped to <unk>: %v", ids)
+		}
+	}
+	if got := tk.Decode(ids); got != "the gpu memory wall" {
+		t.Errorf("Decode = %q", got)
+	}
+}
+
+func TestTokenizerUnknownDecomposesToLetters(t *testing.T) {
+	tk := NewTokenizer([]string{"known"})
+	ids := tk.Encode("abc")
+	if len(ids) != 3 {
+		t.Fatalf("letter fallback broken: %v", ids)
+	}
+	if got := tk.Decode(ids); got != "a b c" {
+		t.Errorf("Decode = %q", got)
+	}
+	// Pure punctuation becomes <unk>.
+	ids = tk.Encode("!!!")
+	if len(ids) != 1 || ids[0] != TokUnk {
+		t.Errorf("punctuation ids = %v", ids)
+	}
+}
+
+func TestTokenizerVocabSize(t *testing.T) {
+	tk := NewTokenizer([]string{"a", "b", "unique"})
+	// "a","b" collide with letter tokens added later — vocabulary must
+	// not double-count.
+	want := 3 + 24 + 2 // words (a,b,unique) + remaining letters + specials
+	if got := tk.VocabSize(); got != want {
+		t.Errorf("VocabSize = %d, want %d", got, want)
+	}
+}
+
+func TestSynthesizeCorpus(t *testing.T) {
+	c, err := SynthesizeCorpus(10000, 100, 64, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 10000 {
+		t.Errorf("len = %d", c.Len())
+	}
+	if c.Sequences() != 10000/32 {
+		t.Errorf("sequences = %d", c.Sequences())
+	}
+	seq, err := c.Sequence(0)
+	if err != nil || len(seq) != 32 {
+		t.Fatalf("sequence: %v %v", len(seq), err)
+	}
+	for _, tok := range c.tokens {
+		if tok < 0 || tok >= 100 {
+			t.Fatalf("token %d out of vocab", tok)
+		}
+	}
+	// Document markers present at the configured cadence.
+	if c.tokens[0] != TokDoc || c.tokens[64] != TokDoc {
+		t.Error("document boundaries missing")
+	}
+	if _, err := c.Sequence(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+	if _, err := c.Sequence(c.Sequences()); err == nil {
+		t.Error("overflow index accepted")
+	}
+}
+
+func TestSynthesizeCorpusValidation(t *testing.T) {
+	if _, err := SynthesizeCorpus(10, 2, 8, 32, 1); err == nil {
+		t.Error("tiny vocab accepted")
+	}
+	if _, err := SynthesizeCorpus(10, 100, 8, 32, 1); err == nil {
+		t.Error("corpus shorter than one sequence accepted")
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a, _ := SynthesizeCorpus(1000, 50, 32, 16, 3)
+	b, _ := SynthesizeCorpus(1000, 50, 32, 16, 3)
+	for i := range a.tokens {
+		if a.tokens[i] != b.tokens[i] {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+}
+
+func TestZipfianEntropyBelowUniform(t *testing.T) {
+	c, _ := SynthesizeCorpus(50000, 256, 64, 32, 11)
+	h := c.TokenEntropy()
+	uniform := math.Log(256)
+	if h >= uniform*0.8 {
+		t.Errorf("entropy %.2f too close to uniform %.2f — not Zipfian", h, uniform)
+	}
+	if h < 0.5 {
+		t.Errorf("entropy %.2f degenerate", h)
+	}
+}
+
+func TestSamplerCoversEpoch(t *testing.T) {
+	c, _ := SynthesizeCorpus(320, 50, 16, 32, 5) // 10 sequences
+	s := NewSampler(c, 1)
+	seen := map[string]int{}
+	for i := 0; i < 10; i++ {
+		for _, seq := range s.Next(1) {
+			key := ""
+			for _, t := range seq[:4] {
+				key += string(rune('A' + t%26))
+			}
+			seen[keyOf(seq)] = seen[keyOf(seq)] + 1
+			_ = key
+		}
+	}
+	if s.Epoch() != 0 {
+		t.Errorf("epoch = %d before exhaustion", s.Epoch())
+	}
+	// Each sequence seen exactly once in the epoch.
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("sequence %s sampled %d times in one epoch", k, n)
+		}
+	}
+	// Crossing the boundary reshuffles and continues.
+	s.Next(5)
+	if s.Epoch() != 1 {
+		t.Errorf("epoch = %d after crossing", s.Epoch())
+	}
+}
+
+func keyOf(seq []int) string {
+	var b strings.Builder
+	for _, t := range seq[:8] {
+		b.WriteString(string(rune('a' + t%26)))
+	}
+	return b.String()
+}
+
+func TestSamplerMicroBatch(t *testing.T) {
+	c, _ := SynthesizeCorpus(640, 50, 16, 32, 5)
+	s := NewSampler(c, 2)
+	batch := s.Next(4)
+	if len(batch) != 4 {
+		t.Fatalf("batch = %d", len(batch))
+	}
+	if got := s.Next(0); len(got) != 1 {
+		t.Errorf("Next(0) should clamp to 1, got %d", len(got))
+	}
+}
+
+func TestFromTokens(t *testing.T) {
+	c, err := FromTokens([]int{1, 2, 3, 4, 5, 6}, 3)
+	if err != nil || c.Sequences() != 2 {
+		t.Fatalf("FromTokens: %v %v", c, err)
+	}
+	if _, err := FromTokens([]int{1}, 3); err == nil {
+		t.Error("short stream accepted")
+	}
+}

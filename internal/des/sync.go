@@ -1,0 +1,82 @@
+package des
+
+// Event is a one-shot completion signal (a future): processes Wait on it,
+// and a single Fire releases all current and future waiters. It is the DES
+// analogue of the aio package's operation futures.
+type Event struct {
+	sim     *Sim
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent creates an unfired event.
+func (s *Sim) NewEvent() *Event { return &Event{sim: s} }
+
+// Fired reports whether Fire has been called.
+func (e *Event) Fired() bool { return e.fired }
+
+// Fire releases all waiters. Firing twice panics — a completion signal
+// must have exactly one producer.
+func (e *Event) Fire() {
+	if e.fired {
+		panic("des: event fired twice")
+	}
+	e.fired = true
+	for _, w := range e.waiters {
+		wp := w
+		e.sim.schedule(0, func() { e.sim.runProc(wp) })
+	}
+	e.waiters = nil
+}
+
+// Wait parks p until the event fires (returns immediately if already
+// fired).
+func (e *Event) Wait(p *Proc) {
+	if e.fired {
+		return
+	}
+	e.waiters = append(e.waiters, p)
+	p.park("event")
+}
+
+// Barrier is a cyclic synchronization barrier for n parties, used to model
+// the data-parallel synchronization at iteration boundaries.
+type Barrier struct {
+	sim     *Sim
+	parties int
+	arrived []*Proc
+	cycles  int64
+}
+
+// NewBarrier creates a barrier for n parties (n >= 1).
+func (s *Sim) NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("des: barrier needs at least one party")
+	}
+	return &Barrier{sim: s, parties: n}
+}
+
+// Await blocks p until all parties have arrived, then releases everyone
+// and resets for the next cycle.
+func (b *Barrier) Await(p *Proc) {
+	if b.parties == 1 {
+		b.cycles++
+		return
+	}
+	b.arrived = append(b.arrived, p)
+	if len(b.arrived) < b.parties {
+		p.park("barrier")
+		return
+	}
+	// Last arriver releases the others and proceeds.
+	b.cycles++
+	waiters := b.arrived[:len(b.arrived)-1]
+	b.arrived = nil
+	for _, w := range waiters {
+		wp := w
+		b.sim.schedule(0, func() { b.sim.runProc(wp) })
+	}
+}
+
+// Cycles returns how many times the barrier has tripped.
+func (b *Barrier) Cycles() int64 { return b.cycles }

@@ -1,0 +1,649 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"github.com/datastates/mlpoffload/internal/aio"
+	"github.com/datastates/mlpoffload/internal/fp16"
+	"github.com/datastates/mlpoffload/internal/hostcache"
+	"github.com/datastates/mlpoffload/internal/metrics"
+	"github.com/datastates/mlpoffload/internal/optim"
+	"github.com/datastates/mlpoffload/internal/placement"
+	"github.com/datastates/mlpoffload/internal/ratelimit"
+	"github.com/datastates/mlpoffload/internal/subgroup"
+)
+
+// locHost marks a subgroup whose FP32 state is resident in host memory.
+const locHost = -1
+
+// Engine is one worker's offloading runtime.
+type Engine struct {
+	cfg   Config
+	shard *subgroup.Shard
+	aios  []*aio.Engine
+	names []string
+
+	est  *placement.Estimator
+	plan placement.Plan
+
+	lru *hostcache.LRU
+	loc []int // per subgroup: locHost or tier index
+
+	fetchPool *hostcache.BufferPool
+	flushPool *hostcache.BufferPool
+	gradPool  *hostcache.BufferPool
+
+	d2h *ratelimit.Limiter
+
+	// params16 is the FP16 working copy of the model (the GPU-resident
+	// parameters driving forward/backward).
+	params16 []fp16.Bits
+	// sgOffset[i] is the global parameter offset of subgroup i.
+	sgOffset []int64
+
+	grad32   []float32 // backward scratch
+	fullGrad []float32 // whole-shard gradient buffer (BatchGrad mode)
+
+	step  int // optimizer step (1-based at first update)
+	phase int // update phases completed
+
+	pendingFlush   []*aio.Op
+	pendingGrads   []*aio.Op
+	flushWG        sync.WaitGroup
+	mu             sync.Mutex // guards pendingFlush bookkeeping
+	flushReadTimes struct {   // accumulated write metrics from async flushes
+		bytes float64
+		secs  float64
+	}
+
+	series metrics.Series
+	closed bool
+
+	// Mixed-precision safety state.
+	scaler       *optim.LossScaler
+	skippedSteps int64
+	partialNorms []float64
+}
+
+// New constructs and initializes an engine: the shard is created, the
+// initial placement computed, and every subgroup's optimizer state flushed
+// to its assigned tier (the paper's initialization step).
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg}
+	e.shard = subgroup.NewShard(cfg.Rank, cfg.Params, cfg.SubgroupParams, cfg.InitParams)
+	m := len(e.shard.Subgroups)
+
+	maxLen := e.shard.MaxSubgroupLen()
+	stateBuf := subgroup.StateBytes(maxLen)
+	e.fetchPool = hostcache.NewBufferPool(cfg.PrefetchDepth+1, stateBuf)
+	e.flushPool = hostcache.NewBufferPool(2, stateBuf)
+	e.gradPool = hostcache.NewBufferPool(cfg.PrefetchDepth+1, 4*maxLen)
+
+	e.names = make([]string, len(cfg.Tiers))
+	e.est = placement.NewEstimator(0.5)
+	for i, t := range cfg.Tiers {
+		e.names[i] = t.Tier.Name()
+		e.est.Seed(t.Tier.Name(), t.MinBW())
+		e.aios = append(e.aios, aio.New(t.Tier, aio.Config{
+			Workers:    cfg.IOWorkers,
+			QueueDepth: 4 * cfg.PrefetchDepth,
+			Locks:      cfg.Locks,
+		}))
+	}
+	e.plan = placement.NewPlan(m, e.bandwidths())
+
+	e.lru = hostcache.NewLRU(cfg.HostCacheSlots)
+	e.loc = make([]int, m)
+	e.params16 = make([]fp16.Bits, cfg.Params)
+	e.sgOffset = make([]int64, m)
+	e.grad32 = make([]float32, maxLen)
+	if cfg.BatchGrad != nil {
+		e.fullGrad = make([]float32, cfg.Params)
+	}
+	var off int64
+	for i, sg := range e.shard.Subgroups {
+		e.sgOffset[i] = off
+		fp16.Encode(e.params16[off:off+int64(sg.Len())], sg.State.Params)
+		off += int64(sg.Len())
+	}
+	if cfg.D2HBandwidth > 0 {
+		e.d2h = ratelimit.NewLimiter(cfg.D2HBandwidth, cfg.D2HBandwidth/4, nil)
+	}
+	if cfg.LossScaling {
+		e.scaler = optim.NewLossScaler()
+	}
+	e.partialNorms = make([]float64, m)
+	e.series.Warmup = 2
+
+	// Initial offload: flush every subgroup to its planned tier.
+	for i, sg := range e.shard.Subgroups {
+		if err := e.flushSync(i, sg); err != nil {
+			e.Close()
+			return nil, fmt.Errorf("engine: initial offload of subgroup %d: %w", i, err)
+		}
+	}
+	return e, nil
+}
+
+// bandwidths materializes the estimator's view of the tiers.
+func (e *Engine) bandwidths() []placement.TierBandwidth {
+	return e.est.Bandwidths(e.names, 1)
+}
+
+// Subgroups returns the shard's subgroup count.
+func (e *Engine) Subgroups() int { return len(e.shard.Subgroups) }
+
+// Plan returns the current placement plan.
+func (e *Engine) Plan() placement.Plan { return e.plan }
+
+// Series returns the recorded iteration metrics.
+func (e *Engine) Series() *metrics.Series { return &e.series }
+
+// Params16 returns the FP16 working copy (read-only use by callers).
+func (e *Engine) Params16() []fp16.Bits { return e.params16 }
+
+// key returns the optimizer-state storage key for subgroup i.
+func (e *Engine) key(i int) string { return subgroup.Key(e.cfg.Rank, i) }
+
+// gradKey returns the FP32-gradient object key for subgroup i (baseline).
+func (e *Engine) gradKey(i int) string {
+	return fmt.Sprintf("rank%03d-sg%05d.grad", e.cfg.Rank, i)
+}
+
+// d2hTransfer charges a device<->host transfer against the PCIe budget.
+func (e *Engine) d2hTransfer(bytes int64) {
+	if e.d2h != nil {
+		_ = e.d2h.WaitN(context.Background(), bytes)
+	}
+}
+
+// flushSync serializes subgroup i's state and writes it synchronously,
+// releasing the in-memory state. Used during initialization.
+func (e *Engine) flushSync(i int, sg *subgroup.Subgroup) error {
+	tier := e.plan.TierFor(i)
+	buf := e.flushPool.Get()
+	n, err := sg.Marshal(buf, false)
+	if err != nil {
+		e.flushPool.Put(buf)
+		return err
+	}
+	err = e.aios[tier].WriteSync(e.key(i), buf[:n])
+	e.flushPool.Put(buf)
+	if err != nil {
+		return err
+	}
+	sg.State = nil
+	e.loc[i] = tier
+	return nil
+}
+
+// flushAsync serializes and flushes subgroup i in the background, freeing
+// its state immediately (the bytes live in the staging buffer until the
+// write completes). tier is the destination.
+func (e *Engine) flushAsync(i int, tier int, it *metrics.Iteration) error {
+	sg := e.shard.Subgroups[i]
+	if sg.State == nil {
+		return fmt.Errorf("engine: flush of non-resident subgroup %d", i)
+	}
+	buf := e.flushPool.Get() // backpressure: at most 2 concurrent flushes
+	n, err := sg.Marshal(buf, false)
+	if err != nil {
+		e.flushPool.Put(buf)
+		return err
+	}
+	op, err := e.aios[tier].SubmitWrite(e.key(i), buf[:n])
+	if err != nil {
+		e.flushPool.Put(buf)
+		return err
+	}
+	sg.State = nil
+	e.loc[i] = tier
+	name := e.names[tier]
+	nb := float64(n)
+	e.flushWG.Add(1)
+	go func() {
+		defer e.flushWG.Done()
+		_ = op.Wait()
+		secs := op.TransferTime().Seconds()
+		e.est.Observe(name, nb, secs)
+		e.mu.Lock()
+		e.flushReadTimes.bytes += nb
+		e.flushReadTimes.secs += secs
+		e.mu.Unlock()
+		e.flushPool.Put(buf)
+	}()
+	e.mu.Lock()
+	e.pendingFlush = append(e.pendingFlush, op)
+	e.mu.Unlock()
+	_ = it
+	return nil
+}
+
+// Forward runs the forward pass. With the model held as the FP16 working
+// copy, the synthetic forward is a full sweep over the parameters (the
+// cost stands in for activation computation; the paper's forward is
+// likewise negligible next to the update phase).
+func (e *Engine) forward() {
+	var acc float32
+	for _, h := range e.params16 {
+		acc += float32(h & 1)
+	}
+	_ = acc
+}
+
+// backward generates this iteration's synthetic gradients subgroup by
+// subgroup, accumulating into the host FP16 buffers, and — on the baseline
+// path — upscales and flushes FP32 gradients to storage.
+func (e *Engine) backward(iter int, accumStep int, lastAccum bool) error {
+	if e.cfg.BatchGrad != nil {
+		// Real-model path: one backward pass computes the whole shard's
+		// gradients from the FP16 working copy.
+		if err := e.cfg.BatchGrad(iter, e.params16, e.fullGrad); err != nil {
+			return fmt.Errorf("engine: batch gradient: %w", err)
+		}
+	}
+	for i, sg := range e.shard.Subgroups {
+		n := sg.Len()
+		off := e.sgOffset[i]
+		g32 := e.grad32[:n]
+		if e.cfg.BatchGrad != nil {
+			copy(g32, e.fullGrad[off:off+int64(n)])
+		} else {
+			for j := 0; j < n; j++ {
+				p := fp16.ToFloat32(e.params16[off+int64(j)])
+				g32[j] = e.cfg.Grad(iter, off+int64(j), p)
+			}
+		}
+		// D2H: FP16 gradients leave the device.
+		e.d2hTransfer(int64(n) * 2)
+		if accumStep == 0 {
+			fp16.Encode(sg.Grads16, g32)
+		} else {
+			// Accumulate: widen current buffer, add, re-narrow.
+			for j := 0; j < n; j++ {
+				g32[j] += fp16.ToFloat32(sg.Grads16[j])
+			}
+			fp16.Encode(sg.Grads16, g32)
+		}
+		if lastAccum && e.cfg.ClipNorm > 0 {
+			// Partial L2 norm of the rounded FP16 values actually used by
+			// the update; combined globally before clipping.
+			var sum float64
+			for _, h := range sg.Grads16 {
+				v := float64(fp16.ToFloat32(h))
+				sum += v * v
+			}
+			e.partialNorms[i] = math.Sqrt(sum)
+		}
+		if !e.cfg.SkipGradFlush && lastAccum {
+			// Baseline: upscale the FP16 accumulation buffer to FP32 and
+			// flush it. Upscaling from Grads16 (not the wider scratch)
+			// keeps both gradient paths numerically identical — the
+			// correctness argument for delayed conversion.
+			fp16.Decode(g32, sg.Grads16)
+			gbuf := e.gradPool.Get()
+			wide := gbuf[:4*n]
+			encodeF32(wide, g32)
+			tier := e.loc[i]
+			if tier == locHost {
+				tier = e.plan.TierFor(i)
+			}
+			op, err := e.aios[tier].SubmitWrite(e.gradKey(i), wide)
+			if err != nil {
+				e.gradPool.Put(gbuf)
+				return err
+			}
+			e.pendingGrads = append(e.pendingGrads, op)
+			buf := gbuf
+			e.flushWG.Add(1)
+			go func() {
+				defer e.flushWG.Done()
+				_ = op.Wait()
+				e.gradPool.Put(buf)
+			}()
+		}
+	}
+	return nil
+}
+
+func encodeF32(dst []byte, src []float32) {
+	for i, f := range src {
+		u := math.Float32bits(f)
+		dst[4*i] = byte(u)
+		dst[4*i+1] = byte(u >> 8)
+		dst[4*i+2] = byte(u >> 16)
+		dst[4*i+3] = byte(u >> 24)
+	}
+}
+
+func decodeF32(dst []float32, src []byte) {
+	for i := range dst {
+		u := uint32(src[4*i]) | uint32(src[4*i+1])<<8 | uint32(src[4*i+2])<<16 | uint32(src[4*i+3])<<24
+		dst[i] = math.Float32frombits(u)
+	}
+}
+
+// pendingFetch tracks one in-flight subgroup fetch.
+type pendingFetch struct {
+	stateOp  *aio.Op
+	stateBuf []byte
+	gradOp   *aio.Op
+	gradBuf  []byte
+	tier     int
+}
+
+// updatePhase runs Algorithm 1 over all subgroups.
+func (e *Engine) updatePhase(it *metrics.Iteration) error {
+	m := len(e.shard.Subgroups)
+	order := hostcache.UpdateOrder(e.cfg.Order, m, e.phase)
+	if !e.scalerCheck() {
+		// Dynamic loss scaling detected an overflow: skip the whole update
+		// phase (the scale has been halved); subgroups stay where they are.
+		e.skippedSteps++
+		return nil
+	}
+	clip := e.computeClipFactor()
+	e.step++
+
+	// Previous phase's lazy flushes and this phase's gradient objects must
+	// be durable before we fetch them back.
+	e.mu.Lock()
+	flushes := e.pendingFlush
+	e.pendingFlush = nil
+	e.mu.Unlock()
+	for _, op := range flushes {
+		if err := op.Wait(); err != nil {
+			return fmt.Errorf("engine: lazy flush failed: %w", err)
+		}
+	}
+	for _, op := range e.pendingGrads {
+		if err := op.Wait(); err != nil {
+			return fmt.Errorf("engine: gradient flush failed: %w", err)
+		}
+	}
+	e.pendingGrads = nil
+
+	pend := make(map[int]*pendingFetch, e.cfg.PrefetchDepth)
+	next := 0
+	issue := func() error {
+		for next < m && len(pend) < e.cfg.PrefetchDepth {
+			sgID := order[next]
+			next++
+			if e.loc[sgID] == locHost {
+				continue // expected hit; no fetch
+			}
+			sg := e.shard.Subgroups[sgID]
+			tier := e.loc[sgID]
+			buf := e.fetchPool.Get()
+			size := subgroup.StateBytes(sg.Len())
+			op, err := e.aios[tier].SubmitRead(e.key(sgID), buf[:size])
+			if err != nil {
+				e.fetchPool.Put(buf)
+				return err
+			}
+			pf := &pendingFetch{stateOp: op, stateBuf: buf, tier: tier}
+			if !e.cfg.SkipGradFlush {
+				gbuf := e.gradPool.Get()
+				gop, err := e.aios[tier].SubmitRead(e.gradKey(sgID), gbuf[:4*sg.Len()])
+				if err != nil {
+					e.gradPool.Put(gbuf)
+					e.fetchPool.Put(buf)
+					return err
+				}
+				pf.gradOp = gop
+				pf.gradBuf = gbuf
+			}
+			pend[sgID] = pf
+		}
+		return nil
+	}
+	if err := issue(); err != nil {
+		return err
+	}
+
+	var sw metrics.Stopwatch
+	for _, sgID := range order {
+		sg := e.shard.Subgroups[sgID]
+		pf := pend[sgID]
+		switch {
+		case pf != nil:
+			delete(pend, sgID)
+			if err := pf.stateOp.Wait(); err != nil {
+				return fmt.Errorf("engine: fetch subgroup %d: %w", sgID, err)
+			}
+			size := subgroup.StateBytes(sg.Len())
+			sg.State = optim.NewState(make([]float32, sg.Len()))
+			if err := sg.Unmarshal(pf.stateBuf[:size]); err != nil {
+				return err
+			}
+			secs := pf.stateOp.TransferTime().Seconds()
+			it.BytesRead += float64(size)
+			it.ReadTime += secs
+			e.est.Observe(e.names[pf.tier], float64(size), secs)
+			e.fetchPool.Put(pf.stateBuf)
+			if pf.gradOp != nil {
+				if err := pf.gradOp.Wait(); err != nil {
+					return fmt.Errorf("engine: grad fetch subgroup %d: %w", sgID, err)
+				}
+				sg.EnsureGrads32()
+				decodeF32(sg.Grads32, pf.gradBuf[:4*sg.Len()])
+				it.BytesRead += float64(4 * sg.Len())
+				it.ReadTime += pf.gradOp.TransferTime().Seconds()
+				e.gradPool.Put(pf.gradBuf)
+			}
+			it.CacheMisses++
+			e.loc[sgID] = locHost
+		case e.loc[sgID] == locHost:
+			it.CacheHits++
+			if !e.cfg.SkipGradFlush && sg.Grads32 == nil {
+				// Rare: baseline hit still needs grads from storage.
+				sg.EnsureGrads32()
+				gbuf := e.gradPool.Get()
+				err := e.aios[e.plan.TierFor(sgID)].ReadSync(e.gradKey(sgID), gbuf[:4*sg.Len()])
+				if err != nil {
+					e.gradPool.Put(gbuf)
+					return err
+				}
+				decodeF32(sg.Grads32, gbuf[:4*sg.Len()])
+				e.gradPool.Put(gbuf)
+			}
+		default:
+			// Evicted between issue and processing: synchronous fallback.
+			if err := e.fetchSync(sgID, sg, it); err != nil {
+				return err
+			}
+		}
+
+		// Update kernel: delayed in-place conversion vs pre-upscaled.
+		sw.Start()
+		applyClip(sg, clip, e.cfg.SkipGradFlush)
+		if e.cfg.SkipGradFlush {
+			optim.StepFP16Parallel(sg.State, sg.Grads16, e.cfg.Hyper, e.step, e.cfg.CPUWorkers)
+		} else {
+			optim.StepFP32Parallel(sg.State, sg.Grads32, e.cfg.Hyper, e.step, e.cfg.CPUWorkers)
+			sg.Grads32 = nil // discarded after the update, as in ZeRO-3
+		}
+		it.UpdateComputeTime += sw.Lap()
+
+		// H2D: the refreshed FP16 parameters return to the device.
+		off := e.sgOffset[sgID]
+		fp16.Encode(e.params16[off:off+int64(sg.Len())], sg.State.Params)
+		e.d2hTransfer(int64(sg.Len()) * 2)
+
+		// Cache decision: most-recently-updated subgroups stay resident;
+		// the displaced one is lazily flushed to its (re)assigned tier.
+		evicted, did := e.lru.Touch(sgID)
+		if did {
+			tier := e.plan.TierFor(evicted)
+			if err := e.flushAsync(evicted, tier, it); err != nil {
+				return err
+			}
+		}
+		if err := issue(); err != nil {
+			return err
+		}
+	}
+	e.phase++
+	it.ParamsUpdated += e.shard.Params()
+
+	// Fold in async flush write metrics accumulated so far.
+	e.mu.Lock()
+	it.BytesWritten += e.flushReadTimes.bytes
+	it.WriteTime += e.flushReadTimes.secs
+	e.flushReadTimes.bytes = 0
+	e.flushReadTimes.secs = 0
+	e.mu.Unlock()
+
+	// Adaptive replanning from observed bandwidths (§3.3).
+	if e.cfg.AdaptivePlacement {
+		e.plan = placement.NewPlan(m, e.bandwidths())
+	}
+	return nil
+}
+
+// fetchSync fetches one subgroup synchronously (fallback path).
+func (e *Engine) fetchSync(sgID int, sg *subgroup.Subgroup, it *metrics.Iteration) error {
+	tier := e.loc[sgID]
+	buf := e.fetchPool.Get()
+	defer e.fetchPool.Put(buf)
+	size := subgroup.StateBytes(sg.Len())
+	op, err := e.aios[tier].SubmitRead(e.key(sgID), buf[:size])
+	if err != nil {
+		return err
+	}
+	if err := op.Wait(); err != nil {
+		return err
+	}
+	sg.State = optim.NewState(make([]float32, sg.Len()))
+	if err := sg.Unmarshal(buf[:size]); err != nil {
+		return err
+	}
+	it.BytesRead += float64(size)
+	it.ReadTime += op.TransferTime().Seconds()
+	it.CacheMisses++
+	e.loc[sgID] = locHost
+	if !e.cfg.SkipGradFlush {
+		sg.EnsureGrads32()
+		gbuf := e.gradPool.Get()
+		defer e.gradPool.Put(gbuf)
+		if err := e.aios[tier].ReadSync(e.gradKey(sgID), gbuf[:4*sg.Len()]); err != nil {
+			return err
+		}
+		decodeF32(sg.Grads32, gbuf[:4*sg.Len()])
+		it.BytesRead += float64(4 * sg.Len())
+	}
+	return nil
+}
+
+// TrainIteration runs one full iteration: forward and backward passes
+// (GradAccumSteps of each) followed by the update phase, recording a
+// metrics.Iteration.
+func (e *Engine) TrainIteration(iter int) (metrics.Iteration, error) {
+	if e.closed {
+		return metrics.Iteration{}, fmt.Errorf("engine: closed")
+	}
+	var it metrics.Iteration
+	var sw metrics.Stopwatch
+
+	sw.Start()
+	for a := 0; a < e.cfg.GradAccumSteps; a++ {
+		e.forward()
+	}
+	it.Phases.Forward = sw.Lap()
+
+	for a := 0; a < e.cfg.GradAccumSteps; a++ {
+		if err := e.backward(iter, a, a == e.cfg.GradAccumSteps-1); err != nil {
+			return it, err
+		}
+	}
+	it.Phases.Backward = sw.Lap()
+
+	if err := e.updatePhase(&it); err != nil {
+		return it, err
+	}
+	it.Phases.Update = sw.Lap()
+
+	it.TierBytes = e.tierBytes()
+	e.series.Append(it)
+	return it, nil
+}
+
+// tierBytes reports where the optimizer state lives right now.
+func (e *Engine) tierBytes() map[string]float64 {
+	out := make(map[string]float64, len(e.names)+1)
+	for i, sg := range e.shard.Subgroups {
+		b := float64(subgroup.StateBytes(sg.Len()))
+		if e.loc[i] == locHost {
+			out["host"] += b
+		} else {
+			out[e.names[e.loc[i]]] += b
+		}
+	}
+	return out
+}
+
+// GatherParams fetches the full FP32 master parameter vector (host-resident
+// and offloaded subgroups alike) for verification. It does not disturb the
+// cache: offloaded subgroups are read into temporary buffers.
+func (e *Engine) GatherParams(dst []float32) error {
+	if int64(len(dst)) != e.cfg.Params {
+		return fmt.Errorf("engine: dst len %d != params %d", len(dst), e.cfg.Params)
+	}
+	e.Drain() // lazy flushes must land before we read tiers
+	for i, sg := range e.shard.Subgroups {
+		off := e.sgOffset[i]
+		if e.loc[i] == locHost {
+			copy(dst[off:], sg.State.Params)
+			continue
+		}
+		size := subgroup.StateBytes(sg.Len())
+		buf := e.fetchPool.Get()
+		err := e.aios[e.loc[i]].ReadSync(e.key(i), buf[:size])
+		if err != nil {
+			e.fetchPool.Put(buf)
+			return err
+		}
+		tmp := subgroup.New(i, sg.Len())
+		if err := tmp.Unmarshal(buf[:size]); err != nil {
+			e.fetchPool.Put(buf)
+			return err
+		}
+		copy(dst[off:], tmp.State.Params)
+		e.fetchPool.Put(buf)
+	}
+	return nil
+}
+
+// Drain waits for all outstanding asynchronous work.
+func (e *Engine) Drain() {
+	e.mu.Lock()
+	flushes := e.pendingFlush
+	e.pendingFlush = nil
+	e.mu.Unlock()
+	for _, op := range flushes {
+		_ = op.Wait()
+	}
+	for _, op := range e.pendingGrads {
+		_ = op.Wait()
+	}
+	e.pendingGrads = nil
+	e.flushWG.Wait()
+}
+
+// Close drains and shuts down the engine. Idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.Drain()
+	for _, a := range e.aios {
+		a.Close()
+	}
+}

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/datastates/mlpoffload/internal/checkpoint"
+	"github.com/datastates/mlpoffload/internal/fp16"
+	"github.com/datastates/mlpoffload/internal/optim"
+	"github.com/datastates/mlpoffload/internal/subgroup"
+)
+
+// Mixed-precision safety machinery (loss scaling, global gradient-norm
+// clipping) and checkpoint pre-staging integration.
+
+// scalerCheck runs the dynamic loss-scaling overflow check over every
+// subgroup's FP16 gradients. It returns false when the step must be
+// skipped. Without LossScaling it always returns true.
+func (e *Engine) scalerCheck() bool {
+	if e.scaler == nil {
+		return true
+	}
+	for _, sg := range e.shard.Subgroups {
+		if optim.HasOverflow(sg.Grads16) {
+			// One overflowing subgroup invalidates the whole step; let the
+			// scaler back off exactly once for the step.
+			e.scaler.Check(sg.Grads16)
+			return false
+		}
+	}
+	// No overflow anywhere: feed one clean observation.
+	if len(e.shard.Subgroups) > 0 {
+		e.scaler.Check(e.shard.Subgroups[0].Grads16)
+	}
+	return true
+}
+
+// Scaler exposes the loss scaler (nil when LossScaling is disabled).
+func (e *Engine) Scaler() *optim.LossScaler { return e.scaler }
+
+// SkippedSteps returns how many update phases were skipped by loss-scaling
+// overflow checks.
+func (e *Engine) SkippedSteps() int64 { return e.skippedSteps }
+
+// computeClipFactor derives the global clip factor from the per-subgroup
+// partial norms recorded during the backward pass. Returns 1 when clipping
+// is disabled or the norm is within bounds.
+func (e *Engine) computeClipFactor() float32 {
+	if e.cfg.ClipNorm <= 0 {
+		return 1
+	}
+	global := optim.GlobalGradNorm(e.partialNorms)
+	if global <= e.cfg.ClipNorm || global == 0 {
+		return 1
+	}
+	return float32(e.cfg.ClipNorm / global)
+}
+
+// applyClip scales one subgroup's gradient view in place by the global
+// clip factor: the FP16 accumulation buffer on the delayed-conversion path,
+// the fetched FP32 buffer on the baseline path.
+func applyClip(sg *subgroup.Subgroup, factor float32, fp16Path bool) {
+	if factor >= 1 {
+		return
+	}
+	if fp16Path {
+		for i, g := range sg.Grads16 {
+			sg.Grads16[i] = fp16.FromFloat32(fp16.ToFloat32(g) * factor)
+		}
+		return
+	}
+	for i := range sg.Grads32 {
+		sg.Grads32[i] *= factor
+	}
+}
+
+// GradNorm returns the most recent global gradient norm (0 before the
+// first backward pass or when clipping is disabled).
+func (e *Engine) GradNorm() float64 {
+	return optim.GlobalGradNorm(e.partialNorms)
+}
+
+// CheckpointLocations classifies every subgroup's current placement for
+// checkpoint planning: subgroups already resident on a persistent tier are
+// pre-staged and need no checkpoint I/O (§3.3).
+func (e *Engine) CheckpointLocations() []checkpoint.Location {
+	out := make([]checkpoint.Location, len(e.shard.Subgroups))
+	for i, sg := range e.shard.Subgroups {
+		loc := checkpoint.Location{
+			SubgroupID: i,
+			Bytes:      int64(subgroup.StateBytes(sg.Len())),
+		}
+		if e.loc[i] == locHost {
+			loc.TierName = "host"
+		} else {
+			loc.TierName = e.names[e.loc[i]]
+			loc.Persistent = e.cfg.Tiers[e.loc[i]].Persistent
+		}
+		out[i] = loc
+	}
+	return out
+}
+
+// FetchSubgroupBytes returns the serialized optimizer state of one
+// subgroup for checkpointing — marshalled from memory when host-resident,
+// read back from its tier otherwise. The returned buffer is freshly
+// allocated (checkpoint writers hold it across async writes).
+func (e *Engine) FetchSubgroupBytes(ctx context.Context, sgID int) ([]byte, error) {
+	if sgID < 0 || sgID >= len(e.shard.Subgroups) {
+		return nil, fmt.Errorf("engine: subgroup %d out of range", sgID)
+	}
+	e.Drain() // pending lazy flushes must land first
+	sg := e.shard.Subgroups[sgID]
+	size := subgroup.StateBytes(sg.Len())
+	buf := make([]byte, size)
+	if e.loc[sgID] == locHost {
+		if _, err := sg.Marshal(buf, false); err != nil {
+			return nil, err
+		}
+		return buf, nil
+	}
+	if err := e.aios[e.loc[sgID]].ReadSync(e.key(sgID), buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Checkpoint writes the non-pre-staged subgroups to the given writer and
+// returns the plan's savings fraction (how much I/O pre-staging avoided).
+func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer) (float64, error) {
+	plan := checkpoint.BuildPlan(e.CheckpointLocations())
+	_, err := w.Write(ctx, step, plan, e.FetchSubgroupBytes)
+	return plan.Savings(), err
+}

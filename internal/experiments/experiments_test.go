@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"tab1", "tab2", "fig1", "fig3", "fig4", "fig5",
+		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+		"ext-adaptive", "ext-subgroup"}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
+	}
+	for i, id := range want {
+		if ids[i] != id {
+			t.Errorf("ids[%d] = %q, want %q", i, ids[i], id)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig7")
+	if err != nil || e.ID != "fig7" {
+		t.Fatalf("ByID(fig7) = %v, %v", e, err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// TestAllExperimentsRun executes every experiment in quick mode and spot
+// checks the output shape. This is the end-to-end regression for the whole
+// reproduction pipeline.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep in -short mode")
+	}
+	mustContain := map[string][]string{
+		"tab1":         {"Testbed-1", "6.9 | 5.3", "3.6 | 3.6"},
+		"tab2":         {"280B", "16384", "128"},
+		"fig1":         {"GPT-3", "H200", "2 years"},
+		"fig3":         {"20B CPU", "40B", "disk I/O %"},
+		"fig4":         {"nvme", "pfs", "4"},
+		"fig5":         {"subgroup", "read (GB/s)"},
+		"fig7":         {"40B", "120B", "MLP-Offload", "speedup"},
+		"fig8":         {"Mparams/s", "gain"},
+		"fig9":         {"GB/s", "MLP-Offload"},
+		"fig10":        {"host", "nvme", "pfs"},
+		"fig11":        {"280B [32]", "MLP-Offload"},
+		"fig12":        {"40B [4]", "gain"},
+		"fig13":        {"32", "512", "accum"},
+		"fig14":        {"Enable Caching", "Skip Gradients", "Process Atomic R/W"},
+		"fig15":        {"Multi-Path (with caching)", "Our Approach"},
+		"ext-adaptive": {"static", "adaptive", "slowdown"},
+		"ext-subgroup": {"100M", "1000M", "placement"},
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run(Quick())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			for _, needle := range mustContain[e.ID] {
+				if !strings.Contains(out, needle) {
+					t.Errorf("%s output missing %q:\n%s", e.ID, needle, out)
+				}
+			}
+		})
+	}
+}
+
+func TestFig7SpeedupColumn(t *testing.T) {
+	out, err := Fig7(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every MLP-Offload row must show a >1x speedup.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "MLP-Offload") {
+			if strings.Contains(line, "0.") && strings.HasSuffix(strings.TrimSpace(line), "x") {
+				fields := strings.Fields(line)
+				sp := fields[len(fields)-1]
+				if strings.HasPrefix(sp, "0.") {
+					t.Errorf("MLP-Offload slower than baseline: %s", line)
+				}
+			}
+		}
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize()
+	if o.Iterations != 10 || o.Warmup != 0 {
+		t.Errorf("defaults = %+v", o)
+	}
+	if d := DefaultOptions(); d.Iterations != 10 || d.Warmup != 2 {
+		t.Errorf("DefaultOptions = %+v", d)
+	}
+	o = Options{Iterations: 3, Warmup: 7}.normalize()
+	if o.Warmup >= o.Iterations {
+		t.Errorf("warmup not clamped: %+v", o)
+	}
+}
+
+func TestSortedTierNames(t *testing.T) {
+	got := sortedTierNames(map[string]float64{"pfs": 1, "host": 2, "nvme": 3, "zzz": 4})
+	want := []string{"host", "nvme", "pfs", "zzz"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package fp16
+
+import "math"
+
+// BF16 is a raw bfloat16 value (the other half-precision format the paper
+// mentions for mixed-precision training: same exponent range as FP32,
+// 7 fraction bits). Conversions are trivial truncations of the FP32 bit
+// pattern, which is why BF16 training needs no loss scaling.
+type BF16 uint16
+
+// BF16FromFloat32 converts with round-to-nearest-even on the low 16 bits.
+// NaNs are quieted so truncation cannot produce an infinity from a NaN.
+func BF16FromFloat32(f float32) BF16 {
+	b := math.Float32bits(f)
+	if b&0x7F800000 == 0x7F800000 && b&0x007FFFFF != 0 {
+		// NaN: preserve sign, force a quiet payload bit that survives
+		// truncation.
+		return BF16(uint16(b>>16) | 0x0040)
+	}
+	rem := b & 0xFFFF
+	hi := b >> 16
+	const half = 0x8000
+	if rem > half || (rem == half && hi&1 == 1) {
+		hi++ // may carry into the exponent; overflow to Inf is correct
+	}
+	return BF16(hi)
+}
+
+// BF16ToFloat32 widens exactly.
+func BF16ToFloat32(h BF16) float32 {
+	return math.Float32frombits(uint32(h) << 16)
+}
+
+// BF16IsNaN reports NaN.
+func BF16IsNaN(h BF16) bool {
+	return h&0x7F80 == 0x7F80 && h&0x007F != 0
+}
+
+// BF16IsInf reports either infinity.
+func BF16IsInf(h BF16) bool {
+	return h&0x7FFF == 0x7F80
+}
+
+// EncodeBF16 converts src into dst; returns elements converted.
+func EncodeBF16(dst []BF16, src []float32) int {
+	n := min(len(dst), len(src))
+	for i := 0; i < n; i++ {
+		dst[i] = BF16FromFloat32(src[i])
+	}
+	return n
+}
+
+// DecodeBF16 converts src into dst; returns elements converted.
+func DecodeBF16(dst []float32, src []BF16) int {
+	n := min(len(dst), len(src))
+	for i := 0; i < n; i++ {
+		dst[i] = BF16ToFloat32(src[i])
+	}
+	return n
+}
+
+// DecodeAccumulateBF16 adds the widened values of src into dst.
+func DecodeAccumulateBF16(dst []float32, src []BF16) int {
+	n := min(len(dst), len(src))
+	for i := 0; i < n; i++ {
+		dst[i] += BF16ToFloat32(src[i])
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+package fp16
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBF16KnownValues(t *testing.T) {
+	cases := []struct {
+		f float32
+		h BF16
+	}{
+		{0, 0x0000},
+		{1, 0x3F80},
+		{-1, 0xBF80},
+		{2, 0x4000},
+		{0.5, 0x3F00},
+		{float32(math.Inf(1)), 0x7F80},
+		{float32(math.Inf(-1)), 0xFF80},
+	}
+	for _, c := range cases {
+		if got := BF16FromFloat32(c.f); got != c.h {
+			t.Errorf("BF16FromFloat32(%g) = %#04x, want %#04x", c.f, got, c.h)
+		}
+	}
+}
+
+func TestBF16RoundTripAll(t *testing.T) {
+	// Every bf16 value survives decode/encode.
+	for i := 0; i < 1<<16; i++ {
+		h := BF16(i)
+		f := BF16ToFloat32(h)
+		back := BF16FromFloat32(f)
+		if BF16IsNaN(h) {
+			if !BF16IsNaN(back) {
+				t.Fatalf("NaN %#04x lost", h)
+			}
+			continue
+		}
+		if back != h {
+			t.Fatalf("%#04x -> %g -> %#04x", h, f, back)
+		}
+	}
+}
+
+func TestBF16RoundNearestEven(t *testing.T) {
+	// 1 + 2^-8 is exactly halfway between 1.0 (0x3F80) and the next bf16
+	// (0x3F81): ties-to-even keeps 0x3F80.
+	f := math.Float32frombits(0x3F808000)
+	if got := BF16FromFloat32(f); got != 0x3F80 {
+		t.Errorf("tie rounds to %#04x, want 0x3F80 (even)", got)
+	}
+	// Slightly above the midpoint rounds up.
+	f = math.Float32frombits(0x3F808001)
+	if got := BF16FromFloat32(f); got != 0x3F81 {
+		t.Errorf("above-midpoint rounds to %#04x, want 0x3F81", got)
+	}
+	// Odd low bit at exact midpoint rounds up to even.
+	f = math.Float32frombits(0x3F818000)
+	if got := BF16FromFloat32(f); got != 0x3F82 {
+		t.Errorf("odd tie rounds to %#04x, want 0x3F82", got)
+	}
+}
+
+func TestBF16NaNPreserved(t *testing.T) {
+	h := BF16FromFloat32(float32(math.NaN()))
+	if !BF16IsNaN(h) {
+		t.Fatalf("NaN encoded to %#04x", h)
+	}
+	if !math.IsNaN(float64(BF16ToFloat32(h))) {
+		t.Error("decoded NaN is not NaN")
+	}
+	// A NaN whose payload lives entirely in the low bits must not become
+	// an infinity under truncation.
+	sneaky := math.Float32frombits(0x7F800001)
+	if got := BF16FromFloat32(sneaky); !BF16IsNaN(got) {
+		t.Errorf("low-payload NaN became %#04x", got)
+	}
+}
+
+func TestBF16Classifiers(t *testing.T) {
+	if !BF16IsInf(0x7F80) || !BF16IsInf(0xFF80) {
+		t.Error("Inf not classified")
+	}
+	if BF16IsInf(0x7F81) || !BF16IsNaN(0x7F81) {
+		t.Error("NaN/Inf confusion")
+	}
+	if BF16IsNaN(BF16FromFloat32(3)) || BF16IsInf(BF16FromFloat32(3)) {
+		t.Error("finite misclassified")
+	}
+}
+
+func TestBF16WiderRangeThanFP16(t *testing.T) {
+	// The reason BF16 training skips loss scaling: 1e30 overflows FP16
+	// but fits BF16.
+	big := float32(1e30)
+	if !IsInf(FromFloat32(big)) {
+		t.Error("1e30 should overflow binary16")
+	}
+	if BF16IsInf(BF16FromFloat32(big)) {
+		t.Error("1e30 should fit bfloat16")
+	}
+}
+
+func TestBF16PropertyRelativeError(t *testing.T) {
+	// 7 fraction bits: relative error bounded by 2^-8 for normal values.
+	f := func(raw float32) bool {
+		if math.IsNaN(float64(raw)) || math.IsInf(float64(raw), 0) {
+			return true
+		}
+		mag := math.Abs(float64(raw))
+		if mag < 1e-30 || mag > 1e30 {
+			return true
+		}
+		back := float64(BF16ToFloat32(BF16FromFloat32(raw)))
+		return math.Abs(back-float64(raw))/mag <= 1.0/256.0+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBF16Slices(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	src := make([]float32, 500)
+	for i := range src {
+		src[i] = rng.Float32()*200 - 100
+	}
+	hs := make([]BF16, len(src))
+	if n := EncodeBF16(hs, src); n != len(src) {
+		t.Fatal("encode short")
+	}
+	out := make([]float32, len(src))
+	if n := DecodeBF16(out, hs); n != len(src) {
+		t.Fatal("decode short")
+	}
+	for i := range out {
+		if out[i] != BF16ToFloat32(BF16FromFloat32(src[i])) {
+			t.Fatalf("slice mismatch at %d", i)
+		}
+	}
+	acc := make([]float32, len(src))
+	copy(acc, out)
+	DecodeAccumulateBF16(acc, hs)
+	for i := range acc {
+		if acc[i] != out[i]*2 {
+			t.Fatalf("accumulate wrong at %d", i)
+		}
+	}
+}
+
+func BenchmarkEncodeBF16(b *testing.B) {
+	src := make([]float32, 1<<16)
+	for i := range src {
+		src[i] = float32(i) * 0.001
+	}
+	dst := make([]BF16, len(src))
+	b.SetBytes(int64(len(src) * 4))
+	for i := 0; i < b.N; i++ {
+		EncodeBF16(dst, src)
+	}
+}

@@ -1,0 +1,240 @@
+// Package fp16 implements IEEE-754 binary16 (half precision) conversion.
+//
+// Mixed-precision training keeps the working copy of model parameters and
+// the gradients in FP16 while the optimizer operates on FP32 master state.
+// MLP-Offload's "delayed in-place gradient conversion" design principle
+// depends on converting FP16 gradient buffers to FP32 on the fly during the
+// update phase instead of flushing pre-upscaled FP32 gradients to disk, so
+// the conversion throughput of this package is on the critical path of the
+// update kernel.
+//
+// The package provides scalar conversions, bulk slice conversions, a
+// chunk-parallel variant for large buffers, and a fused
+// convert-and-accumulate used by gradient accumulation.
+package fp16
+
+import (
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Bits is a raw IEEE-754 binary16 value. The zero value is +0.0.
+type Bits uint16
+
+const (
+	signMask16     = 0x8000
+	expMask16      = 0x7C00
+	fracMask16     = 0x03FF
+	expBias16      = 15
+	expBias32      = 127
+	maxFinite16    = 65504.0
+	smallestNorm16 = 6.103515625e-05 // 2^-14
+)
+
+// PositiveInfinity and NegativeInfinity are the binary16 infinities.
+const (
+	PositiveInfinity Bits = 0x7C00
+	NegativeInfinity Bits = 0xFC00
+)
+
+// FromFloat32 converts an FP32 value to the nearest binary16 value using
+// round-to-nearest-even, the rounding mode used by hardware mixed-precision
+// units. Values whose magnitude exceeds the largest finite half (65504)
+// become infinities; subnormal halves are produced for tiny values.
+func FromFloat32(f float32) Bits {
+	b := math.Float32bits(f)
+	sign := uint16(b>>16) & signMask16
+	exp := int32(b>>23) & 0xFF
+	frac := b & 0x7FFFFF
+
+	switch {
+	case exp == 0xFF: // Inf or NaN
+		if frac != 0 {
+			// Quiet NaN; preserve a payload bit so NaN-ness survives.
+			return Bits(sign | expMask16 | 0x0200 | uint16(frac>>13))
+		}
+		return Bits(sign | expMask16)
+	case exp == 0 && frac == 0: // signed zero
+		return Bits(sign)
+	}
+
+	// Unbiased exponent of the FP32 value.
+	e := exp - expBias32
+
+	if e > 15 { // overflow to infinity
+		return Bits(sign | expMask16)
+	}
+
+	if e >= -14 {
+		// Normal half. Keep 10 fraction bits, round to nearest even on the
+		// 13 discarded bits.
+		he := uint16(e+expBias16) << 10
+		hf := uint16(frac >> 13)
+		rem := frac & 0x1FFF
+		half := uint32(0x1000)
+		if rem > half || (rem == half && hf&1 == 1) {
+			hf++
+			if hf == 0x400 { // fraction overflowed into exponent
+				hf = 0
+				he += 1 << 10
+				if he >= expMask16 {
+					return Bits(sign | expMask16)
+				}
+			}
+		}
+		return Bits(sign | he | hf)
+	}
+
+	// Subnormal half or underflow to zero. The implicit leading 1 of the
+	// FP32 significand becomes explicit.
+	if e < -25 {
+		return Bits(sign) // underflows to signed zero even after rounding
+	}
+	sig := frac | 0x800000 // 24-bit significand with explicit leading 1
+	// Subnormal half = hf * 2^-24 with hf < 1024, so hf = sig * 2^(e+1),
+	// i.e. shift right by -(e+1). e in [-25,-15] -> shift in [14,24].
+	shift := uint32(-(e + 1))
+	hf := uint16(sig >> shift)
+	rem := sig & ((1 << shift) - 1)
+	half := uint32(1) << (shift - 1)
+	if rem > half || (rem == half && hf&1 == 1) {
+		hf++
+		// hf may round up into the smallest normal (0x400); the bit layout
+		// already encodes that correctly: exponent field becomes 1.
+	}
+	return Bits(sign | hf)
+}
+
+// ToFloat32 converts a binary16 value to FP32 exactly (every half value is
+// representable in single precision).
+func ToFloat32(h Bits) float32 {
+	sign := uint32(h&signMask16) << 16
+	exp := uint32(h&expMask16) >> 10
+	frac := uint32(h & fracMask16)
+
+	switch exp {
+	case 0:
+		if frac == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal half: value = frac * 2^-24. Normalize into FP32.
+		e := int32(-14 - 1) // will be incremented as we shift
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= fracMask16
+		return math.Float32frombits(sign | uint32(e+1+expBias32)<<23 | frac<<13)
+	case 0x1F:
+		if frac == 0 {
+			return math.Float32frombits(sign | 0x7F800000) // Inf
+		}
+		return math.Float32frombits(sign | 0x7F800000 | frac<<13 | 0x400000) // NaN
+	default:
+		return math.Float32frombits(sign | (exp-expBias16+expBias32)<<23 | frac<<13)
+	}
+}
+
+// IsNaN reports whether h encodes a NaN.
+func IsNaN(h Bits) bool {
+	return h&expMask16 == expMask16 && h&fracMask16 != 0
+}
+
+// IsInf reports whether h encodes an infinity of either sign.
+func IsInf(h Bits) bool {
+	return h&expMask16 == expMask16 && h&fracMask16 == 0
+}
+
+// MaxFinite returns the largest finite half value as a float32.
+func MaxFinite() float32 { return maxFinite16 }
+
+// Encode converts src into dst as binary16. dst must be at least len(src)
+// long; the number of converted elements is returned.
+func Encode(dst []Bits, src []float32) int {
+	n := min(len(dst), len(src))
+	for i := 0; i < n; i++ {
+		dst[i] = FromFloat32(src[i])
+	}
+	return n
+}
+
+// Decode converts src into dst as float32. dst must be at least len(src)
+// long; the number of converted elements is returned.
+func Decode(dst []float32, src []Bits) int {
+	n := min(len(dst), len(src))
+	for i := 0; i < n; i++ {
+		dst[i] = ToFloat32(src[i])
+	}
+	return n
+}
+
+// DecodeAccumulate adds the FP32 widening of src element-wise into dst,
+// the fused kernel used by gradient accumulation (grads arrive in FP16 and
+// are accumulated into an FP32 buffer without a temporary).
+func DecodeAccumulate(dst []float32, src []Bits) int {
+	n := min(len(dst), len(src))
+	for i := 0; i < n; i++ {
+		dst[i] += ToFloat32(src[i])
+	}
+	return n
+}
+
+// parallelChunks invokes fn over [0,n) split into roughly equal chunks, one
+// per worker, and waits for completion. With workers <= 1 or small n it runs
+// inline to avoid goroutine overhead.
+func parallelChunks(n, workers int, fn func(lo, hi int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	const minChunk = 4096
+	if workers == 1 || n <= minChunk {
+		fn(0, n)
+		return
+	}
+	if workers > (n+minChunk-1)/minChunk {
+		workers = (n + minChunk - 1) / minChunk
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// EncodeParallel is Encode split across workers goroutines (0 means
+// GOMAXPROCS). It is deterministic: chunking does not affect results.
+func EncodeParallel(dst []Bits, src []float32, workers int) int {
+	n := min(len(dst), len(src))
+	parallelChunks(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = FromFloat32(src[i])
+		}
+	})
+	return n
+}
+
+// DecodeParallel is Decode split across workers goroutines (0 means
+// GOMAXPROCS).
+func DecodeParallel(dst []float32, src []Bits, workers int) int {
+	n := min(len(dst), len(src))
+	parallelChunks(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = ToFloat32(src[i])
+		}
+	})
+	return n
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,257 @@
+package hostcache
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestUpdateOrderSequential(t *testing.T) {
+	for iter := 0; iter < 4; iter++ {
+		order := UpdateOrder(Sequential, 5, iter)
+		for i, sg := range order {
+			if sg != i {
+				t.Fatalf("iter %d: order = %v", iter, order)
+			}
+		}
+	}
+}
+
+func TestUpdateOrderAlternating(t *testing.T) {
+	asc := UpdateOrder(Alternating, 4, 0)
+	desc := UpdateOrder(Alternating, 4, 1)
+	asc2 := UpdateOrder(Alternating, 4, 2)
+	wantAsc := []int{0, 1, 2, 3}
+	wantDesc := []int{3, 2, 1, 0}
+	for i := range wantAsc {
+		if asc[i] != wantAsc[i] || desc[i] != wantDesc[i] || asc2[i] != wantAsc[i] {
+			t.Fatalf("orders: %v %v %v", asc, desc, asc2)
+		}
+	}
+}
+
+func TestPropertyOrderIsPermutation(t *testing.T) {
+	f := func(mSeed, iterSeed uint8, alt bool) bool {
+		m := int(mSeed%50) + 1
+		iter := int(iterSeed % 10)
+		pol := Sequential
+		if alt {
+			pol = Alternating
+		}
+		order := UpdateOrder(pol, m, iter)
+		seen := make(map[int]bool, m)
+		for _, sg := range order {
+			if sg < 0 || sg >= m || seen[sg] {
+				return false
+			}
+			seen[sg] = true
+		}
+		return len(seen) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlternatingConsecutivePhasesOverlapAtBoundary(t *testing.T) {
+	// The tail of phase k equals the head of phase k+1 — the property the
+	// caching optimization exploits.
+	m, cap := 10, 3
+	for iter := 0; iter < 5; iter++ {
+		cur := UpdateOrder(Alternating, m, iter)
+		next := UpdateOrder(Alternating, m, iter+1)
+		tail := cur[m-cap:]
+		head := next[:cap]
+		for i := 0; i < cap; i++ {
+			if tail[cap-1-i] != head[i] {
+				t.Fatalf("iter %d: tail %v vs head %v", iter, tail, head)
+			}
+		}
+	}
+}
+
+func TestExpectedHits(t *testing.T) {
+	if got := ExpectedHits(Alternating, 100, 30); got != 30 {
+		t.Errorf("alternating hits = %d, want 30", got)
+	}
+	if got := ExpectedHits(Sequential, 100, 30); got != 0 {
+		t.Errorf("sequential hits = %d, want 0 (thrashing)", got)
+	}
+	if got := ExpectedHits(Sequential, 10, 30); got != 10 {
+		t.Errorf("all-fits hits = %d, want 10", got)
+	}
+	if got := ExpectedHits(Alternating, 10, 10); got != 10 {
+		t.Errorf("exact-fit hits = %d, want 10", got)
+	}
+}
+
+func TestResidencyBasics(t *testing.T) {
+	r := NewResidency(2)
+	if r.Contains(1) {
+		t.Error("empty cache contains 1")
+	}
+	if _, ev := r.Insert(1, nil); ev {
+		t.Error("unexpected eviction")
+	}
+	if _, ev := r.Insert(2, nil); ev {
+		t.Error("unexpected eviction")
+	}
+	if !r.Contains(1) || !r.Contains(2) || r.Len() != 2 {
+		t.Error("inserts lost")
+	}
+	// Duplicate insert is a no-op.
+	if _, ev := r.Insert(1, nil); ev {
+		t.Error("duplicate insert evicted")
+	}
+	r.Remove(1)
+	if r.Contains(1) || r.Len() != 1 {
+		t.Error("remove failed")
+	}
+	r.Remove(99) // no-op
+}
+
+func TestResidencyEvictsFurthestUse(t *testing.T) {
+	r := NewResidency(2)
+	r.Insert(1, nil)
+	r.Insert(2, nil)
+	// Next order uses 2 at position 0, 1 at position 5: evict 1.
+	next := map[int]int{2: 0, 1: 5}
+	ev, did := r.Insert(3, next)
+	if !did || ev != 1 {
+		t.Errorf("evicted %d (did=%v), want 1", ev, did)
+	}
+	if !r.Contains(2) || !r.Contains(3) {
+		t.Error("wrong survivor set")
+	}
+}
+
+func TestResidencyEvictsNeverUsedFirst(t *testing.T) {
+	r := NewResidency(2)
+	r.Insert(7, nil)
+	r.Insert(8, nil)
+	// 8 appears in the next order, 7 does not -> 7 goes.
+	ev, did := r.Insert(9, map[int]int{8: 0})
+	if !did || ev != 7 {
+		t.Errorf("evicted %d, want 7", ev)
+	}
+}
+
+func TestResidencyZeroCapacity(t *testing.T) {
+	r := NewResidency(0)
+	if _, did := r.Insert(1, nil); did {
+		t.Error("zero-capacity cache evicted something")
+	}
+	if r.Contains(1) || r.Len() != 0 {
+		t.Error("zero-capacity cache retained a subgroup")
+	}
+}
+
+func TestResidencySnapshotAndNextUseIndex(t *testing.T) {
+	r := NewResidency(3)
+	r.Insert(5, nil)
+	r.Insert(6, nil)
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	idx := NextUseIndex([]int{4, 2, 0})
+	if idx[4] != 0 || idx[2] != 1 || idx[0] != 2 {
+		t.Errorf("NextUseIndex = %v", idx)
+	}
+}
+
+func TestResidencyConcurrentSafety(t *testing.T) {
+	r := NewResidency(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sg := (seed*31 + i) % 32
+				r.Insert(sg, nil)
+				r.Contains(sg)
+				if i%3 == 0 {
+					r.Remove(sg)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Len() > 8 {
+		t.Errorf("capacity violated: %d", r.Len())
+	}
+}
+
+func TestBufferPoolBlocking(t *testing.T) {
+	p := NewBufferPool(1, 64)
+	b := p.Get()
+	if len(b) != 64 {
+		t.Fatalf("buffer size %d", len(b))
+	}
+	if p.TryGet() != nil {
+		t.Error("TryGet should fail when exhausted")
+	}
+	done := make(chan struct{})
+	go func() {
+		p.Get() // blocks until Put
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Get returned before Put")
+	case <-time.After(10 * time.Millisecond):
+	}
+	p.Put(b)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Get never unblocked")
+	}
+}
+
+func TestBufferPoolMisuse(t *testing.T) {
+	p := NewBufferPool(1, 8)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong-size Put should panic")
+			}
+		}()
+		p.Put(make([]byte, 4))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("overflow Put should panic")
+			}
+		}()
+		p.Put(make([]byte, 8)) // pool already full
+	}()
+}
+
+func TestBufferPoolAccounting(t *testing.T) {
+	p := NewBufferPool(3, 16)
+	if p.Free() != 3 || p.BufSize() != 16 {
+		t.Fatalf("Free=%d BufSize=%d", p.Free(), p.BufSize())
+	}
+	a, b := p.Get(), p.Get()
+	if p.Free() != 1 {
+		t.Errorf("Free = %d, want 1", p.Free())
+	}
+	p.Put(a)
+	p.Put(b)
+	if p.Free() != 3 {
+		t.Errorf("Free = %d, want 3", p.Free())
+	}
+}
+
+func TestOrderStringer(t *testing.T) {
+	if Sequential.String() != "sequential" || Alternating.String() != "alternating" {
+		t.Error("Order.String broken")
+	}
+	if Order(9).String() == "" {
+		t.Error("unknown order should still stringify")
+	}
+}

@@ -1,0 +1,96 @@
+package hostcache
+
+import "sync"
+
+// LRU models the host staging buffers as a least-recently-used set of
+// subgroups, which is how DeepNVMe's rotating pinned buffers behave: after
+// a subgroup is updated it stays in host memory until K more-recent
+// subgroups displace it.
+//
+// This single mechanism produces both behaviours the paper contrasts:
+// under the sequential order the tail cached at the end of a phase is
+// displaced long before the next phase reaches it (zero hits — thrashing),
+// while under the alternating order the tail is exactly the head of the
+// next phase (K hits — the "Enable Caching" speedup).
+type LRU struct {
+	mu       sync.Mutex
+	capacity int
+	order    []int // front = least recently used
+	member   map[int]bool
+}
+
+// NewLRU creates an LRU set with the given capacity (>= 0).
+func NewLRU(capacity int) *LRU {
+	if capacity < 0 {
+		panic("hostcache: negative LRU capacity")
+	}
+	return &LRU{capacity: capacity, member: make(map[int]bool)}
+}
+
+// Capacity returns the maximum resident count.
+func (l *LRU) Capacity() int { return l.capacity }
+
+// Len returns the resident count.
+func (l *LRU) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.order)
+}
+
+// Contains reports residency without affecting recency.
+func (l *LRU) Contains(sg int) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.member[sg]
+}
+
+// Touch marks sg as most recently used, inserting it if absent. If the
+// insertion overflows capacity the least recently used member is evicted
+// and returned with true. With capacity 0 nothing is ever retained and
+// Touch reports sg itself as evicted.
+func (l *LRU) Touch(sg int) (evicted int, didEvict bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.capacity == 0 {
+		return sg, true
+	}
+	if l.member[sg] {
+		l.remove(sg)
+	}
+	l.order = append(l.order, sg)
+	l.member[sg] = true
+	if len(l.order) > l.capacity {
+		victim := l.order[0]
+		l.order = l.order[1:]
+		delete(l.member, victim)
+		return victim, true
+	}
+	return 0, false
+}
+
+// Remove drops sg from the set (no-op when absent).
+func (l *LRU) Remove(sg int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.member[sg] {
+		l.remove(sg)
+		delete(l.member, sg)
+	}
+}
+
+// remove deletes sg from the order slice. Caller holds mu.
+func (l *LRU) remove(sg int) {
+	for i, v := range l.order {
+		if v == sg {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// Members returns the resident subgroups from least to most recently used.
+func (l *LRU) Members() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]int(nil), l.order...)
+}

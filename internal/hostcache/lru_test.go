@@ -1,0 +1,100 @@
+package hostcache
+
+import (
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	l := NewLRU(2)
+	if l.Capacity() != 2 || l.Len() != 0 || l.Contains(1) {
+		t.Fatal("fresh LRU wrong")
+	}
+	if _, ev := l.Touch(1); ev {
+		t.Error("unexpected eviction")
+	}
+	if _, ev := l.Touch(2); ev {
+		t.Error("unexpected eviction")
+	}
+	v, ev := l.Touch(3)
+	if !ev || v != 1 {
+		t.Errorf("evicted %d (%v), want 1", v, ev)
+	}
+	if !l.Contains(2) || !l.Contains(3) || l.Contains(1) {
+		t.Error("membership wrong after eviction")
+	}
+}
+
+func TestLRUTouchRefreshes(t *testing.T) {
+	l := NewLRU(2)
+	l.Touch(1)
+	l.Touch(2)
+	l.Touch(1) // refresh: now 2 is oldest
+	v, ev := l.Touch(3)
+	if !ev || v != 2 {
+		t.Errorf("evicted %d, want 2", v)
+	}
+	mem := l.Members()
+	if len(mem) != 2 || mem[0] != 1 || mem[1] != 3 {
+		t.Errorf("Members = %v", mem)
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	l := NewLRU(3)
+	l.Touch(1)
+	l.Touch(2)
+	l.Remove(1)
+	l.Remove(99) // no-op
+	if l.Contains(1) || l.Len() != 1 {
+		t.Error("remove failed")
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	l := NewLRU(0)
+	v, ev := l.Touch(5)
+	if !ev || v != 5 {
+		t.Errorf("zero-cap Touch = %d,%v; want immediate self-eviction", v, ev)
+	}
+	if l.Len() != 0 {
+		t.Error("zero-cap retained something")
+	}
+}
+
+// TestLRUReproducesPaperCacheBehaviour is the core behavioural check: the
+// same LRU mechanism yields 0 hits under sequential ordering and K hits
+// under alternating ordering, which is the entire "Enable Caching" effect.
+func TestLRUReproducesPaperCacheBehaviour(t *testing.T) {
+	const m, k = 20, 5
+	countHits := func(policy Order) int {
+		l := NewLRU(k)
+		hits := 0
+		for iter := 0; iter < 6; iter++ {
+			for _, sg := range UpdateOrder(policy, m, iter) {
+				if l.Contains(sg) {
+					hits++
+				}
+				l.Touch(sg)
+			}
+		}
+		return hits
+	}
+	seq := countHits(Sequential)
+	alt := countHits(Alternating)
+	if seq != 0 {
+		t.Errorf("sequential hits = %d, want 0 (thrashing)", seq)
+	}
+	// 5 phase transitions after the first phase, k hits each.
+	if alt != 5*k {
+		t.Errorf("alternating hits = %d, want %d", alt, 5*k)
+	}
+}
+
+func TestLRUNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewLRU(-1)
+}

@@ -1,0 +1,259 @@
+// Package metrics collects and renders the measurements the paper reports:
+// per-phase iteration breakdowns, update throughput (million parameters per
+// second), effective I/O throughput (the paper's 2*size/(read+write)
+// formula), cache statistics, and per-tier byte distribution.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Phases is the forward/backward/update breakdown of one iteration.
+type Phases struct {
+	Forward  float64 // seconds
+	Backward float64
+	Update   float64
+}
+
+// Total returns the iteration duration.
+func (p Phases) Total() float64 { return p.Forward + p.Backward + p.Update }
+
+// Add accumulates another breakdown.
+func (p Phases) Add(q Phases) Phases {
+	return Phases{p.Forward + q.Forward, p.Backward + q.Backward, p.Update + q.Update}
+}
+
+// Scale multiplies all phases by f.
+func (p Phases) Scale(f float64) Phases {
+	return Phases{p.Forward * f, p.Backward * f, p.Update * f}
+}
+
+// Iteration captures one training iteration's measurements.
+type Iteration struct {
+	Phases Phases
+	// ParamsUpdated counts optimizer parameters stepped this iteration.
+	ParamsUpdated int64
+	// I/O observed while fetching and flushing offloaded subgroups during
+	// the update phase (storage tiers only; D2H is excluded, matching the
+	// paper's metric).
+	BytesRead    float64
+	BytesWritten float64
+	ReadTime     float64 // summed transfer seconds across subgroups
+	WriteTime    float64
+	// Cache behaviour.
+	CacheHits   int
+	CacheMisses int
+	// TierBytes is the bytes of optimizer state resident on each tier at
+	// the end of the iteration ("host" included).
+	TierBytes map[string]float64
+	// UpdateComputeTime is the CPU time inside the Adam kernel.
+	UpdateComputeTime float64
+}
+
+// UpdateThroughput returns million parameters updated per second of update
+// phase. Zero-duration updates report 0.
+func (it Iteration) UpdateThroughput() float64 {
+	if it.Phases.Update <= 0 {
+		return 0
+	}
+	return float64(it.ParamsUpdated) / it.Phases.Update / 1e6
+}
+
+// EffectiveIO returns the paper's effective I/O throughput in bytes/second:
+// 2*subgroup_bytes/(read_time+write_time) aggregated over all subgroups,
+// computed here as (bytes_read+bytes_written)/(read_time+write_time).
+func (it Iteration) EffectiveIO() float64 {
+	d := it.ReadTime + it.WriteTime
+	if d <= 0 {
+		return 0
+	}
+	return (it.BytesRead + it.BytesWritten) / d
+}
+
+// HitRate returns the host-cache hit fraction in [0,1].
+func (it Iteration) HitRate() float64 {
+	n := it.CacheHits + it.CacheMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(it.CacheHits) / float64(n)
+}
+
+// Series accumulates iterations and reports averages, with warmup
+// exclusion (the paper averages 8 of 10 iterations, skipping 2 warmups).
+type Series struct {
+	Warmup int
+	iters  []Iteration
+}
+
+// Append records an iteration.
+func (s *Series) Append(it Iteration) { s.iters = append(s.iters, it) }
+
+// Len returns the number of recorded iterations.
+func (s *Series) Len() int { return len(s.iters) }
+
+// measured returns the post-warmup iterations (all, if fewer than warmup).
+func (s *Series) measured() []Iteration {
+	if len(s.iters) > s.Warmup {
+		return s.iters[s.Warmup:]
+	}
+	return s.iters
+}
+
+// Mean returns the average of the post-warmup iterations.
+func (s *Series) Mean() Iteration {
+	ms := s.measured()
+	if len(ms) == 0 {
+		return Iteration{}
+	}
+	var out Iteration
+	tb := make(map[string]float64)
+	for _, it := range ms {
+		out.Phases = out.Phases.Add(it.Phases)
+		out.ParamsUpdated += it.ParamsUpdated
+		out.BytesRead += it.BytesRead
+		out.BytesWritten += it.BytesWritten
+		out.ReadTime += it.ReadTime
+		out.WriteTime += it.WriteTime
+		out.CacheHits += it.CacheHits
+		out.CacheMisses += it.CacheMisses
+		out.UpdateComputeTime += it.UpdateComputeTime
+		for k, v := range it.TierBytes {
+			tb[k] += v
+		}
+	}
+	inv := 1.0 / float64(len(ms))
+	out.Phases = out.Phases.Scale(inv)
+	out.ParamsUpdated = int64(float64(out.ParamsUpdated) * inv)
+	out.BytesRead *= inv
+	out.BytesWritten *= inv
+	out.ReadTime *= inv
+	out.WriteTime *= inv
+	out.UpdateComputeTime *= inv
+	// Cache hits/misses stay summed? Average them too for comparability.
+	out.CacheHits = int(float64(out.CacheHits) * inv)
+	out.CacheMisses = int(float64(out.CacheMisses) * inv)
+	for k := range tb {
+		tb[k] *= inv
+	}
+	out.TierBytes = tb
+	return out
+}
+
+// Iterations returns a copy of all recorded iterations.
+func (s *Series) Iterations() []Iteration {
+	return append([]Iteration(nil), s.iters...)
+}
+
+// Stopwatch measures wall-clock phase durations for the real engine.
+type Stopwatch struct{ t0 time.Time }
+
+// Start begins timing.
+func (s *Stopwatch) Start() { s.t0 = time.Now() }
+
+// Lap returns seconds since Start/last Lap and restarts.
+func (s *Stopwatch) Lap() float64 {
+	now := time.Now()
+	d := now.Sub(s.t0).Seconds()
+	s.t0 = now
+	return d
+}
+
+// Table renders aligned text tables for experiment output.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells are blank.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddNote appends a footnote line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render returns the aligned table as a string.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "=== %s ===\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// FormatBytes renders a byte count with a binary unit (the paper's figures
+// use G for GiB-scale quantities).
+func FormatBytes(b float64) string {
+	units := []string{"B", "K", "M", "G", "T", "P"}
+	i := 0
+	for b >= 1024 && i < len(units)-1 {
+		b /= 1024
+		i++
+	}
+	if b >= 100 {
+		return fmt.Sprintf("%.0f%s", b, units[i])
+	}
+	return fmt.Sprintf("%.1f%s", b, units[i])
+}
+
+// SortedKeys returns map keys in sorted order (deterministic rendering).
+func SortedKeys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPhases(t *testing.T) {
+	p := Phases{1, 2, 3}
+	if p.Total() != 6 {
+		t.Errorf("Total = %v", p.Total())
+	}
+	q := p.Add(Phases{1, 1, 1})
+	if q.Total() != 9 {
+		t.Errorf("Add = %+v", q)
+	}
+	r := p.Scale(2)
+	if r.Forward != 2 || r.Update != 6 {
+		t.Errorf("Scale = %+v", r)
+	}
+}
+
+func TestIterationDerived(t *testing.T) {
+	it := Iteration{
+		Phases:        Phases{Update: 2},
+		ParamsUpdated: 4e6,
+		BytesRead:     100,
+		BytesWritten:  50,
+		ReadTime:      2,
+		WriteTime:     1,
+		CacheHits:     3,
+		CacheMisses:   1,
+	}
+	if got := it.UpdateThroughput(); got != 2 {
+		t.Errorf("UpdateThroughput = %v, want 2 Mparams/s", got)
+	}
+	if got := it.EffectiveIO(); got != 50 {
+		t.Errorf("EffectiveIO = %v, want 50", got)
+	}
+	if got := it.HitRate(); got != 0.75 {
+		t.Errorf("HitRate = %v", got)
+	}
+}
+
+func TestIterationZeroGuards(t *testing.T) {
+	var it Iteration
+	if it.UpdateThroughput() != 0 || it.EffectiveIO() != 0 || it.HitRate() != 0 {
+		t.Error("zero iteration should report zeroes")
+	}
+}
+
+func TestSeriesWarmupMean(t *testing.T) {
+	s := Series{Warmup: 2}
+	// Two slow warmups then three fast iterations.
+	for _, u := range []float64{100, 90, 10, 12, 14} {
+		s.Append(Iteration{Phases: Phases{Update: u}, ParamsUpdated: 1000,
+			TierBytes: map[string]float64{"nvme": u}})
+	}
+	m := s.Mean()
+	if math.Abs(m.Phases.Update-12) > 1e-9 {
+		t.Errorf("mean update = %v, want 12 (warmups excluded)", m.Phases.Update)
+	}
+	if m.ParamsUpdated != 1000 {
+		t.Errorf("mean params = %d", m.ParamsUpdated)
+	}
+	if math.Abs(m.TierBytes["nvme"]-12) > 1e-9 {
+		t.Errorf("mean tier bytes = %v", m.TierBytes["nvme"])
+	}
+	if s.Len() != 5 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if len(s.Iterations()) != 5 {
+		t.Error("Iterations copy wrong")
+	}
+}
+
+func TestSeriesFewerThanWarmup(t *testing.T) {
+	s := Series{Warmup: 5}
+	s.Append(Iteration{Phases: Phases{Update: 4}})
+	m := s.Mean()
+	if m.Phases.Update != 4 {
+		t.Errorf("short series mean = %v", m.Phases.Update)
+	}
+	var empty Series
+	if got := empty.Mean(); got.Phases.Total() != 0 {
+		t.Error("empty mean should be zero")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Fig X", "model", "time(s)")
+	tb.AddRow("40B", "242.3")
+	tb.AddRow("120B", "550.4")
+	tb.AddRow("extra", "1", "dropped-cell")
+	tb.AddNote("n=%d", 2)
+	out := tb.Render()
+	if !strings.Contains(out, "=== Fig X ===") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "model") || !strings.Contains(out, "242.3") {
+		t.Error("missing content")
+	}
+	if !strings.Contains(out, "note: n=2") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// title + header + sep + 3 rows + note
+	if len(lines) != 7 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// Alignment: all data lines equal width or less than header width is
+	// fine, but columns must start at same offsets — check separator row
+	// dashes align under headers.
+	if !strings.HasPrefix(lines[2], "-----") {
+		t.Errorf("separator malformed: %q", lines[2])
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{512, "512B"},
+		{2048, "2.0K"},
+		{145 * 1024 * 1024 * 1024, "145G"},
+		{1.5 * 1024 * 1024 * 1024 * 1024, "1.5T"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	var sw Stopwatch
+	sw.Start()
+	if d := sw.Lap(); d < 0 {
+		t.Error("negative lap")
+	}
+	if d := sw.Lap(); d < 0 {
+		t.Error("negative second lap")
+	}
+}

@@ -1,0 +1,121 @@
+package model
+
+import "fmt"
+
+// MemoryEstimate is the per-node memory breakdown for ZeRO-3 mixed
+// precision training, in the style of the DeepSpeed memory estimator the
+// paper references. It determines which offloading level a configuration
+// needs: GPU-only, CPU (host) optimizer offload, or third-level (NVMe/PFS)
+// offload.
+type MemoryEstimate struct {
+	// GPU-side, per node (aggregated over the node's GPUs).
+	FP16ParamsBytes     int64 // working parameter copy
+	ActivationCkptBytes int64 // activation checkpoints, micro-batch 1
+	FP16GradBytes       int64 // one subgroup's transient gradients per GPU
+	GPUTotalBytes       int64
+	// Host-side, per node.
+	OptimizerStateBytes int64 // FP32 params + momentum + variance
+	RuntimeBufferBytes  int64 // gradient accumulation, all-reduce buckets, pinned staging
+	HostTotalBytes      int64
+}
+
+// EstimateArgs parameterizes the estimate.
+type EstimateArgs struct {
+	GPUsPerNode    int
+	Nodes          int
+	SubgroupParams int64
+	// RuntimeBufferBytes overrides the default runtime reservation
+	// (0 = 2 bytes/param for the FP16 gradient accumulation buffer plus
+	// 10% slack).
+	RuntimeBufferBytes int64
+}
+
+// Estimate computes the node-level memory demand of training c under
+// ZeRO-3 with host-offloaded optimizer state.
+func (c Config) Estimate(a EstimateArgs) MemoryEstimate {
+	if a.GPUsPerNode <= 0 {
+		a.GPUsPerNode = 4
+	}
+	if a.Nodes <= 0 {
+		a.Nodes = 1
+	}
+	if a.SubgroupParams <= 0 {
+		a.SubgroupParams = 100e6
+	}
+	p := c.Params()
+	perNodeParams := p / int64(a.Nodes)
+
+	var m MemoryEstimate
+	m.FP16ParamsBytes = perNodeParams * FP16Bytes
+	// Activation checkpoints: one FP16 activation per layer boundary per
+	// token (seq * hidden * layers * 2 bytes), per GPU micro-batch.
+	seq := int64(c.SeqLen)
+	if seq == 0 {
+		seq = DefaultSeqLen
+	}
+	m.ActivationCkptBytes = int64(a.GPUsPerNode) * seq * int64(c.Hidden) * int64(c.Layers) * FP16Bytes
+	m.FP16GradBytes = int64(a.GPUsPerNode) * a.SubgroupParams * FP16Bytes
+	m.GPUTotalBytes = m.FP16ParamsBytes + m.ActivationCkptBytes + m.FP16GradBytes
+
+	m.OptimizerStateBytes = perNodeParams * 3 * FP32Bytes
+	if a.RuntimeBufferBytes > 0 {
+		m.RuntimeBufferBytes = a.RuntimeBufferBytes
+	} else {
+		// FP16 gradient accumulation (2 B/param) plus all-reduce buckets
+		// and pinned staging (~3 B/param) — consistent with the 250-350 GB
+		// the paper reports for 40-120B models.
+		m.RuntimeBufferBytes = perNodeParams * 5
+	}
+	m.HostTotalBytes = m.OptimizerStateBytes + m.RuntimeBufferBytes
+	return m
+}
+
+// OffloadLevel classifies where a configuration's state must live.
+type OffloadLevel int
+
+const (
+	// GPUOnly: everything fits in aggregated GPU memory.
+	GPUOnly OffloadLevel = iota
+	// CPUOffload: optimizer state fits in host memory.
+	CPUOffload
+	// ThirdLevel: optimizer state exceeds host memory and spills to
+	// NVMe/PFS — the regime MLP-Offload targets.
+	ThirdLevel
+)
+
+func (l OffloadLevel) String() string {
+	switch l {
+	case GPUOnly:
+		return "gpu-only"
+	case CPUOffload:
+		return "cpu-offload"
+	case ThirdLevel:
+		return "third-level-offload"
+	default:
+		return fmt.Sprintf("OffloadLevel(%d)", int(l))
+	}
+}
+
+// RequiredOffload decides the offloading level for a node with the given
+// memory capacities.
+func (m MemoryEstimate) RequiredOffload(gpuMemBytes, hostMemBytes int64) OffloadLevel {
+	// GPU-only additionally needs the optimizer state plus FP32 gradients
+	// on the GPUs (ZeRO-3's 16 B/param residency).
+	fp32Grads := m.OptimizerStateBytes / 3
+	if m.GPUTotalBytes+m.OptimizerStateBytes+fp32Grads <= gpuMemBytes {
+		return GPUOnly
+	}
+	if m.HostTotalBytes <= hostMemBytes {
+		return CPUOffload
+	}
+	return ThirdLevel
+}
+
+// FitsGPU reports whether the working set (excluding optimizer state)
+// fits the node's aggregate GPU memory — the feasibility precondition the
+// paper's methodology states ("aggregated GPU memory is sufficient to
+// store FP16 parameters, activation checkpoints, and one subgroup's FP16
+// gradients").
+func (m MemoryEstimate) FitsGPU(gpuMemBytes int64) bool {
+	return m.GPUTotalBytes <= gpuMemBytes
+}

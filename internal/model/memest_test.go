@@ -1,0 +1,91 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/datastates/mlpoffload/internal/cluster"
+)
+
+func TestEstimate20BFitsHost(t *testing.T) {
+	// The paper's methodology: models below 40B are excluded because
+	// their optimizer state fits in 512 GB host memory.
+	tb := cluster.Testbed1()
+	m := Baseline20B().Estimate(EstimateArgs{GPUsPerNode: tb.GPUsPerNode, Nodes: 1})
+	if lvl := m.RequiredOffload(tb.AggregateGPUMem(), tb.HostMemBytes); lvl != CPUOffload {
+		t.Errorf("20B offload level = %v, want cpu-offload", lvl)
+	}
+}
+
+func TestEstimate40BNeedsThirdLevel(t *testing.T) {
+	tb := cluster.Testbed1()
+	c, _ := ByName("40B")
+	m := c.Estimate(EstimateArgs{GPUsPerNode: tb.GPUsPerNode, Nodes: 1})
+	if lvl := m.RequiredOffload(tb.AggregateGPUMem(), tb.HostMemBytes); lvl != ThirdLevel {
+		t.Errorf("40B offload level = %v, want third-level", lvl)
+	}
+	// Optimizer state alone: 40e9*12 = 480 GB — just under 512 GB, but
+	// runtime buffers push past it.
+	if m.OptimizerStateBytes != 480e9 {
+		t.Errorf("optimizer state = %d", m.OptimizerStateBytes)
+	}
+	if m.HostTotalBytes <= tb.HostMemBytes {
+		t.Error("40B host demand should exceed 512 GB")
+	}
+}
+
+func TestEstimateScalingSweepFitsGPU(t *testing.T) {
+	// Fig 7 methodology: 40B-120B on one Testbed-1 node keep FP16 params
+	// + activations + one subgroup's grads within 320 GB of GPU memory.
+	tb := cluster.Testbed1()
+	for _, name := range []string{"40B", "52B", "70B", "100B", "120B"} {
+		c, _ := ByName(name)
+		m := c.Estimate(EstimateArgs{GPUsPerNode: tb.GPUsPerNode, Nodes: 1, SubgroupParams: 100e6})
+		if !m.FitsGPU(tb.AggregateGPUMem()) {
+			t.Errorf("%s working set %d GB exceeds %d GB GPU memory",
+				name, m.GPUTotalBytes/1e9, tb.AggregateGPUMem()/1e9)
+		}
+	}
+}
+
+func TestEstimate280BWeakScaling(t *testing.T) {
+	// 280B on 8 Testbed-2 nodes (32x A100-40GB): per-node shard must fit.
+	tb := cluster.Testbed2()
+	c, _ := ByName("280B")
+	m := c.Estimate(EstimateArgs{GPUsPerNode: tb.GPUsPerNode, Nodes: 8, SubgroupParams: 100e6})
+	if !m.FitsGPU(tb.AggregateGPUMem()) {
+		t.Errorf("280B/8-node working set %d GB exceeds %d GB",
+			m.GPUTotalBytes/1e9, tb.AggregateGPUMem()/1e9)
+	}
+	if lvl := m.RequiredOffload(tb.AggregateGPUMem(), tb.HostMemBytes); lvl != ThirdLevel {
+		t.Errorf("280B/8 nodes = %v, want third-level", lvl)
+	}
+}
+
+func TestGPUOnlyLevelForTinyModel(t *testing.T) {
+	tiny := Config{Name: "tiny", Layers: 2, Hidden: 64, SeqLen: 128, NominalParams: 1e6}
+	m := tiny.Estimate(EstimateArgs{GPUsPerNode: 1, Nodes: 1, SubgroupParams: 1e6})
+	if lvl := m.RequiredOffload(16e9, 64e9); lvl != GPUOnly {
+		t.Errorf("tiny model = %v, want gpu-only", lvl)
+	}
+}
+
+func TestOffloadLevelString(t *testing.T) {
+	if GPUOnly.String() != "gpu-only" || ThirdLevel.String() != "third-level-offload" {
+		t.Error("stringer broken")
+	}
+	if OffloadLevel(42).String() == "" {
+		t.Error("unknown level should stringify")
+	}
+}
+
+func TestEstimateDefaults(t *testing.T) {
+	c, _ := ByName("40B")
+	m := c.Estimate(EstimateArgs{})
+	if m.GPUTotalBytes <= 0 || m.HostTotalBytes <= 0 {
+		t.Error("defaulted estimate degenerate")
+	}
+	override := c.Estimate(EstimateArgs{RuntimeBufferBytes: 123})
+	if override.RuntimeBufferBytes != 123 {
+		t.Error("runtime buffer override ignored")
+	}
+}

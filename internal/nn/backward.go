@@ -1,0 +1,234 @@
+package nn
+
+import "math"
+
+// backward propagates dLoss through the tape, accumulating parameter
+// gradients into grads. All formulas are the standard closed forms;
+// correctness is pinned by the finite-difference gradient check in the
+// tests.
+func (g *GPT) backward(params []float32, tokens []int, grads []float32, tp *tape) {
+	T := tp.T
+	d := g.Cfg.Dim
+	V := g.Cfg.Vocab
+	L := g.Cfg.Layers
+
+	// ---- head: softmax cross-entropy + tied embedding ----
+	// dlogits[t,v] = (probs[t,v] - 1{v=target}) / (T-1)
+	dlnf := make([]float32, T*d)
+	invN := float32(1 / float64(T-1))
+	for t := 0; t < T-1; t++ {
+		row := tp.probs[t*V : (t+1)*V]
+		lnfRow := tp.lnfOut[t*d : (t+1)*d]
+		dRow := dlnf[t*d : (t+1)*d]
+		target := tokens[t+1]
+		for vtok := 0; vtok < V; vtok++ {
+			dl := row[vtok] * invN
+			if vtok == target {
+				dl -= invN
+			}
+			if dl == 0 {
+				continue
+			}
+			w := params[g.wte+vtok*d : g.wte+(vtok+1)*d]
+			dw := grads[g.wte+vtok*d : g.wte+(vtok+1)*d]
+			for i := 0; i < d; i++ {
+				dRow[i] += dl * w[i]
+				dw[i] += dl * lnfRow[i]
+			}
+		}
+	}
+
+	// ---- final layernorm ----
+	// Input to lnf is res2 of the last layer.
+	xIn := tp.x
+	if L > 0 {
+		xIn = tp.res2[L-1]
+	}
+	dx := layerNormBackward(dlnf, xIn, params[g.gf:g.gf+d], tp.lnfMean, tp.lnfRstd,
+		grads[g.gf:g.gf+d], grads[g.bf:g.bf+d], T, d)
+
+	// ---- blocks in reverse ----
+	for l := L - 1; l >= 0; l-- {
+		lo := g.layers[l]
+		// Residual 2: dx flows both into the MLP branch and straight
+		// through.
+		dmlpOut := dx // alias: gradient of the MLP output equals dx
+
+		// MLP down: mout = act @ W2 + b2m.
+		act := tp.mlpAct[l]
+		dact := make([]float32, T*4*d)
+		linearBackward(dmlpOut, act, params[lo.w2:lo.w2+4*d*d],
+			grads[lo.w2:lo.w2+4*d*d], grads[lo.b2m:lo.b2m+d], dact, T, 4*d, d)
+		// GELU.
+		hidden := tp.mlpHidden[l]
+		dhidden := dact
+		for i := range dhidden {
+			dhidden[i] *= geluGrad(hidden[i])
+		}
+		// MLP up: hidden = ln2 @ W1 + b1m.
+		ln2 := tp.ln2Out[l]
+		dln2 := make([]float32, T*d)
+		linearBackward(dhidden, ln2, params[lo.w1:lo.w1+d*4*d],
+			grads[lo.w1:lo.w1+d*4*d], grads[lo.b1m:lo.b1m+4*d], dln2, T, d, 4*d)
+		// LayerNorm 2 over res1.
+		dres1 := layerNormBackward(dln2, tp.res1[l], params[lo.g2:lo.g2+d],
+			tp.ln2Mean[l], tp.ln2Rstd[l], grads[lo.g2:lo.g2+d], grads[lo.b2:lo.b2+d], T, d)
+		// Add the straight-through residual gradient.
+		for i := range dres1 {
+			dres1[i] += dx[i]
+		}
+		dx = dres1
+
+		// Residual 1: dx splits into attention branch + passthrough.
+		dattOut := dx
+		// Output projection: att = ctx @ Wo + bo.
+		ctx := tp.attOut[l]
+		dctx := make([]float32, T*d)
+		linearBackward(dattOut, ctx, params[lo.wo:lo.wo+d*d],
+			grads[lo.wo:lo.wo+d*d], grads[lo.bo:lo.bo+d], dctx, T, d, d)
+		// Attention core.
+		dq := make([]float32, T*d)
+		dk := make([]float32, T*d)
+		dv := make([]float32, T*d)
+		g.attentionBackward(dctx, tp.q[l], tp.k[l], tp.v[l], tp.attProb[l], dq, dk, dv, T)
+		// QKV projections over ln1.
+		ln1 := tp.ln1Out[l]
+		dln1 := make([]float32, T*d)
+		linearBackward(dq, ln1, params[lo.wq:lo.wq+d*d],
+			grads[lo.wq:lo.wq+d*d], grads[lo.bq:lo.bq+d], dln1, T, d, d)
+		linearBackward(dk, ln1, params[lo.wk:lo.wk+d*d],
+			grads[lo.wk:lo.wk+d*d], grads[lo.bk:lo.bk+d], dln1, T, d, d)
+		linearBackward(dv, ln1, params[lo.wv:lo.wv+d*d],
+			grads[lo.wv:lo.wv+d*d], grads[lo.bv:lo.bv+d], dln1, T, d, d)
+		// LayerNorm 1 over the block input.
+		blockIn := tp.x
+		if l > 0 {
+			blockIn = tp.res2[l-1]
+		}
+		dblockIn := layerNormBackward(dln1, blockIn, params[lo.g1:lo.g1+d],
+			tp.ln1Mean[l], tp.ln1Rstd[l], grads[lo.g1:lo.g1+d], grads[lo.b1:lo.b1+d], T, d)
+		for i := range dblockIn {
+			dblockIn[i] += dx[i]
+		}
+		dx = dblockIn
+	}
+
+	// ---- embeddings ----
+	for t := 0; t < T; t++ {
+		dwe := grads[g.wte+tokens[t]*d : g.wte+(tokens[t]+1)*d]
+		dpe := grads[g.wpe+t*d : g.wpe+(t+1)*d]
+		row := dx[t*d : (t+1)*d]
+		for i := 0; i < d; i++ {
+			dwe[i] += row[i]
+			dpe[i] += row[i]
+		}
+	}
+}
+
+// attentionBackward inverts the causal multi-head attention:
+// ctx[t] = sum_s prob[t,s] v[s], prob = softmax(q.k/sqrt(hd)).
+func (g *GPT) attentionBackward(dctx, q, k, v, prob []float32, dq, dk, dv []float32, T int) {
+	d := g.Cfg.Dim
+	H := g.Cfg.Heads
+	hd := d / H
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	dprob := make([]float32, T)
+	dscore := make([]float32, T)
+	for h := 0; h < H; h++ {
+		off := h * hd
+		for t := 0; t < T; t++ {
+			p := prob[(h*T+t)*T:]
+			dout := dctx[t*d+off : t*d+off+hd]
+			// dv and dprob.
+			for s := 0; s <= t; s++ {
+				vs := v[s*d+off : s*d+off+hd]
+				dvs := dv[s*d+off : s*d+off+hd]
+				var dp float32
+				ps := p[s]
+				for i := 0; i < hd; i++ {
+					dp += dout[i] * vs[i]
+					dvs[i] += ps * dout[i]
+				}
+				dprob[s] = dp
+			}
+			// Softmax backward: dscore = p * (dprob - sum(p*dprob)).
+			var acc float32
+			for s := 0; s <= t; s++ {
+				acc += p[s] * dprob[s]
+			}
+			for s := 0; s <= t; s++ {
+				dscore[s] = p[s] * (dprob[s] - acc)
+			}
+			// Scores = q.k * scale.
+			qt := q[t*d+off : t*d+off+hd]
+			dqt := dq[t*d+off : t*d+off+hd]
+			for s := 0; s <= t; s++ {
+				ds := dscore[s] * scale
+				if ds == 0 {
+					continue
+				}
+				ks := k[s*d+off : s*d+off+hd]
+				dks := dk[s*d+off : s*d+off+hd]
+				for i := 0; i < hd; i++ {
+					dqt[i] += ds * ks[i]
+					dks[i] += ds * qt[i]
+				}
+			}
+		}
+	}
+}
+
+// linearBackward inverts y = x@W + b: accumulates dW, db and dx.
+// dx may already hold gradient contributions (accumulated into).
+func linearBackward(dy, x, w, dw, db, dx []float32, T, in, out int) {
+	for t := 0; t < T; t++ {
+		dyr := dy[t*out : (t+1)*out]
+		xr := x[t*in : (t+1)*in]
+		dxr := dx[t*in : (t+1)*in]
+		for j := 0; j < out; j++ {
+			db[j] += dyr[j]
+		}
+		for i := 0; i < in; i++ {
+			wr := w[i*out : (i+1)*out]
+			dwr := dw[i*out : (i+1)*out]
+			xi := xr[i]
+			var acc float32
+			for j := 0; j < out; j++ {
+				acc += wr[j] * dyr[j]
+				dwr[j] += xi * dyr[j]
+			}
+			dxr[i] += acc
+		}
+	}
+}
+
+// layerNormBackward inverts y = g*(x-mean)*rstd + b, returning dx and
+// accumulating dg, db.
+func layerNormBackward(dy, x, gain []float32, mean, rstd []float32, dg, db []float32, T, d int) []float32 {
+	dx := make([]float32, T*d)
+	for t := 0; t < T; t++ {
+		m := float64(mean[t])
+		r := float64(rstd[t])
+		xr := x[t*d : (t+1)*d]
+		dyr := dy[t*d : (t+1)*d]
+		dxr := dx[t*d : (t+1)*d]
+		// Two reductions: mean(dxhat) and mean(dxhat*xhat).
+		var s1, s2 float64
+		for i := 0; i < d; i++ {
+			xh := (float64(xr[i]) - m) * r
+			dxh := float64(dyr[i]) * float64(gain[i])
+			s1 += dxh
+			s2 += dxh * xh
+			dg[i] += dyr[i] * float32(xh)
+			db[i] += dyr[i]
+		}
+		s1 /= float64(d)
+		s2 /= float64(d)
+		for i := 0; i < d; i++ {
+			xh := (float64(xr[i]) - m) * r
+			dxh := float64(dyr[i]) * float64(gain[i])
+			dxr[i] = float32(r * (dxh - s1 - xh*s2))
+		}
+	}
+	return dx
+}

@@ -1,0 +1,67 @@
+package nn
+
+import (
+	"testing"
+
+	"github.com/datastates/mlpoffload/internal/data"
+)
+
+// TestTrainOnSyntheticCorpus connects the data substrate to the model: a
+// GPT trained on sampled sequences from the Zipfian synthetic corpus must
+// reduce its loss below the corpus's unigram entropy bound would suggest
+// for a bigram-aware model — concretely, below the initial (near-uniform)
+// loss by a clear margin.
+func TestTrainOnSyntheticCorpus(t *testing.T) {
+	const vocab, seq = 48, 12
+	corpus, err := data.SynthesizeCorpus(4800, vocab, 24, seq, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampler := data.NewSampler(corpus, 3)
+
+	g, err := NewGPT(GPTConfig{Vocab: vocab, Seq: seq, Dim: 16, Heads: 2, Layers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float32, g.ParamCount())
+	if err := g.Init(params, 5); err != nil {
+		t.Fatal(err)
+	}
+	grads := make([]float32, g.ParamCount())
+
+	evalLoss := func() float64 {
+		var sum float64
+		for i := 0; i < 8; i++ {
+			s, _ := corpus.Sequence(i)
+			l, err := g.Loss(params, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += l
+		}
+		return sum / 8
+	}
+
+	first := evalLoss()
+	const lr = 0.03
+	for step := 0; step < 120; step++ {
+		batch := sampler.Next(1)
+		for i := range grads {
+			grads[i] = 0
+		}
+		if _, err := g.Backward(params, batch[0], grads); err != nil {
+			t.Fatal(err)
+		}
+		for i := range params {
+			params[i] -= lr * grads[i]
+		}
+	}
+	last := evalLoss()
+	if last > first*0.8 {
+		t.Errorf("corpus training barely helped: %.3f -> %.3f", first, last)
+	}
+	// The Zipfian skew means even a unigram-optimal model beats uniform.
+	if ent := corpus.TokenEntropy(); last > first && last > ent {
+		t.Errorf("loss %.3f above unigram entropy %.3f", last, ent)
+	}
+}

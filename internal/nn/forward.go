@@ -1,0 +1,230 @@
+package nn
+
+import "math"
+
+const lnEps = 1e-5
+
+// forward runs the model and returns the tape and mean cross-entropy.
+func (g *GPT) forward(params []float32, tokens []int) (*tape, float64, error) {
+	T, err := g.checkTokens(tokens)
+	if err != nil {
+		return nil, 0, err
+	}
+	d := g.Cfg.Dim
+	L := g.Cfg.Layers
+	tp := &tape{T: T}
+
+	// Embedding.
+	tp.x = make([]float32, T*d)
+	for t := 0; t < T; t++ {
+		we := g.wte + tokens[t]*d
+		pe := g.wpe + t*d
+		for i := 0; i < d; i++ {
+			tp.x[t*d+i] = params[we+i] + params[pe+i]
+		}
+	}
+
+	x := append([]float32(nil), tp.x...)
+	for l := 0; l < L; l++ {
+		lo := g.layers[l]
+
+		ln1, m1, r1 := layerNorm(x, params[lo.g1:lo.g1+d], params[lo.b1:lo.b1+d], T, d)
+		tp.ln1Out = append(tp.ln1Out, ln1)
+		tp.ln1Mean = append(tp.ln1Mean, m1)
+		tp.ln1Rstd = append(tp.ln1Rstd, r1)
+
+		q := linear(ln1, params[lo.wq:lo.wq+d*d], params[lo.bq:lo.bq+d], T, d, d)
+		k := linear(ln1, params[lo.wk:lo.wk+d*d], params[lo.bk:lo.bk+d], T, d, d)
+		v := linear(ln1, params[lo.wv:lo.wv+d*d], params[lo.bv:lo.bv+d], T, d, d)
+		tp.q = append(tp.q, q)
+		tp.k = append(tp.k, k)
+		tp.v = append(tp.v, v)
+
+		ctx, prob := g.attention(q, k, v, T)
+		tp.attProb = append(tp.attProb, prob)
+
+		att := linear(ctx, params[lo.wo:lo.wo+d*d], params[lo.bo:lo.bo+d], T, d, d)
+		tp.attOut = append(tp.attOut, ctx)
+
+		for i := range x {
+			x[i] += att[i]
+		}
+		res1 := append([]float32(nil), x...)
+		tp.res1 = append(tp.res1, res1)
+
+		ln2, m2, r2 := layerNorm(x, params[lo.g2:lo.g2+d], params[lo.b2:lo.b2+d], T, d)
+		tp.ln2Out = append(tp.ln2Out, ln2)
+		tp.ln2Mean = append(tp.ln2Mean, m2)
+		tp.ln2Rstd = append(tp.ln2Rstd, r2)
+
+		hidden := linear(ln2, params[lo.w1:lo.w1+d*4*d], params[lo.b1m:lo.b1m+4*d], T, d, 4*d)
+		tp.mlpHidden = append(tp.mlpHidden, hidden)
+		act := make([]float32, len(hidden))
+		for i, h := range hidden {
+			act[i] = gelu(h)
+		}
+		tp.mlpAct = append(tp.mlpAct, act)
+		mout := linear(act, params[lo.w2:lo.w2+4*d*d], params[lo.b2m:lo.b2m+d], T, 4*d, d)
+
+		for i := range x {
+			x[i] += mout[i]
+		}
+		res2 := append([]float32(nil), x...)
+		tp.res2 = append(tp.res2, res2)
+	}
+
+	lnf, mf, rf := layerNorm(x, params[g.gf:g.gf+d], params[g.bf:g.bf+d], T, d)
+	tp.lnfOut = lnf
+	tp.lnfMean = mf
+	tp.lnfRstd = rf
+
+	// Tied output head + softmax cross-entropy on next-token targets.
+	V := g.Cfg.Vocab
+	tp.probs = make([]float32, T*V)
+	loss := 0.0
+	n := 0
+	for t := 0; t < T-1; t++ {
+		row := tp.probs[t*V : (t+1)*V]
+		maxL := float32(math.Inf(-1))
+		for vtok := 0; vtok < V; vtok++ {
+			s := dot(lnf[t*d:(t+1)*d], params[g.wte+vtok*d:g.wte+(vtok+1)*d])
+			row[vtok] = s
+			if s > maxL {
+				maxL = s
+			}
+		}
+		var sum float64
+		for vtok := 0; vtok < V; vtok++ {
+			e := math.Exp(float64(row[vtok] - maxL))
+			row[vtok] = float32(e)
+			sum += e
+		}
+		inv := float32(1 / sum)
+		for vtok := 0; vtok < V; vtok++ {
+			row[vtok] *= inv
+		}
+		loss += -math.Log(math.Max(float64(row[tokens[t+1]]), 1e-30))
+		n++
+	}
+	return tp, loss / float64(n), nil
+}
+
+// attention computes causal multi-head attention. Returns the context
+// (T*D) and the attention probabilities (heads*T*T) for the tape.
+func (g *GPT) attention(q, k, v []float32, T int) (ctx, prob []float32) {
+	d := g.Cfg.Dim
+	H := g.Cfg.Heads
+	hd := d / H
+	scale := float32(1 / math.Sqrt(float64(hd)))
+	ctx = make([]float32, T*d)
+	prob = make([]float32, H*T*T)
+	scores := make([]float64, T)
+	for h := 0; h < H; h++ {
+		off := h * hd
+		for t := 0; t < T; t++ {
+			maxS := math.Inf(-1)
+			for s := 0; s <= t; s++ {
+				sc := float64(dot(q[t*d+off:t*d+off+hd], k[s*d+off:s*d+off+hd]) * scale)
+				scores[s] = sc
+				if sc > maxS {
+					maxS = sc
+				}
+			}
+			var sum float64
+			for s := 0; s <= t; s++ {
+				scores[s] = math.Exp(scores[s] - maxS)
+				sum += scores[s]
+			}
+			p := prob[(h*T+t)*T:]
+			for s := 0; s <= t; s++ {
+				p[s] = float32(scores[s] / sum)
+			}
+			out := ctx[t*d+off : t*d+off+hd]
+			for s := 0; s <= t; s++ {
+				ps := p[s]
+				vs := v[s*d+off : s*d+off+hd]
+				for i := 0; i < hd; i++ {
+					out[i] += ps * vs[i]
+				}
+			}
+		}
+	}
+	return ctx, prob
+}
+
+// layerNorm normalizes each row of x (T rows of width d) and applies
+// gain/bias. Returns output, per-row means and reciprocal stddevs.
+func layerNorm(x, g, b []float32, T, d int) (out, mean, rstd []float32) {
+	out = make([]float32, T*d)
+	mean = make([]float32, T)
+	rstd = make([]float32, T)
+	for t := 0; t < T; t++ {
+		row := x[t*d : (t+1)*d]
+		var m float64
+		for _, v := range row {
+			m += float64(v)
+		}
+		m /= float64(d)
+		var va float64
+		for _, v := range row {
+			dv := float64(v) - m
+			va += dv * dv
+		}
+		va /= float64(d)
+		r := 1 / math.Sqrt(va+lnEps)
+		mean[t] = float32(m)
+		rstd[t] = float32(r)
+		o := out[t*d : (t+1)*d]
+		for i, v := range row {
+			xh := (float64(v) - m) * r
+			o[i] = float32(xh)*g[i] + b[i]
+		}
+	}
+	return out, mean, rstd
+}
+
+// linear computes y = x@W + b with x (T*in), W (in*out, row-major), b (out).
+func linear(x, w, b []float32, T, in, out int) []float32 {
+	y := make([]float32, T*out)
+	for t := 0; t < T; t++ {
+		xr := x[t*in : (t+1)*in]
+		yr := y[t*out : (t+1)*out]
+		copy(yr, b)
+		for i := 0; i < in; i++ {
+			xi := xr[i]
+			if xi == 0 {
+				continue
+			}
+			wr := w[i*out : (i+1)*out]
+			for j := 0; j < out; j++ {
+				yr[j] += xi * wr[j]
+			}
+		}
+	}
+	return y
+}
+
+func dot(a, b []float32) float32 {
+	var s float32
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+const geluC = 0.7978845608028654 // sqrt(2/pi)
+
+// gelu is the tanh-approximated GELU activation.
+func gelu(x float32) float32 {
+	xf := float64(x)
+	return float32(0.5 * xf * (1 + math.Tanh(geluC*(xf+0.044715*xf*xf*xf))))
+}
+
+// geluGrad is d(gelu)/dx.
+func geluGrad(x float32) float32 {
+	xf := float64(x)
+	u := geluC * (xf + 0.044715*xf*xf*xf)
+	th := math.Tanh(u)
+	du := geluC * (1 + 3*0.044715*xf*xf)
+	return float32(0.5*(1+th) + 0.5*xf*(1-th*th)*du)
+}

@@ -1,0 +1,205 @@
+// Package nn implements a small decoder-only transformer language model
+// (GPT-style) with a hand-written backward pass over a flat parameter
+// vector. It is the training-computation substrate of the reproduction:
+// instead of synthetic gradients, the offloading engine can be driven by
+// the real gradients of a real next-token prediction loss, computed by
+// exactly the architecture family the paper trains (Table 2's models are
+// the same shape, three orders of magnitude larger).
+//
+// The flat []float32 parameter layout is what makes integration trivial:
+// the engine shards the same vector into subgroups and offloads their
+// optimizer state; nn computes loss and gradients over it.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GPTConfig shapes the model.
+type GPTConfig struct {
+	Vocab  int // vocabulary size
+	Seq    int // maximum sequence length
+	Dim    int // embedding dimension
+	Heads  int // attention heads (must divide Dim)
+	Layers int // transformer blocks
+}
+
+// Validate rejects malformed configurations.
+func (c GPTConfig) Validate() error {
+	if c.Vocab < 2 || c.Seq < 2 || c.Dim < 1 || c.Heads < 1 || c.Layers < 1 {
+		return fmt.Errorf("nn: degenerate config %+v", c)
+	}
+	if c.Dim%c.Heads != 0 {
+		return fmt.Errorf("nn: Dim %d not divisible by Heads %d", c.Dim, c.Heads)
+	}
+	return nil
+}
+
+// layerOffsets locates one block's parameters in the flat vector.
+type layerOffsets struct {
+	g1, b1         int // pre-attention layernorm
+	wq, wk, wv, wo int // attention projections (D*D each)
+	bq, bk, bv, bo int // attention biases (D each)
+	g2, b2         int // pre-MLP layernorm
+	w1, b1m        int // MLP up (D*4D, 4D)
+	w2, b2m        int // MLP down (4D*D, D)
+}
+
+// GPT is the model: configuration plus the parameter layout. Parameters
+// themselves live in a caller-owned flat slice.
+type GPT struct {
+	Cfg    GPTConfig
+	wte    int // vocab embedding (V*D); also the tied output head
+	wpe    int // positional embedding (Seq*D)
+	layers []layerOffsets
+	gf, bf int // final layernorm
+	total  int
+}
+
+// NewGPT computes the parameter layout.
+func NewGPT(cfg GPTConfig) (*GPT, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &GPT{Cfg: cfg}
+	d := cfg.Dim
+	alloc := func(n int) int {
+		off := g.total
+		g.total += n
+		return off
+	}
+	g.wte = alloc(cfg.Vocab * d)
+	g.wpe = alloc(cfg.Seq * d)
+	for l := 0; l < cfg.Layers; l++ {
+		var lo layerOffsets
+		lo.g1 = alloc(d)
+		lo.b1 = alloc(d)
+		lo.wq = alloc(d * d)
+		lo.wk = alloc(d * d)
+		lo.wv = alloc(d * d)
+		lo.wo = alloc(d * d)
+		lo.bq = alloc(d)
+		lo.bk = alloc(d)
+		lo.bv = alloc(d)
+		lo.bo = alloc(d)
+		lo.g2 = alloc(d)
+		lo.b2 = alloc(d)
+		lo.w1 = alloc(d * 4 * d)
+		lo.b1m = alloc(4 * d)
+		lo.w2 = alloc(4 * d * d)
+		lo.b2m = alloc(d)
+		g.layers = append(g.layers, lo)
+	}
+	g.gf = alloc(d)
+	g.bf = alloc(d)
+	return g, nil
+}
+
+// ParamCount returns the total number of parameters.
+func (g *GPT) ParamCount() int64 { return int64(g.total) }
+
+// Init writes a standard initialization into params (scaled normal
+// weights, zero biases, unit layernorm gains). len(params) must equal
+// ParamCount().
+func (g *GPT) Init(params []float32, seed int64) error {
+	if len(params) != g.total {
+		return fmt.Errorf("nn: params len %d != %d", len(params), g.total)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := g.Cfg.Dim
+	normal := func(off, n int, std float64) {
+		for i := 0; i < n; i++ {
+			params[off+i] = float32(rng.NormFloat64() * std)
+		}
+	}
+	ones := func(off, n int) {
+		for i := 0; i < n; i++ {
+			params[off+i] = 1
+		}
+	}
+	zeros := func(off, n int) {
+		for i := 0; i < n; i++ {
+			params[off+i] = 0
+		}
+	}
+	std := 0.08
+	normal(g.wte, g.Cfg.Vocab*d, std)
+	normal(g.wpe, g.Cfg.Seq*d, std)
+	for _, lo := range g.layers {
+		ones(lo.g1, d)
+		zeros(lo.b1, d)
+		normal(lo.wq, d*d, std)
+		normal(lo.wk, d*d, std)
+		normal(lo.wv, d*d, std)
+		normal(lo.wo, d*d, std/math.Sqrt(float64(2*g.Cfg.Layers)))
+		zeros(lo.bq, d)
+		zeros(lo.bk, d)
+		zeros(lo.bv, d)
+		zeros(lo.bo, d)
+		ones(lo.g2, d)
+		zeros(lo.b2, d)
+		normal(lo.w1, d*4*d, std)
+		zeros(lo.b1m, 4*d)
+		normal(lo.w2, 4*d*d, std/math.Sqrt(float64(2*g.Cfg.Layers)))
+		zeros(lo.b2m, d)
+	}
+	ones(g.gf, d)
+	zeros(g.bf, d)
+	return nil
+}
+
+// ---- forward/backward working set ----
+
+// tape stores the activations one forward pass needs for backward.
+type tape struct {
+	T int       // sequence length used
+	x []float32 // embedded input (T*D), pre-block
+	// Per layer:
+	ln1Out, ln1Mean, ln1Rstd []([]float32)
+	q, k, v, attOut, attProb []([]float32)
+	res1                     []([]float32) // x after attention residual
+	ln2Out, ln2Mean, ln2Rstd []([]float32)
+	mlpHidden, mlpAct        []([]float32) // pre/post GELU (T*4D)
+	res2                     []([]float32) // x after MLP residual
+	lnfOut, lnfMean, lnfRstd []float32
+	probs                    []float32 // softmax over logits (T*V)
+}
+
+// Loss runs the forward pass and returns the mean next-token
+// cross-entropy over tokens[0..T-1) predicting tokens[1..T).
+func (g *GPT) Loss(params []float32, tokens []int) (float64, error) {
+	_, loss, err := g.forward(params, tokens)
+	return loss, err
+}
+
+// Backward computes the loss and accumulates dLoss/dParams into grads
+// (which must be zeroed by the caller if fresh gradients are wanted).
+func (g *GPT) Backward(params []float32, tokens []int, grads []float32) (float64, error) {
+	if len(grads) != g.total {
+		return 0, fmt.Errorf("nn: grads len %d != %d", len(grads), g.total)
+	}
+	tp, loss, err := g.forward(params, tokens)
+	if err != nil {
+		return 0, err
+	}
+	g.backward(params, tokens, grads, tp)
+	return loss, nil
+}
+
+func (g *GPT) checkTokens(tokens []int) (int, error) {
+	T := len(tokens)
+	if T < 2 {
+		return 0, fmt.Errorf("nn: need at least 2 tokens, got %d", T)
+	}
+	if T > g.Cfg.Seq {
+		return 0, fmt.Errorf("nn: sequence %d exceeds max %d", T, g.Cfg.Seq)
+	}
+	for _, t := range tokens {
+		if t < 0 || t >= g.Cfg.Vocab {
+			return 0, fmt.Errorf("nn: token %d out of vocab %d", t, g.Cfg.Vocab)
+		}
+	}
+	return T, nil
+}

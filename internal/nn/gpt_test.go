@@ -1,0 +1,232 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func tinyGPT(t *testing.T) (*GPT, []float32) {
+	t.Helper()
+	g, err := NewGPT(GPTConfig{Vocab: 11, Seq: 8, Dim: 12, Heads: 3, Layers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float32, g.ParamCount())
+	if err := g.Init(params, 42); err != nil {
+		t.Fatal(err)
+	}
+	return g, params
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []GPTConfig{
+		{},
+		{Vocab: 10, Seq: 8, Dim: 12, Heads: 5, Layers: 1}, // heads don't divide dim
+		{Vocab: 1, Seq: 8, Dim: 12, Heads: 3, Layers: 1},  // vocab too small
+	}
+	for i, cfg := range bad {
+		if _, err := NewGPT(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestParamCountFormula(t *testing.T) {
+	g, _ := tinyGPT(t)
+	d := 12
+	perLayer := 2*d + 4*d*d + 4*d + 2*d + d*4*d + 4*d + 4*d*d + d
+	want := 11*d + 8*d + 2*perLayer + 2*d
+	if int(g.ParamCount()) != want {
+		t.Errorf("params = %d, want %d", g.ParamCount(), want)
+	}
+}
+
+func TestLossFiniteAndNearUniform(t *testing.T) {
+	g, params := tinyGPT(t)
+	tokens := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	loss, err := g.Loss(params, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A freshly initialized model predicts ~uniformly: loss ≈ ln(V).
+	if math.IsNaN(loss) || math.Abs(loss-math.Log(11)) > 1.0 {
+		t.Errorf("initial loss = %v, want ≈ ln(11) = %.2f", loss, math.Log(11))
+	}
+}
+
+func TestTokenValidation(t *testing.T) {
+	g, params := tinyGPT(t)
+	if _, err := g.Loss(params, []int{1}); err == nil {
+		t.Error("single token accepted")
+	}
+	if _, err := g.Loss(params, []int{1, 99}); err == nil {
+		t.Error("out-of-vocab token accepted")
+	}
+	if _, err := g.Loss(params, make([]int, 100)); err == nil {
+		t.Error("over-long sequence accepted")
+	}
+	if _, err := g.Backward(params, []int{1, 2}, make([]float32, 3)); err == nil {
+		t.Error("wrong-size grads accepted")
+	}
+}
+
+// TestGradCheck validates the entire backward pass against central finite
+// differences — the definitive correctness proof for the transformer.
+func TestGradCheck(t *testing.T) {
+	g, err := NewGPT(GPTConfig{Vocab: 7, Seq: 5, Dim: 8, Heads: 2, Layers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params64 := make([]float32, g.ParamCount())
+	if err := g.Init(params64, 7); err != nil {
+		t.Fatal(err)
+	}
+	tokens := []int{1, 4, 2, 6, 3}
+	grads := make([]float32, g.ParamCount())
+	if _, err := g.Backward(params64, tokens, grads); err != nil {
+		t.Fatal(err)
+	}
+
+	// Check a deterministic sample of parameters spanning every tensor.
+	rng := rand.New(rand.NewSource(3))
+	idxs := make([]int, 0, 60)
+	for i := 0; i < 60; i++ {
+		idxs = append(idxs, rng.Intn(int(g.ParamCount())))
+	}
+	// Ensure coverage of specific offsets: embeddings, attention, mlp, lnf.
+	lo := g.layers[0]
+	idxs = append(idxs, g.wte+3, g.wpe+5, lo.g1, lo.b1+2, lo.wq+9, lo.wo+4,
+		lo.g2+1, lo.w1+17, lo.w2+23, lo.b2m, g.gf+2, g.bf)
+
+	const eps = 1e-3
+	bad := 0
+	for _, idx := range idxs {
+		orig := params64[idx]
+		params64[idx] = orig + eps
+		lp, err := g.Loss(params64, tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params64[idx] = orig - eps
+		lm, err := g.Loss(params64, tokens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		params64[idx] = orig
+		numeric := (lp - lm) / (2 * eps)
+		analytic := float64(grads[idx])
+		// Central differences over a float32 forward carry ~1e-6/2e-3 ≈
+		// 5e-4 of noise: accept either a small absolute error or a small
+		// relative one.
+		if math.Abs(numeric-analytic) < 7e-4 {
+			continue
+		}
+		scale := math.Abs(numeric) + math.Abs(analytic)
+		if math.Abs(numeric-analytic)/scale > 0.05 {
+			t.Errorf("param %d: analytic %.6g vs numeric %.6g", idx, analytic, numeric)
+			bad++
+			if bad > 5 {
+				t.Fatal("too many gradient mismatches")
+			}
+		}
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	g, params := tinyGPT(t)
+	// A deterministic repeating sequence is learnable by heart.
+	tokens := []int{1, 3, 5, 7, 9, 1, 3, 5}
+	grads := make([]float32, g.ParamCount())
+	first, err := g.Loss(params, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := float32(0.05)
+	for step := 0; step < 150; step++ {
+		for i := range grads {
+			grads[i] = 0
+		}
+		if _, err := g.Backward(params, tokens, grads); err != nil {
+			t.Fatal(err)
+		}
+		for i := range params {
+			params[i] -= lr * grads[i]
+		}
+	}
+	last, err := g.Loss(params, tokens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last > first*0.5 {
+		t.Errorf("loss did not halve: %.4f -> %.4f", first, last)
+	}
+}
+
+func TestBackwardAccumulates(t *testing.T) {
+	g, params := tinyGPT(t)
+	tokens := []int{2, 4, 6, 8}
+	g1 := make([]float32, g.ParamCount())
+	if _, err := g.Backward(params, tokens, g1); err != nil {
+		t.Fatal(err)
+	}
+	g2 := make([]float32, g.ParamCount())
+	if _, err := g.Backward(params, tokens, g2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Backward(params, tokens, g2); err != nil {
+		t.Fatal(err)
+	}
+	// g2 accumulated two passes: must equal 2*g1.
+	for i := range g1 {
+		if math.Abs(float64(g2[i]-2*g1[i])) > 1e-4+1e-3*math.Abs(float64(g1[i])) {
+			t.Fatalf("accumulation broken at %d: %v vs 2*%v", i, g2[i], g1[i])
+		}
+	}
+}
+
+func TestDeterministicForward(t *testing.T) {
+	g, params := tinyGPT(t)
+	tokens := []int{1, 2, 3}
+	a, _ := g.Loss(params, tokens)
+	b, _ := g.Loss(params, tokens)
+	if a != b {
+		t.Errorf("forward not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestGeluGradMatchesNumeric(t *testing.T) {
+	for _, x := range []float32{-3, -1, -0.1, 0, 0.1, 1, 3} {
+		const h = 1e-3
+		numeric := (gelu(x+h) - gelu(x-h)) / (2 * h)
+		analytic := geluGrad(x)
+		if math.Abs(float64(numeric-analytic)) > 1e-3 {
+			t.Errorf("gelu'(%v): analytic %v vs numeric %v", x, analytic, numeric)
+		}
+	}
+}
+
+func BenchmarkBackward(b *testing.B) {
+	g, err := NewGPT(GPTConfig{Vocab: 64, Seq: 32, Dim: 64, Heads: 4, Layers: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := make([]float32, g.ParamCount())
+	if err := g.Init(params, 1); err != nil {
+		b.Fatal(err)
+	}
+	tokens := make([]int, 32)
+	for i := range tokens {
+		tokens[i] = (i * 7) % 64
+	}
+	grads := make([]float32, g.ParamCount())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range grads {
+			grads[j] = 0
+		}
+		if _, err := g.Backward(params, tokens, grads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package placement implements the paper's performance model for subgroup
+// allocation across the storage paths of a virtual tier (§3.3, Eq. 1):
+//
+//	T_i = ceil(M * B_i / sum(B)) adjusted so that sum(T_i) = M
+//
+// where M is the number of equally sized subgroups and B_i is the I/O
+// bandwidth (min of read and write throughput) of path i. Bandwidths start
+// from microbenchmarks and are re-estimated each iteration from observed
+// fetch/flush throughput (EWMA), so placement adapts to external pressure
+// on shared tiers like a PFS.
+package placement
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// TierBandwidth is one storage path's placement input.
+type TierBandwidth struct {
+	Name string
+	// BW is min(read, write) bandwidth in bytes/second.
+	BW float64
+}
+
+// Plan maps subgroup indices to tier indices.
+type Plan struct {
+	Tiers  []TierBandwidth
+	Counts []int // Counts[i] = number of subgroups assigned to tier i
+	Assign []int // Assign[sg] = tier index for subgroup sg
+}
+
+// Split computes Eq. 1: per-tier subgroup counts proportional to bandwidth
+// with a largest-remainder correction so counts sum exactly to m. Tiers
+// with non-positive bandwidth receive zero subgroups. It panics if m < 0 or
+// no tier has positive bandwidth (with m > 0).
+func Split(m int, tiers []TierBandwidth) []int {
+	if m < 0 {
+		panic("placement: negative subgroup count")
+	}
+	counts := make([]int, len(tiers))
+	if m == 0 {
+		return counts
+	}
+	total := 0.0
+	for _, t := range tiers {
+		if t.BW > 0 {
+			total += t.BW
+		}
+	}
+	if total <= 0 {
+		panic("placement: no tier with positive bandwidth")
+	}
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, 0, len(tiers))
+	assigned := 0
+	for i, t := range tiers {
+		if t.BW <= 0 {
+			continue
+		}
+		exact := float64(m) * t.BW / total
+		fl := int(math.Floor(exact))
+		counts[i] = fl
+		assigned += fl
+		rems = append(rems, rem{i, exact - float64(fl)})
+	}
+	// Distribute the remainder to the largest fractional parts; break ties
+	// by higher bandwidth then lower index for determinism.
+	sort.Slice(rems, func(a, b int) bool {
+		if rems[a].frac != rems[b].frac {
+			return rems[a].frac > rems[b].frac
+		}
+		if tiers[rems[a].idx].BW != tiers[rems[b].idx].BW {
+			return tiers[rems[a].idx].BW > tiers[rems[b].idx].BW
+		}
+		return rems[a].idx < rems[b].idx
+	})
+	for k := 0; assigned < m; k++ {
+		counts[rems[k%len(rems)].idx]++
+		assigned++
+	}
+	return counts
+}
+
+// NewPlan builds a full plan: Split plus a deterministic interleaved
+// subgroup→tier assignment. Interleaving (round-robin weighted by counts)
+// rather than contiguous blocks lets consecutive subgroups prefetch from
+// different paths in parallel, which is what gives multi-path I/O its
+// overlap (Figure 6: S1 from NVMe and S2 from PFS fetched concurrently).
+func NewPlan(m int, tiers []TierBandwidth) Plan {
+	counts := Split(m, tiers)
+	assign := make([]int, m)
+	remaining := append([]int(nil), counts...)
+	// Largest-remaining-count first each step => weighted round robin.
+	for sg := 0; sg < m; sg++ {
+		best := -1
+		for i := range remaining {
+			if remaining[i] <= 0 {
+				continue
+			}
+			if best == -1 {
+				best = i
+				continue
+			}
+			// Compare remaining share relative to plan size.
+			a := float64(remaining[i]) / float64(counts[i])
+			b := float64(remaining[best]) / float64(counts[best])
+			if a > b || (a == b && remaining[i] > remaining[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			panic("placement: ran out of capacity before assigning all subgroups")
+		}
+		assign[sg] = best
+		remaining[best]--
+	}
+	return Plan{Tiers: append([]TierBandwidth(nil), tiers...), Counts: counts, Assign: assign}
+}
+
+// TierFor returns the tier index for a subgroup.
+func (p Plan) TierFor(sg int) int {
+	if sg < 0 || sg >= len(p.Assign) {
+		panic(fmt.Sprintf("placement: subgroup %d out of range [0,%d)", sg, len(p.Assign)))
+	}
+	return p.Assign[sg]
+}
+
+// Ratio returns the tier counts as a human-readable ratio string, e.g.
+// "nvme:pfs = 2:1".
+func (p Plan) Ratio() string {
+	names := ""
+	vals := ""
+	for i, t := range p.Tiers {
+		if i > 0 {
+			names += ":"
+			vals += ":"
+		}
+		names += t.Name
+		vals += fmt.Sprintf("%d", p.Counts[i])
+	}
+	return names + " = " + vals
+}
+
+// Estimator maintains per-tier EWMA bandwidth estimates seeded from
+// microbenchmarks and updated with observed transfer throughput, as §3.3
+// prescribes ("after the first iteration, B_i is adjusted based on the
+// average observed I/O bandwidth").
+type Estimator struct {
+	mu    sync.Mutex
+	alpha float64
+	bw    map[string]float64
+}
+
+// NewEstimator creates an estimator with smoothing factor alpha in (0,1]
+// (1 = use only the latest observation). Typical alpha: 0.5.
+func NewEstimator(alpha float64) *Estimator {
+	if alpha <= 0 || alpha > 1 {
+		panic("placement: alpha must be in (0,1]")
+	}
+	return &Estimator{alpha: alpha, bw: make(map[string]float64)}
+}
+
+// Seed sets the initial microbenchmarked bandwidth for a tier.
+func (e *Estimator) Seed(tier string, bw float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.bw[tier] = bw
+}
+
+// Observe folds a measured transfer (bytes over seconds) into the tier's
+// estimate. Zero-duration observations are ignored.
+func (e *Estimator) Observe(tier string, bytes, seconds float64) {
+	if seconds <= 0 || bytes <= 0 {
+		return
+	}
+	obs := bytes / seconds
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur, ok := e.bw[tier]
+	if !ok {
+		e.bw[tier] = obs
+		return
+	}
+	e.bw[tier] = cur + e.alpha*(obs-cur)
+}
+
+// Estimate returns the current bandwidth estimate and whether one exists.
+func (e *Estimator) Estimate(tier string) (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bw, ok := e.bw[tier]
+	return bw, ok
+}
+
+// Bandwidths materializes estimates for the given tier names, in order,
+// falling back to fallback for unknown tiers.
+func (e *Estimator) Bandwidths(names []string, fallback float64) []TierBandwidth {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]TierBandwidth, len(names))
+	for i, n := range names {
+		bw, ok := e.bw[n]
+		if !ok {
+			bw = fallback
+		}
+		out[i] = TierBandwidth{Name: n, BW: bw}
+	}
+	return out
+}

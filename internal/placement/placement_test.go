@@ -1,0 +1,217 @@
+package placement
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitPaperRatio(t *testing.T) {
+	// Testbed-1: NVMe min(6.9,5.3)=5.3, PFS min(3.6,3.6)=3.6.
+	// Paper reports a ~2:1 NVMe:PFS split (Figure 10).
+	tiers := []TierBandwidth{{"nvme", 5.3}, {"pfs", 3.6}}
+	counts := Split(400, tiers)
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.3 || ratio > 2.1 {
+		t.Errorf("nvme:pfs = %d:%d (%.2f), want ~1.5-2:1", counts[0], counts[1], ratio)
+	}
+	if counts[0]+counts[1] != 400 {
+		t.Errorf("counts sum to %d", counts[0]+counts[1])
+	}
+}
+
+func TestSplitExactProportions(t *testing.T) {
+	tiers := []TierBandwidth{{"a", 20}, {"b", 10}}
+	counts := Split(30, tiers)
+	if counts[0] != 20 || counts[1] != 10 {
+		t.Errorf("counts = %v, want [20 10]", counts)
+	}
+}
+
+func TestSplitZeroBandwidthTierGetsNothing(t *testing.T) {
+	tiers := []TierBandwidth{{"a", 10}, {"dead", 0}, {"b", 10}}
+	counts := Split(10, tiers)
+	if counts[1] != 0 {
+		t.Errorf("dead tier got %d subgroups", counts[1])
+	}
+	if counts[0]+counts[2] != 10 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestSplitSingleTier(t *testing.T) {
+	counts := Split(7, []TierBandwidth{{"only", 3.3}})
+	if counts[0] != 7 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestSplitZeroSubgroups(t *testing.T) {
+	counts := Split(0, []TierBandwidth{{"a", 1}})
+	if counts[0] != 0 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestSplitPanicsNoBandwidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Split(5, []TierBandwidth{{"a", 0}})
+}
+
+func TestPropertySplitSumsAndProportionality(t *testing.T) {
+	f := func(mSeed uint16, bwSeeds [4]uint16) bool {
+		m := int(mSeed % 2000)
+		tiers := make([]TierBandwidth, 0, 4)
+		total := 0.0
+		for i, b := range bwSeeds {
+			bw := float64(b%1000) + 1
+			total += bw
+			tiers = append(tiers, TierBandwidth{Name: string(rune('a' + i)), BW: bw})
+		}
+		counts := Split(m, tiers)
+		sum := 0
+		for i, c := range counts {
+			sum += c
+			// Each count within 1+len(tiers) of the exact proportional share.
+			exact := float64(m) * tiers[i].BW / total
+			if math.Abs(float64(c)-exact) > float64(len(tiers))+1 {
+				return false
+			}
+		}
+		return sum == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewPlanAssignMatchesCounts(t *testing.T) {
+	tiers := []TierBandwidth{{"nvme", 5.3}, {"pfs", 3.6}}
+	p := NewPlan(100, tiers)
+	got := make([]int, len(tiers))
+	for _, ti := range p.Assign {
+		got[ti]++
+	}
+	for i := range got {
+		if got[i] != p.Counts[i] {
+			t.Errorf("tier %d: assigned %d, counts say %d", i, got[i], p.Counts[i])
+		}
+	}
+}
+
+func TestNewPlanInterleaves(t *testing.T) {
+	// With a 2:1 split the assignment should alternate rather than place
+	// all of tier 0 first: within any window of 6 consecutive subgroups
+	// both tiers must appear.
+	tiers := []TierBandwidth{{"a", 2}, {"b", 1}}
+	p := NewPlan(60, tiers)
+	for lo := 0; lo+6 <= 60; lo += 6 {
+		seen := map[int]bool{}
+		for _, ti := range p.Assign[lo : lo+6] {
+			seen[ti] = true
+		}
+		if len(seen) != 2 {
+			t.Fatalf("window [%d,%d) uses only tiers %v — not interleaved", lo, lo+6, seen)
+		}
+	}
+}
+
+func TestPlanTierForBounds(t *testing.T) {
+	p := NewPlan(3, []TierBandwidth{{"a", 1}})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	p.TierFor(3)
+}
+
+func TestPlanRatioString(t *testing.T) {
+	p := NewPlan(30, []TierBandwidth{{"nvme", 2}, {"pfs", 1}})
+	if got := p.Ratio(); got != "nvme:pfs = 20:10" {
+		t.Errorf("Ratio() = %q", got)
+	}
+}
+
+func TestEstimatorSeedObserve(t *testing.T) {
+	e := NewEstimator(0.5)
+	e.Seed("nvme", 100)
+	bw, ok := e.Estimate("nvme")
+	if !ok || bw != 100 {
+		t.Fatalf("seed lost: %v %v", bw, ok)
+	}
+	e.Observe("nvme", 50, 1) // observed 50 B/s
+	bw, _ = e.Estimate("nvme")
+	if bw != 75 {
+		t.Errorf("EWMA = %v, want 75", bw)
+	}
+	e.Observe("nvme", 75, 1)
+	bw, _ = e.Estimate("nvme")
+	if bw != 75 {
+		t.Errorf("EWMA = %v, want 75", bw)
+	}
+}
+
+func TestEstimatorFirstObservationWithoutSeed(t *testing.T) {
+	e := NewEstimator(0.3)
+	e.Observe("pfs", 200, 2)
+	bw, ok := e.Estimate("pfs")
+	if !ok || bw != 100 {
+		t.Errorf("first obs = %v %v", bw, ok)
+	}
+}
+
+func TestEstimatorIgnoresDegenerate(t *testing.T) {
+	e := NewEstimator(0.5)
+	e.Seed("x", 10)
+	e.Observe("x", 0, 1)
+	e.Observe("x", 1, 0)
+	e.Observe("x", -5, 2)
+	bw, _ := e.Estimate("x")
+	if bw != 10 {
+		t.Errorf("degenerate observations changed estimate: %v", bw)
+	}
+}
+
+func TestEstimatorBandwidths(t *testing.T) {
+	e := NewEstimator(1)
+	e.Seed("a", 5)
+	tbs := e.Bandwidths([]string{"a", "missing"}, 42)
+	if tbs[0].BW != 5 || tbs[1].BW != 42 {
+		t.Errorf("Bandwidths = %v", tbs)
+	}
+}
+
+func TestEstimatorAdaptsPlacement(t *testing.T) {
+	// End-to-end: PFS slows down under external load; replanning shifts
+	// subgroups toward NVMe.
+	e := NewEstimator(1)
+	e.Seed("nvme", 5.3)
+	e.Seed("pfs", 3.6)
+	before := Split(90, e.Bandwidths([]string{"nvme", "pfs"}, 1))
+	e.Observe("pfs", 0.9, 1) // PFS now delivering 0.9 B/s
+	after := Split(90, e.Bandwidths([]string{"nvme", "pfs"}, 1))
+	if after[1] >= before[1] {
+		t.Errorf("pfs share did not shrink: before %v after %v", before, after)
+	}
+	if after[0]+after[1] != 90 {
+		t.Errorf("after sums to %d", after[0]+after[1])
+	}
+}
+
+func TestNewEstimatorValidatesAlpha(t *testing.T) {
+	for _, a := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha=%v should panic", a)
+				}
+			}()
+			NewEstimator(a)
+		}()
+	}
+}

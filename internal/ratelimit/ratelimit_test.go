@@ -1,0 +1,227 @@
+package ratelimit
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic limiter tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestLimiterImmediateWithinBurst(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(1000, 500, clk)
+	start := clk.Now()
+	if err := l.WaitN(context.Background(), 500); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.Now().Sub(start); got != 0 {
+		t.Errorf("burst-sized request should not wait, waited %v", got)
+	}
+}
+
+func TestLimiterThrottlesAtRate(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(1000, 1000, clk) // 1000 B/s
+	ctx := context.Background()
+	start := clk.Now()
+	// Drain the burst then ask for 2000 more: total wait should be ~2s.
+	if err := l.WaitN(ctx, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WaitN(ctx, 2000); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clk.Now().Sub(start).Seconds()
+	if math.Abs(elapsed-2.0) > 0.01 {
+		t.Errorf("elapsed = %.3fs, want ~2s", elapsed)
+	}
+}
+
+func TestLimiterLargeTransferSplit(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(1e6, 1e4, clk) // 1 MB/s, 10 KB burst
+	start := clk.Now()
+	if err := l.WaitN(context.Background(), 5e6); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clk.Now().Sub(start).Seconds()
+	// 5 MB at 1 MB/s should take ~5s minus the initial burst credit.
+	if elapsed < 4.9 || elapsed > 5.1 {
+		t.Errorf("5MB at 1MB/s took %.3fs, want ~5s", elapsed)
+	}
+}
+
+func TestLimiterContextCancel(t *testing.T) {
+	l := NewLimiter(10, 10, nil) // 10 B/s wall clock: a 100B wait would take ~10s
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := l.WaitN(ctx, 100)
+	if err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func TestLimiterSetRate(t *testing.T) {
+	clk := newFakeClock()
+	l := NewLimiter(100, 100, clk)
+	if err := l.WaitN(context.Background(), 100); err != nil { // drain burst
+		t.Fatal(err)
+	}
+	l.SetRate(1000)
+	if got := l.Rate(); got != 1000 {
+		t.Fatalf("Rate() = %v", got)
+	}
+	start := clk.Now()
+	if err := l.WaitN(context.Background(), 1000); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := clk.Now().Sub(start).Seconds()
+	if math.Abs(elapsed-1.0) > 0.01 {
+		t.Errorf("after SetRate(1000), 1000B took %.3fs, want ~1s", elapsed)
+	}
+}
+
+func TestLimiterRejectsNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for rate<=0")
+		}
+	}()
+	NewLimiter(0, 10, nil)
+}
+
+func TestPropertyThroughputMatchesRate(t *testing.T) {
+	// Property: for any rate and size, virtual elapsed time ≈ size/rate
+	// once the burst is drained.
+	f := func(rateSeed, sizeSeed uint16) bool {
+		rate := float64(rateSeed%5000) + 1
+		size := int64(sizeSeed)%100000 + 1
+		clk := newFakeClock()
+		l := NewLimiter(rate, rate/10+1, clk)
+		// Drain initial tokens.
+		if err := l.WaitN(context.Background(), int64(rate/10+1)); err != nil {
+			return false
+		}
+		start := clk.Now()
+		if err := l.WaitN(context.Background(), size); err != nil {
+			return false
+		}
+		elapsed := clk.Now().Sub(start).Seconds()
+		want := float64(size) / rate
+		return math.Abs(elapsed-want) <= want*0.02+0.002
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGateFairShare(t *testing.T) {
+	g := NewGate(FlatCurve())
+	s1, r1 := g.Enter(100)
+	if s1 != 100 {
+		t.Errorf("single stream share = %v, want 100", s1)
+	}
+	s2, r2 := g.Enter(100)
+	if s2 != 50 {
+		t.Errorf("second stream share = %v, want 50", s2)
+	}
+	if got := g.Share(100); got != 50 {
+		t.Errorf("Share with 2 active = %v, want 50", got)
+	}
+	r1()
+	r1() // release is idempotent
+	if got := g.Share(100); got != 100 {
+		t.Errorf("Share after release = %v, want 100", got)
+	}
+	r2()
+	if g.Active() != 0 {
+		t.Errorf("Active = %d, want 0", g.Active())
+	}
+}
+
+func TestInterferenceCurve(t *testing.T) {
+	eff := InterferenceCurve(0.2)
+	if eff(1) != 1 {
+		t.Errorf("eff(1) = %v", eff(1))
+	}
+	// At 4 streams: 1/(1+0.6) = 0.625 — aggregate drops to ~62%,
+	// matching the paper's 3.2-3.4 GB/s effective vs 5.3 GB/s peak.
+	if got := eff(4); math.Abs(got-0.625) > 1e-9 {
+		t.Errorf("eff(4) = %v, want 0.625", got)
+	}
+	// Monotone non-increasing.
+	prev := 1.0
+	for n := 1; n <= 64; n++ {
+		e := eff(n)
+		if e > prev+1e-12 {
+			t.Fatalf("efficiency increased at n=%d", n)
+		}
+		prev = e
+	}
+}
+
+func TestGateAggregateConstantLatencyGrows(t *testing.T) {
+	// Reproduce the Fig. 4 shape: aggregate ~flat-ish, per-proc latency
+	// grows faster than 1/n would predict.
+	g := NewGate(InterferenceCurve(0.2))
+	peak := 5.3 // GB/s
+	perProc := make([]float64, 0, 3)
+	for _, n := range []int{1, 2, 4} {
+		rels := make([]func(), 0, n)
+		var share float64
+		for i := 0; i < n; i++ {
+			s, r := g.Enter(peak)
+			share = s
+			rels = append(rels, r)
+		}
+		perProc = append(perProc, share)
+		agg := share * float64(n)
+		if agg > peak+1e-9 {
+			t.Errorf("aggregate %v exceeds peak %v at n=%d", agg, peak, n)
+		}
+		for _, r := range rels {
+			r()
+		}
+	}
+	// Per-process latency (1/share) at 4 procs must be more than 4x the
+	// single-process latency (interference adds to fair-share slowdown).
+	lat1 := 1 / perProc[0]
+	lat4 := 1 / perProc[2]
+	if lat4 <= 4*lat1 {
+		t.Errorf("per-proc latency at 4 procs (%v) should exceed 4x single (%v)", lat4, 4*lat1)
+	}
+}
+
+func BenchmarkLimiterWaitN(b *testing.B) {
+	clk := newFakeClock()
+	l := NewLimiter(1e12, 1e12, clk)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = l.WaitN(ctx, 4096)
+	}
+}

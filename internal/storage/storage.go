@@ -1,0 +1,417 @@
+// Package storage provides the storage-tier abstraction of the offloading
+// engine: a key/value object store with whole-object reads and writes, the
+// access pattern of subgroup offloading (each subgroup's optimizer state is
+// one object, always fetched and flushed in full).
+//
+// Implementations:
+//   - MemTier: host-memory store (second-level tier / test substrate),
+//   - FileTier: directory-backed store (a real NVMe or PFS mount),
+//   - Throttled: decorator imposing bandwidth, latency and contention so a
+//     laptop reproduces the I/O behaviour of Table 1 devices.
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/datastates/mlpoffload/internal/ratelimit"
+)
+
+// ErrNotFound is returned when a key does not exist in a tier.
+var ErrNotFound = errors.New("storage: key not found")
+
+// Tier is an object store with whole-object semantics.
+type Tier interface {
+	// Name identifies the tier (e.g. "nvme", "pfs").
+	Name() string
+	// Read fills dst with the object's bytes. The object size must equal
+	// len(dst); subgroup objects have fixed, known sizes.
+	Read(ctx context.Context, key string, dst []byte) error
+	// Write stores src under key, replacing any previous object.
+	Write(ctx context.Context, key string, src []byte) error
+	// Delete removes key. Deleting a missing key is not an error.
+	Delete(ctx context.Context, key string) error
+	// Size returns the stored size of key, or ErrNotFound.
+	Size(ctx context.Context, key string) (int64, error)
+	// Keys lists stored keys (sorted), mainly for tests and tooling.
+	Keys(ctx context.Context) ([]string, error)
+	// Stats returns cumulative transfer statistics.
+	Stats() Stats
+}
+
+// Stats accumulates tier traffic.
+type Stats struct {
+	BytesRead    int64
+	BytesWritten int64
+	Reads        int64
+	Writes       int64
+}
+
+// statsCell is an embeddable atomic Stats accumulator.
+type statsCell struct {
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+	reads        atomic.Int64
+	writes       atomic.Int64
+}
+
+func (s *statsCell) addRead(n int64)  { s.bytesRead.Add(n); s.reads.Add(1) }
+func (s *statsCell) addWrite(n int64) { s.bytesWritten.Add(n); s.writes.Add(1) }
+
+func (s *statsCell) snapshot() Stats {
+	return Stats{
+		BytesRead:    s.bytesRead.Load(),
+		BytesWritten: s.bytesWritten.Load(),
+		Reads:        s.reads.Load(),
+		Writes:       s.writes.Load(),
+	}
+}
+
+// MemTier is an in-memory Tier.
+type MemTier struct {
+	name string
+	mu   sync.RWMutex
+	data map[string][]byte
+	statsCell
+}
+
+// NewMemTier creates an empty in-memory tier.
+func NewMemTier(name string) *MemTier {
+	return &MemTier{name: name, data: make(map[string][]byte)}
+}
+
+// Name implements Tier.
+func (m *MemTier) Name() string { return m.name }
+
+// Read implements Tier.
+func (m *MemTier) Read(ctx context.Context, key string, dst []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m.mu.RLock()
+	obj, ok := m.data[key]
+	m.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, m.name, key)
+	}
+	if len(obj) != len(dst) {
+		return fmt.Errorf("storage: %s/%s size %d != dst %d", m.name, key, len(obj), len(dst))
+	}
+	copy(dst, obj)
+	m.addRead(int64(len(dst)))
+	return nil
+}
+
+// Write implements Tier.
+func (m *MemTier) Write(ctx context.Context, key string, src []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	buf := make([]byte, len(src))
+	copy(buf, src)
+	m.mu.Lock()
+	m.data[key] = buf
+	m.mu.Unlock()
+	m.addWrite(int64(len(src)))
+	return nil
+}
+
+// Delete implements Tier.
+func (m *MemTier) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	delete(m.data, key)
+	m.mu.Unlock()
+	return nil
+}
+
+// Size implements Tier.
+func (m *MemTier) Size(ctx context.Context, key string) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	m.mu.RLock()
+	obj, ok := m.data[key]
+	m.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, m.name, key)
+	}
+	return int64(len(obj)), nil
+}
+
+// Keys implements Tier.
+func (m *MemTier) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	out := make([]string, 0, len(m.data))
+	for k := range m.data {
+		out = append(out, k)
+	}
+	m.mu.RUnlock()
+	sort.Strings(out)
+	return out, nil
+}
+
+// Stats implements Tier.
+func (m *MemTier) Stats() Stats { return m.snapshot() }
+
+// FileTier stores each object as a file under a directory, the layout the
+// real system uses for /local/ (NVMe mount) and /remote/ (PFS mount)
+// offload directories.
+type FileTier struct {
+	name string
+	dir  string
+	statsCell
+}
+
+// NewFileTier creates (if needed) dir and returns a tier backed by it.
+func NewFileTier(name, dir string) (*FileTier, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create %s: %w", dir, err)
+	}
+	return &FileTier{name: name, dir: dir}, nil
+}
+
+// Name implements Tier.
+func (f *FileTier) Name() string { return f.name }
+
+// Dir returns the backing directory.
+func (f *FileTier) Dir() string { return f.dir }
+
+func (f *FileTier) path(key string) string {
+	// Keys are flat; escape path separators defensively.
+	safe := strings.ReplaceAll(key, string(os.PathSeparator), "_")
+	return filepath.Join(f.dir, safe)
+}
+
+// Read implements Tier.
+func (f *FileTier) Read(ctx context.Context, key string, dst []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	fh, err := os.Open(f.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %s/%s", ErrNotFound, f.name, key)
+		}
+		return err
+	}
+	defer fh.Close()
+	n, err := fh.ReadAt(dst, 0)
+	if err != nil && n != len(dst) {
+		return fmt.Errorf("storage: short read %s/%s (%d/%d): %w", f.name, key, n, len(dst), err)
+	}
+	f.addRead(int64(len(dst)))
+	return nil
+}
+
+// Write implements Tier. Writes go to a temp file and rename for atomicity
+// (a crashed flush must not leave a torn subgroup object).
+func (f *FileTier) Write(ctx context.Context, key string, src []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	p := f.path(key)
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, src, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return err
+	}
+	f.addWrite(int64(len(src)))
+	return nil
+}
+
+// Delete implements Tier.
+func (f *FileTier) Delete(ctx context.Context, key string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	err := os.Remove(f.path(key))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// Size implements Tier.
+func (f *FileTier) Size(ctx context.Context, key string) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(f.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, f.name, key)
+		}
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Keys implements Tier.
+func (f *FileTier) Keys(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ents, err := os.ReadDir(f.dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() && !strings.HasSuffix(e.Name(), ".tmp") {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Stats implements Tier.
+func (f *FileTier) Stats() Stats { return f.snapshot() }
+
+// Throttled decorates a Tier with read/write bandwidth limits, a fixed
+// per-operation latency, and a contention gate reproducing the Fig. 4
+// behaviour of shared devices. It is how a laptop impersonates Table 1's
+// NVMe (6.9/5.3 GB/s) or PFS (3.6/3.6 GB/s) at scaled-down rates.
+type Throttled struct {
+	inner     Tier
+	readLim   *ratelimit.Limiter
+	writeLim  *ratelimit.Limiter
+	gate      *ratelimit.Gate
+	opLatency func() // called once per op to impose fixed latency
+}
+
+// ThrottleConfig configures a Throttled tier.
+type ThrottleConfig struct {
+	ReadBW  float64 // bytes/second; must be > 0
+	WriteBW float64 // bytes/second; must be > 0
+	// Curve models aggregate efficiency under n concurrent ops; nil = ideal.
+	Curve ratelimit.EfficiencyCurve
+	// Clock for the limiters; nil = wall clock.
+	Clock ratelimit.Clock
+}
+
+// NewThrottled wraps inner with the given throttle configuration.
+func NewThrottled(inner Tier, cfg ThrottleConfig) *Throttled {
+	if cfg.ReadBW <= 0 || cfg.WriteBW <= 0 {
+		panic("storage: throttle bandwidths must be positive")
+	}
+	return &Throttled{
+		inner:    inner,
+		readLim:  ratelimit.NewLimiter(cfg.ReadBW, cfg.ReadBW/4, cfg.Clock),
+		writeLim: ratelimit.NewLimiter(cfg.WriteBW, cfg.WriteBW/4, cfg.Clock),
+		gate:     ratelimit.NewGate(cfg.Curve),
+	}
+}
+
+// Name implements Tier.
+func (t *Throttled) Name() string { return t.inner.Name() }
+
+// throttle charges n bytes against lim, inflated by the current contention
+// penalty: with k concurrent streams and curve eff, the device-level cost
+// of moving n bytes for this stream is n/eff(k) (the aggregate stays
+// B*eff(k) while the limiter itself enforces B).
+func (t *Throttled) throttle(ctx context.Context, lim *ratelimit.Limiter, n int) error {
+	share, release := t.gate.Enter(1)
+	defer release()
+	// share = eff(k)/k for one stream of a unit device; the fair-share
+	// slowdown (1/k) is already produced by k streams drawing from one
+	// limiter concurrently, so only the efficiency loss is added here.
+	k := t.gate.Active()
+	if k < 1 {
+		k = 1
+	}
+	eff := share * float64(k) // = eff(k)
+	charged := int64(float64(n) / eff)
+	return lim.WaitN(ctx, charged)
+}
+
+// Read implements Tier.
+func (t *Throttled) Read(ctx context.Context, key string, dst []byte) error {
+	if err := t.throttle(ctx, t.readLim, len(dst)); err != nil {
+		return err
+	}
+	return t.inner.Read(ctx, key, dst)
+}
+
+// Write implements Tier.
+func (t *Throttled) Write(ctx context.Context, key string, src []byte) error {
+	if err := t.throttle(ctx, t.writeLim, len(src)); err != nil {
+		return err
+	}
+	return t.inner.Write(ctx, key, src)
+}
+
+// Delete implements Tier.
+func (t *Throttled) Delete(ctx context.Context, key string) error {
+	return t.inner.Delete(ctx, key)
+}
+
+// Size implements Tier.
+func (t *Throttled) Size(ctx context.Context, key string) (int64, error) {
+	return t.inner.Size(ctx, key)
+}
+
+// Keys implements Tier.
+func (t *Throttled) Keys(ctx context.Context) ([]string, error) {
+	return t.inner.Keys(ctx)
+}
+
+// Stats implements Tier.
+func (t *Throttled) Stats() Stats { return t.inner.Stats() }
+
+// Unwrap returns the decorated tier.
+func (t *Throttled) Unwrap() Tier { return t.inner }
+
+// FaultTier injects failures for resilience testing: every Nth operation
+// of the chosen kind fails with the given error.
+type FaultTier struct {
+	Tier
+	mu         sync.Mutex
+	FailEvery  int64 // fail ops where (op count % FailEvery) == 0; 0 disables
+	Err        error
+	ops        int64
+	FailReads  bool
+	FailWrites bool
+}
+
+// shouldFail advances the op counter and reports whether to inject.
+func (f *FaultTier) shouldFail() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.FailEvery <= 0 {
+		return false
+	}
+	f.ops++
+	return f.ops%f.FailEvery == 0
+}
+
+// Read implements Tier with read-fault injection.
+func (f *FaultTier) Read(ctx context.Context, key string, dst []byte) error {
+	if f.FailReads && f.shouldFail() {
+		return f.Err
+	}
+	return f.Tier.Read(ctx, key, dst)
+}
+
+// Write implements Tier with write-fault injection.
+func (f *FaultTier) Write(ctx context.Context, key string, src []byte) error {
+	if f.FailWrites && f.shouldFail() {
+		return f.Err
+	}
+	return f.Tier.Write(ctx, key, src)
+}

@@ -1,0 +1,255 @@
+// Package subgroup implements the unit of offloading in ZeRO-3-style
+// training: each rank's model shard is decomposed into fixed-size
+// "subgroups" of parameters, and the FP32 optimizer state of one subgroup
+// (master parameters, momentum, variance — 12 bytes/param) is the object
+// that moves between host memory and third-level storage tiers.
+//
+// The baseline additionally serializes FP32 gradients with the subgroup
+// (16 bytes/param on the wire), while MLP-Offload keeps FP16 gradients in
+// the host accumulation buffer and never writes them to storage — the
+// serialization format supports both layouts so the engines can be compared
+// on identical plumbing.
+package subgroup
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/datastates/mlpoffload/internal/fp16"
+	"github.com/datastates/mlpoffload/internal/optim"
+)
+
+// Magic identifies serialized subgroup objects.
+const Magic uint32 = 0x4D4C5030 // "MLP0"
+
+// Version is the on-wire format version.
+const Version uint16 = 1
+
+// Flags in the serialized header.
+const (
+	// FlagHasGrads32 marks objects that carry FP32 gradients (baseline
+	// layout).
+	FlagHasGrads32 uint16 = 1 << 0
+)
+
+// HeaderSize is the fixed serialized header length in bytes.
+const HeaderSize = 4 + 2 + 2 + 4 + 4 // magic, version, flags, id, count
+
+// ErrCorrupt reports a malformed serialized object.
+var ErrCorrupt = errors.New("subgroup: corrupt serialized object")
+
+// Subgroup is one shard unit: optimizer state plus the host-resident FP16
+// gradient accumulation slice for this subgroup.
+type Subgroup struct {
+	ID    int
+	State *optim.State
+	// Grads16 is the FP16 gradient accumulation buffer for this subgroup.
+	// MLP-Offload keeps it on the host across the backward pass and
+	// converts it on the fly during the update.
+	Grads16 []fp16.Bits
+	// Grads32 is the upscaled FP32 gradient buffer used by the baseline
+	// path (populated during backward, serialized to storage).
+	Grads32 []float32
+}
+
+// New creates a subgroup with n zero-initialized parameters.
+func New(id, n int) *Subgroup {
+	return &Subgroup{
+		ID:      id,
+		State:   optim.NewState(make([]float32, n)),
+		Grads16: make([]fp16.Bits, n),
+	}
+}
+
+// Len returns the parameter count. It stays valid while the optimizer
+// state is offloaded (State == nil): the host-resident FP16 gradient
+// buffer always spans the subgroup.
+func (s *Subgroup) Len() int { return len(s.Grads16) }
+
+// StateBytes returns the serialized size without gradients (12 B/param +
+// header).
+func StateBytes(n int) int { return HeaderSize + n*12 }
+
+// StateGradBytes returns the serialized size with FP32 gradients
+// (16 B/param + header).
+func StateGradBytes(n int) int { return HeaderSize + n*16 }
+
+// Key returns the storage key for a subgroup of a rank.
+func Key(rank, id int) string { return fmt.Sprintf("rank%03d-sg%05d.opt", rank, id) }
+
+// EnsureGrads32 allocates the FP32 gradient buffer on first use.
+func (s *Subgroup) EnsureGrads32() {
+	if s.Grads32 == nil {
+		s.Grads32 = make([]float32, s.Len())
+	}
+}
+
+// UpscaleGrads converts the FP16 accumulation buffer into the FP32 buffer
+// (the baseline's backward-pass conversion).
+func (s *Subgroup) UpscaleGrads() {
+	s.EnsureGrads32()
+	fp16.Decode(s.Grads32, s.Grads16)
+}
+
+// Marshal serializes the subgroup into dst, which must have capacity for
+// the exact size (StateBytes or StateGradBytes depending on withGrads32).
+// It returns the number of bytes written.
+func (s *Subgroup) Marshal(dst []byte, withGrads32 bool) (int, error) {
+	n := s.Len()
+	want := StateBytes(n)
+	var flags uint16
+	if withGrads32 {
+		want = StateGradBytes(n)
+		flags |= FlagHasGrads32
+		if len(s.Grads32) != n {
+			return 0, fmt.Errorf("subgroup %d: FP32 grads not populated", s.ID)
+		}
+	}
+	if len(dst) < want {
+		return 0, fmt.Errorf("subgroup %d: dst %d < needed %d", s.ID, len(dst), want)
+	}
+	le := binary.LittleEndian
+	le.PutUint32(dst[0:], Magic)
+	le.PutUint16(dst[4:], Version)
+	le.PutUint16(dst[6:], flags)
+	le.PutUint32(dst[8:], uint32(s.ID))
+	le.PutUint32(dst[12:], uint32(n))
+	off := HeaderSize
+	off = putF32(dst, off, s.State.Params)
+	off = putF32(dst, off, s.State.M)
+	off = putF32(dst, off, s.State.V)
+	if withGrads32 {
+		off = putF32(dst, off, s.Grads32)
+	}
+	return off, nil
+}
+
+// Unmarshal restores the subgroup state from src. The subgroup's buffers
+// must already be sized; ID and length are validated against the header.
+func (s *Subgroup) Unmarshal(src []byte) error {
+	if len(src) < HeaderSize {
+		return fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(src))
+	}
+	le := binary.LittleEndian
+	if le.Uint32(src[0:]) != Magic {
+		return fmt.Errorf("%w: bad magic %#x", ErrCorrupt, le.Uint32(src[0:]))
+	}
+	if v := le.Uint16(src[4:]); v != Version {
+		return fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	flags := le.Uint16(src[6:])
+	id := int(le.Uint32(src[8:]))
+	n := int(le.Uint32(src[12:]))
+	if id != s.ID {
+		return fmt.Errorf("%w: object is subgroup %d, expected %d", ErrCorrupt, id, s.ID)
+	}
+	if n != s.Len() {
+		return fmt.Errorf("%w: object has %d params, subgroup holds %d", ErrCorrupt, n, s.Len())
+	}
+	want := StateBytes(n)
+	hasGrads := flags&FlagHasGrads32 != 0
+	if hasGrads {
+		want = StateGradBytes(n)
+	}
+	if len(src) < want {
+		return fmt.Errorf("%w: body %d < needed %d", ErrCorrupt, len(src), want)
+	}
+	off := HeaderSize
+	off = getF32(src, off, s.State.Params)
+	off = getF32(src, off, s.State.M)
+	off = getF32(src, off, s.State.V)
+	if hasGrads {
+		s.EnsureGrads32()
+		getF32(src, off, s.Grads32)
+	}
+	return nil
+}
+
+// PeekHeader inspects a serialized object without restoring it.
+func PeekHeader(src []byte) (id, n int, hasGrads32 bool, err error) {
+	if len(src) < HeaderSize {
+		return 0, 0, false, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	le := binary.LittleEndian
+	if le.Uint32(src[0:]) != Magic {
+		return 0, 0, false, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	return int(le.Uint32(src[8:])), int(le.Uint32(src[12:])),
+		le.Uint16(src[6:])&FlagHasGrads32 != 0, nil
+}
+
+func putF32(dst []byte, off int, src []float32) int {
+	le := binary.LittleEndian
+	for _, f := range src {
+		le.PutUint32(dst[off:], math.Float32bits(f))
+		off += 4
+	}
+	return off
+}
+
+func getF32(src []byte, off int, dst []float32) int {
+	le := binary.LittleEndian
+	for i := range dst {
+		dst[i] = math.Float32frombits(le.Uint32(src[off:]))
+		off += 4
+	}
+	return off
+}
+
+// Shard is a rank's full set of subgroups.
+type Shard struct {
+	Rank      int
+	Subgroups []*Subgroup
+}
+
+// NewShard splits params parameters of rank into subgroups of size
+// subgroupParams (the last subgroup may be smaller). Parameters are
+// initialized by init(globalIndex) when non-nil.
+func NewShard(rank int, params int64, subgroupParams int64, initFn func(i int64) float32) *Shard {
+	if params < 0 || subgroupParams <= 0 {
+		panic("subgroup: invalid shard dimensions")
+	}
+	count := int((params + subgroupParams - 1) / subgroupParams)
+	sh := &Shard{Rank: rank, Subgroups: make([]*Subgroup, count)}
+	var global int64
+	for i := 0; i < count; i++ {
+		n := subgroupParams
+		if rem := params - int64(i)*subgroupParams; rem < n {
+			n = rem
+		}
+		sg := New(i, int(n))
+		if initFn != nil {
+			for j := 0; j < int(n); j++ {
+				sg.State.Params[j] = initFn(global)
+				global++
+			}
+		} else {
+			global += n
+		}
+		sh.Subgroups[i] = sg
+	}
+	return sh
+}
+
+// Params returns the total parameter count of the shard.
+func (sh *Shard) Params() int64 {
+	var total int64
+	for _, sg := range sh.Subgroups {
+		total += int64(sg.Len())
+	}
+	return total
+}
+
+// MaxSubgroupLen returns the largest subgroup parameter count (buffer
+// sizing).
+func (sh *Shard) MaxSubgroupLen() int {
+	max := 0
+	for _, sg := range sh.Subgroups {
+		if sg.Len() > max {
+			max = sg.Len()
+		}
+	}
+	return max
+}

@@ -1,0 +1,173 @@
+// Package tierlock implements MLP-Offload's virtual-tier concurrency
+// control (§3.2): at most one worker process per compute node accesses a
+// given alternative storage path at a time. A worker holding the lock owns
+// the device's full bandwidth; the remaining workers overlap CPU updates or
+// use *other* storage paths, producing the natural interleaving that load
+// balances I/O across the virtual tier without global synchronization.
+//
+// In the paper this is a process-exclusive, thread-shared lock layered on
+// libaio. Here a Manager plays the role of the node-scoped lock table; the
+// lock is fair (FIFO) and context-aware so a canceled fetch does not leave
+// a worker queued forever.
+package tierlock
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Manager is a node-scoped table of named FIFO locks, one per storage path.
+type Manager struct {
+	mu    sync.Mutex
+	locks map[string]*fifoLock
+	// Disabled turns every Acquire into a no-op (the DeepSpeed baseline:
+	// uncoordinated concurrent access).
+	disabled bool
+}
+
+// NewManager creates an empty lock table. If exclusive is false the manager
+// is disabled and Acquire returns immediately (baseline behaviour).
+func NewManager(exclusive bool) *Manager {
+	return &Manager{locks: make(map[string]*fifoLock), disabled: !exclusive}
+}
+
+// Exclusive reports whether the manager enforces exclusive access.
+func (m *Manager) Exclusive() bool { return !m.disabled }
+
+type fifoLock struct {
+	mu      sync.Mutex
+	held    bool
+	waiters []chan struct{}
+	// stats
+	grants    int64
+	waitTotal time.Duration
+}
+
+func (m *Manager) lock(tier string) *fifoLock {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locks[tier]
+	if !ok {
+		l = &fifoLock{}
+		m.locks[tier] = l
+	}
+	return l
+}
+
+// Release is returned by Acquire and must be called exactly once; extra
+// calls are no-ops.
+type Release func()
+
+var noop Release = func() {}
+
+// Acquire obtains exclusive access to the named tier, blocking in FIFO
+// order, or returns ctx.Err() if the context is canceled while queued.
+// When the manager is disabled it returns immediately with a no-op release.
+func (m *Manager) Acquire(ctx context.Context, tier string) (Release, error) {
+	if m.disabled {
+		return noop, nil
+	}
+	l := m.lock(tier)
+	start := time.Now()
+
+	l.mu.Lock()
+	if !l.held && len(l.waiters) == 0 {
+		l.held = true
+		l.grants++
+		l.mu.Unlock()
+		return m.releaser(l), nil
+	}
+	ticket := make(chan struct{})
+	l.waiters = append(l.waiters, ticket)
+	l.mu.Unlock()
+
+	select {
+	case <-ticket:
+		l.mu.Lock()
+		l.grants++
+		l.waitTotal += time.Since(start)
+		l.mu.Unlock()
+		return m.releaser(l), nil
+	case <-ctx.Done():
+		// Withdraw from the queue; if the ticket fired concurrently, pass
+		// the grant along instead of leaking it.
+		l.mu.Lock()
+		for i, w := range l.waiters {
+			if w == ticket {
+				l.waiters = append(l.waiters[:i], l.waiters[i+1:]...)
+				l.mu.Unlock()
+				return nil, ctx.Err()
+			}
+		}
+		// Ticket already granted: we hold the lock; release it properly.
+		l.mu.Unlock()
+		m.releaser(l)()
+		return nil, ctx.Err()
+	}
+}
+
+// TryAcquire obtains the lock only if it is immediately free.
+func (m *Manager) TryAcquire(tier string) (Release, bool) {
+	if m.disabled {
+		return noop, true
+	}
+	l := m.lock(tier)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.held || len(l.waiters) > 0 {
+		return nil, false
+	}
+	l.held = true
+	l.grants++
+	return m.releaser(l), true
+}
+
+func (m *Manager) releaser(l *fifoLock) Release {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			if len(l.waiters) > 0 {
+				next := l.waiters[0]
+				l.waiters = l.waiters[1:]
+				close(next) // hand over while held stays true
+				return
+			}
+			l.held = false
+		})
+	}
+}
+
+// Stats describes one tier lock's contention.
+type Stats struct {
+	Grants    int64
+	WaitTotal time.Duration
+	Queued    int
+}
+
+// Stats returns the contention statistics for a tier.
+func (m *Manager) Stats(tier string) Stats {
+	l := m.lock(tier)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{Grants: l.grants, WaitTotal: l.waitTotal, Queued: len(l.waiters)}
+}
+
+// String summarizes all tracked locks.
+func (m *Manager) String() string {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.locks))
+	for n := range m.locks {
+		names = append(names, n)
+	}
+	m.mu.Unlock()
+	out := ""
+	for _, n := range names {
+		s := m.Stats(n)
+		out += fmt.Sprintf("%s: grants=%d wait=%v queued=%d\n", n, s.Grants, s.WaitTotal, s.Queued)
+	}
+	return out
+}

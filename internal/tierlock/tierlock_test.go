@@ -1,0 +1,205 @@
+package tierlock
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestExclusion(t *testing.T) {
+	m := NewManager(true)
+	ctx := context.Background()
+	var inside, peak int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := m.Acquire(ctx, "nvme")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			n := atomic.AddInt32(&inside, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if n <= p || atomic.CompareAndSwapInt32(&peak, p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			atomic.AddInt32(&inside, -1)
+			rel()
+		}()
+	}
+	wg.Wait()
+	if peak != 1 {
+		t.Errorf("peak concurrency = %d, want 1", peak)
+	}
+	if s := m.Stats("nvme"); s.Grants != 8 {
+		t.Errorf("grants = %d, want 8", s.Grants)
+	}
+}
+
+func TestIndependentTiers(t *testing.T) {
+	m := NewManager(true)
+	ctx := context.Background()
+	relA, err := m.Acquire(ctx, "nvme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relA()
+	// A different tier must be acquirable while nvme is held.
+	done := make(chan struct{})
+	go func() {
+		relB, err := m.Acquire(ctx, "pfs")
+		if err == nil {
+			relB()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("pfs lock blocked by nvme lock")
+	}
+}
+
+func TestDisabledManagerNeverBlocks(t *testing.T) {
+	m := NewManager(false)
+	if m.Exclusive() {
+		t.Fatal("manager should be non-exclusive")
+	}
+	ctx := context.Background()
+	r1, err := m.Acquire(ctx, "nvme")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		r2, err := m.Acquire(ctx, "nvme")
+		if err == nil {
+			r2()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("disabled manager blocked")
+	}
+	r1()
+}
+
+func TestContextCancelWhileQueued(t *testing.T) {
+	m := NewManager(true)
+	rel, err := m.Acquire(context.Background(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := m.Acquire(ctx, "x")
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let it queue
+	cancel()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("expected cancellation error")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("queued acquire did not observe cancellation")
+	}
+	rel()
+	// Lock must still be usable after the canceled waiter withdrew.
+	rel2, err := m.Acquire(context.Background(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2()
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	m := NewManager(true)
+	rel, err := m.Acquire(context.Background(), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel()
+	rel() // must not panic or double-grant
+	rel2, ok := m.TryAcquire("x")
+	if !ok {
+		t.Fatal("lock stuck after double release")
+	}
+	rel2()
+}
+
+func TestTryAcquire(t *testing.T) {
+	m := NewManager(true)
+	rel, ok := m.TryAcquire("x")
+	if !ok {
+		t.Fatal("TryAcquire on free lock failed")
+	}
+	if _, ok := m.TryAcquire("x"); ok {
+		t.Fatal("TryAcquire on held lock succeeded")
+	}
+	rel()
+	rel2, ok := m.TryAcquire("x")
+	if !ok {
+		t.Fatal("TryAcquire after release failed")
+	}
+	rel2()
+}
+
+func TestFIFOOrder(t *testing.T) {
+	m := NewManager(true)
+	ctx := context.Background()
+	hold, err := m.Acquire(ctx, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rel, err := m.Acquire(ctx, "x")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			rel()
+		}()
+		time.Sleep(20 * time.Millisecond) // establish queue order
+	}
+	hold()
+	wg.Wait()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+	if s := m.Stats("x"); s.WaitTotal == 0 {
+		t.Error("wait time not recorded")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	m := NewManager(true)
+	rel, _ := m.TryAcquire("nvme")
+	rel()
+	if m.String() == "" {
+		t.Error("String() empty after activity")
+	}
+}

@@ -1,0 +1,177 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/datastates/mlpoffload/internal/engine"
+	"github.com/datastates/mlpoffload/internal/storage"
+)
+
+func nodeTiers(bws ...float64) []engine.TierSpec {
+	out := make([]engine.TierSpec, len(bws))
+	for i, bw := range bws {
+		out[i] = engine.TierSpec{
+			Tier:    storage.NewMemTier(fmt.Sprintf("t%d", i)),
+			ReadBW:  bw,
+			WriteBW: bw,
+		}
+	}
+	return out
+}
+
+func TestNodeValidation(t *testing.T) {
+	if _, err := NewNode(NodeConfig{Workers: 0}); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := NewNode(NodeConfig{Workers: 1, ParamsPerWorker: 0, SubgroupParams: 10, Tiers: nodeTiers(1)}); err == nil {
+		t.Error("zero params accepted")
+	}
+}
+
+func TestFourWorkerTraining(t *testing.T) {
+	n, err := NewNode(NodeConfig{
+		Workers: 4, ParamsPerWorker: 500, SubgroupParams: 100,
+		Tiers: nodeTiers(1000, 600), MLP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if len(n.Workers()) != 4 {
+		t.Fatalf("workers = %d", len(n.Workers()))
+	}
+	s, err := n.Train(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := s.Mean()
+	if m.ParamsUpdated != 4*500 {
+		t.Errorf("node params updated = %d, want 2000", m.ParamsUpdated)
+	}
+	if m.Phases.Update <= 0 {
+		t.Error("update phase not timed")
+	}
+	// Exclusive locks exercised by all workers.
+	if n.Locks().Stats("t0").Grants == 0 {
+		t.Error("tier locks never taken")
+	}
+}
+
+func TestNodeConvergence(t *testing.T) {
+	n, err := NewNode(NodeConfig{
+		Workers: 2, ParamsPerWorker: 300, SubgroupParams: 60,
+		Tiers: nodeTiers(1000), MLP: true,
+		Mutate: func(_ int, cfg *engine.Config) {
+			cfg.Hyper.LR = 0.05
+			cfg.Grad = engine.QuadraticGradFn(4)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if _, err := n.Train(200); err != nil {
+		t.Fatal(err)
+	}
+	all, err := n.GatherAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 600 {
+		t.Fatalf("gathered %d params", len(all))
+	}
+	for i, p := range all {
+		if math.Abs(float64(p)-4) > 0.15 {
+			t.Fatalf("param %d = %v, want ~4", i, p)
+		}
+	}
+}
+
+func TestBaselineNodeNoLocks(t *testing.T) {
+	n, err := NewNode(NodeConfig{
+		Workers: 2, ParamsPerWorker: 200, SubgroupParams: 50,
+		Tiers: nodeTiers(1000), MLP: false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.Locks().Exclusive() {
+		t.Error("baseline node should not enforce exclusivity")
+	}
+	if _, err := n.Train(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateSemantics(t *testing.T) {
+	r := IterationResult{}
+	_ = r
+	n, err := NewNode(NodeConfig{
+		Workers: 3, ParamsPerWorker: 100, SubgroupParams: 50,
+		Tiers: nodeTiers(500), MLP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	res, err := n.TrainIteration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerWorker) != 3 {
+		t.Fatalf("per-worker = %d", len(res.PerWorker))
+	}
+	// Node phases are maxima; counters are sums.
+	var maxUpd float64
+	var sumMisses int
+	for _, it := range res.PerWorker {
+		if it.Phases.Update > maxUpd {
+			maxUpd = it.Phases.Update
+		}
+		sumMisses += it.CacheMisses
+	}
+	if res.Node.Phases.Update != maxUpd {
+		t.Errorf("node update = %v, want max %v", res.Node.Phases.Update, maxUpd)
+	}
+	if res.Node.CacheMisses != sumMisses {
+		t.Errorf("node misses = %d, want %d", res.Node.CacheMisses, sumMisses)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	n, err := NewNode(NodeConfig{
+		Workers: 1, ParamsPerWorker: 100, SubgroupParams: 50,
+		Tiers: nodeTiers(500), MLP: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	n.Close()
+}
+
+func TestMutatePerRank(t *testing.T) {
+	seen := map[int]bool{}
+	n, err := NewNode(NodeConfig{
+		Workers: 3, ParamsPerWorker: 100, SubgroupParams: 50,
+		Tiers: nodeTiers(500), MLP: true,
+		Mutate: func(rank int, cfg *engine.Config) {
+			seen[rank] = true
+			if cfg.Rank != rank {
+				t.Errorf("cfg.Rank = %d for rank %d", cfg.Rank, rank)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	for r := 0; r < 3; r++ {
+		if !seen[r] {
+			t.Errorf("mutate not called for rank %d", r)
+		}
+	}
+}

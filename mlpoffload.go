@@ -1,0 +1,242 @@
+// Package mlpoffload is a Go implementation of MLP-Offload (SC '25):
+// a multi-level, multi-path offloading engine for training models whose
+// FP32 optimizer state exceeds host memory and must spill to third-level
+// storage tiers (node-local NVMe, remote parallel file systems).
+//
+// The package exposes three layers:
+//
+//   - The real offloading engine (NewEngine): a concurrent
+//     fetch/update/flush pipeline over pluggable storage tiers, running
+//     real Adam updates on real FP32 state with real FP16 gradient
+//     conversion. Use it with in-memory, file-backed or
+//     bandwidth-throttled tiers.
+//
+//   - The paper-scale simulator (RunSim): the same offloading policies
+//     executed on a discrete-event simulator parameterized by the paper's
+//     testbeds, for 40B-280B parameter configurations no laptop can hold.
+//
+//   - The experiment harness (RunExperiment): regenerates every table and
+//     figure of the paper's evaluation.
+//
+// The four design principles of the paper — multi-path virtual tiers with
+// bandwidth-proportional subgroup placement, node-exclusive tier access,
+// cache-friendly alternating update order, and delayed in-place FP16→FP32
+// gradient conversion — are all independently toggleable for ablation.
+package mlpoffload
+
+import (
+	"fmt"
+
+	"github.com/datastates/mlpoffload/internal/cluster"
+	"github.com/datastates/mlpoffload/internal/engine"
+	"github.com/datastates/mlpoffload/internal/experiments"
+	"github.com/datastates/mlpoffload/internal/fp16"
+	"github.com/datastates/mlpoffload/internal/hostcache"
+	"github.com/datastates/mlpoffload/internal/metrics"
+	"github.com/datastates/mlpoffload/internal/model"
+	"github.com/datastates/mlpoffload/internal/nn"
+	"github.com/datastates/mlpoffload/internal/optim"
+	"github.com/datastates/mlpoffload/internal/ratelimit"
+	"github.com/datastates/mlpoffload/internal/simrun"
+	"github.com/datastates/mlpoffload/internal/storage"
+	"github.com/datastates/mlpoffload/internal/tierlock"
+)
+
+// ---- Real engine ----
+
+// Engine is the real offloading runtime: one instance per worker process
+// (one per GPU in the paper's deployment).
+type Engine = engine.Engine
+
+// EngineConfig configures an Engine. See BaselineConfig and MLPConfig for
+// the two named presets.
+type EngineConfig = engine.Config
+
+// TierSpec couples a storage tier with its nominal bandwidths for
+// placement (the paper's Eq. 1 inputs).
+type TierSpec = engine.TierSpec
+
+// GradFn produces synthetic gradients for the training loop.
+type GradFn = engine.GradFn
+
+// Iteration is one iteration's measurements (phase breakdown, I/O, cache
+// behaviour).
+type Iteration = metrics.Iteration
+
+// Order is the subgroup update-order policy.
+type Order = hostcache.Order
+
+// Update-order policies: Sequential reproduces DeepSpeed ZeRO-3's
+// cache-thrashing behaviour; Alternating is MLP-Offload's cache-friendly
+// reordering.
+const (
+	Sequential  = hostcache.Sequential
+	Alternating = hostcache.Alternating
+)
+
+// AdamHyper holds the optimizer hyperparameters.
+type AdamHyper = optim.Hyper
+
+// DefaultAdamHyper returns conventional LLM pre-training settings.
+func DefaultAdamHyper() AdamHyper { return optim.DefaultHyper() }
+
+// NewEngine builds and initializes an engine: the optimizer state is
+// sharded into subgroups and flushed to the configured tiers.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return engine.New(cfg) }
+
+// BaselineConfig returns a DeepSpeed-ZeRO-3-shaped engine configuration.
+func BaselineConfig(rank int, params, subgroupParams int64, tiers []TierSpec) EngineConfig {
+	return engine.BaselineConfig(rank, params, subgroupParams, tiers)
+}
+
+// MLPConfig returns an MLP-Offload engine configuration with all four
+// design principles enabled. locks is the node-scoped exclusive-access
+// manager shared by all engines on a node (see NewNodeLocks).
+func MLPConfig(rank int, params, subgroupParams int64, tiers []TierSpec, locks *NodeLocks) EngineConfig {
+	return engine.MLPConfig(rank, params, subgroupParams, tiers, locks)
+}
+
+// QuadraticGradFn returns gradients of 0.5*(p-target)^2 — training
+// converges every parameter to target, which makes end-to-end validation
+// of the offload path trivial.
+func QuadraticGradFn(target float32) GradFn { return engine.QuadraticGradFn(target) }
+
+// BatchGradFn computes a full shard's gradients in one pass from the FP16
+// working copy — the hook for driving the engine with a real model.
+type BatchGradFn = engine.BatchGradFn
+
+// FP16 is a raw IEEE-754 binary16 value (the engine's working-copy
+// element type).
+type FP16 = fp16.Bits
+
+// DecodeFP16 widens an FP16 buffer into FP32.
+func DecodeFP16(dst []float32, src []FP16) int { return fp16.Decode(dst, src) }
+
+// ---- Real model substrate ----
+
+// GPT is a small decoder-only transformer with a hand-written,
+// gradient-checked backward pass, usable as a real gradient source for the
+// engine via BatchGrad.
+type GPT = nn.GPT
+
+// GPTConfig shapes a GPT.
+type GPTConfig = nn.GPTConfig
+
+// NewGPT lays out a transformer over a flat parameter vector.
+func NewGPT(cfg GPTConfig) (*GPT, error) { return nn.NewGPT(cfg) }
+
+// ---- Storage tiers ----
+
+// Tier is the storage abstraction subgroup objects move through.
+type Tier = storage.Tier
+
+// NodeLocks is the node-level exclusive tier access manager (the
+// concurrency-control design principle).
+type NodeLocks = tierlock.Manager
+
+// NewNodeLocks creates a lock manager. Pass exclusive=false to reproduce
+// the baseline's uncoordinated access.
+func NewNodeLocks(exclusive bool) *NodeLocks { return tierlock.NewManager(exclusive) }
+
+// NewMemTier returns an in-memory tier (tests, small experiments).
+func NewMemTier(name string) Tier { return storage.NewMemTier(name) }
+
+// NewFileTier returns a directory-backed tier (a real NVMe or PFS mount).
+func NewFileTier(name, dir string) (Tier, error) { return storage.NewFileTier(name, dir) }
+
+// ThrottleSpec configures bandwidth emulation for a tier.
+type ThrottleSpec struct {
+	ReadBW  float64 // bytes/second
+	WriteBW float64 // bytes/second
+	// InterferenceAlpha degrades aggregate efficiency under n concurrent
+	// streams as 1/(1+alpha*(n-1)); 0 means an ideal device.
+	InterferenceAlpha float64
+}
+
+// NewThrottledTier wraps a tier with Table-1-style bandwidth limits so a
+// laptop reproduces NVMe/PFS behaviour at scaled-down rates.
+func NewThrottledTier(inner Tier, spec ThrottleSpec) Tier {
+	var curve ratelimit.EfficiencyCurve
+	if spec.InterferenceAlpha > 0 {
+		curve = ratelimit.InterferenceCurve(spec.InterferenceAlpha)
+	}
+	return storage.NewThrottled(inner, storage.ThrottleConfig{
+		ReadBW:  spec.ReadBW,
+		WriteBW: spec.WriteBW,
+		Curve:   curve,
+	})
+}
+
+// ---- Models and testbeds ----
+
+// Model is a transformer configuration (Table 2).
+type Model = model.Config
+
+// Models returns the paper's evaluation models (Table 2).
+func Models() []Model { return model.Table2() }
+
+// ModelByName looks up a Table 2 model or the 20B baseline.
+func ModelByName(name string) (Model, error) { return model.ByName(name) }
+
+// Testbed describes an evaluation platform (Table 1).
+type Testbed = cluster.Testbed
+
+// Testbed1 returns the JLSE 4xH100 platform.
+func Testbed1() Testbed { return cluster.Testbed1() }
+
+// Testbed2 returns the ALCF Polaris 4xA100 platform.
+func Testbed2() Testbed { return cluster.Testbed2() }
+
+// ---- Paper-scale simulation ----
+
+// SimConfig configures a paper-scale simulated run.
+type SimConfig = simrun.Config
+
+// SimResult is a simulated run's measurements.
+type SimResult = simrun.Result
+
+// SimApproach names a bundle of design-principle toggles.
+type SimApproach = simrun.Approach
+
+// DeepSpeedZeRO3 is the baseline approach for RunSim.
+func DeepSpeedZeRO3() SimApproach { return simrun.DeepSpeedZeRO3() }
+
+// MLPOffload is the full approach for RunSim.
+func MLPOffload() SimApproach { return simrun.MLPOffload() }
+
+// RunSim simulates one node of the configured system at paper scale.
+func RunSim(cfg SimConfig) (*SimResult, error) { return simrun.Run(cfg) }
+
+// ---- Experiments ----
+
+// ExperimentIDs lists the reproducible paper artifacts (tab1..fig15).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper table or figure and returns its
+// rendered text table. iterations <= 0 uses the paper's methodology
+// (10 iterations, 2 warmups).
+func RunExperiment(id string, iterations int) (string, error) {
+	e, err := experiments.ByID(id)
+	if err != nil {
+		return "", err
+	}
+	opts := experiments.DefaultOptions()
+	if iterations > 0 {
+		opts.Iterations = iterations
+		opts.Warmup = iterations / 5
+	}
+	return e.Run(opts)
+}
+
+// RunAllExperiments regenerates every artifact in paper order.
+func RunAllExperiments(iterations int) (string, error) {
+	out := ""
+	for _, id := range experiments.IDs() {
+		s, err := RunExperiment(id, iterations)
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", id, err)
+		}
+		out += s + "\n"
+	}
+	return out, nil
+}
