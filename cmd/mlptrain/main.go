@@ -28,6 +28,7 @@ func main() {
 		iters    = flag.Int("iters", 6, "training iterations")
 		dir      = flag.String("dir", "", "directory for file-backed tiers (empty = in-memory)")
 		throttle = flag.Bool("throttle", true, "emulate Table-1-scaled tier bandwidths")
+		workers  = flag.Int("update-workers", 1, "update-phase pipeline parallelism (1 = paper's sequential update)")
 	)
 	flag.Parse()
 
@@ -69,6 +70,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mlptrain: unknown mode %q\n", *mode)
 		os.Exit(1)
 	}
+	cfg.UpdateWorkers = *workers
 
 	eng, err := mlpoffload.NewEngine(cfg)
 	if err != nil {

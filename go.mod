@@ -1,0 +1,3 @@
+module github.com/datastates/mlpoffload
+
+go 1.24

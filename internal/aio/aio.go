@@ -9,6 +9,14 @@
 // One engine object is created per storage path per worker process, as in
 // the paper ("we instantiate multiple offloading engine objects per
 // process, corresponding to the number of storage tiers").
+//
+// Concurrency contract: Submit/Wait and every metric accessor are safe for
+// concurrent use — the update pipeline's issuer, workers and committer all
+// submit against the same engines. Operations execute on the tier from
+// Workers goroutines concurrently, so the backing storage.Tier must honor
+// its own concurrency contract; completion order is not submission order,
+// and callers needing read-after-write ordering on one key must wait for
+// the write's Op before submitting the read.
 package aio
 
 import (

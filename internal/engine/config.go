@@ -102,6 +102,16 @@ type Config struct {
 	IOWorkers int
 	// CPUWorkers is the update-kernel parallelism.
 	CPUWorkers int
+	// UpdateWorkers is the update-phase pipeline parallelism: how many
+	// subgroups may run their Adam update concurrently while the issuer
+	// keeps PrefetchDepth fetches in flight. 1 reproduces the sequential
+	// single-goroutine update phase exactly; higher values overlap the
+	// CPU-side update of subgroup k with tier reads for k+1..k+d and the
+	// async flush of k-1, which pays off whenever the phase is I/O-bound
+	// on a slow or asymmetric multi-path tier. The commit order (and thus
+	// the cache-friendly alternating-order residency) is preserved at any
+	// worker count.
+	UpdateWorkers int
 
 	// Hyper are the Adam hyperparameters.
 	Hyper optim.Hyper
@@ -153,6 +163,7 @@ func BaselineConfig(rank int, params, subgroupParams int64, tiers []TierSpec) Co
 		PrefetchDepth:  2,
 		IOWorkers:      2,
 		CPUWorkers:     1,
+		UpdateWorkers:  1,
 		Hyper:          optim.DefaultHyper(),
 		GradAccumSteps: 1,
 	}
@@ -202,6 +213,9 @@ func (c *Config) validate() error {
 	}
 	if c.CPUWorkers <= 0 {
 		c.CPUWorkers = 1
+	}
+	if c.UpdateWorkers <= 0 {
+		c.UpdateWorkers = 1
 	}
 	if c.GradAccumSteps <= 0 {
 		c.GradAccumSteps = 1

@@ -35,6 +35,10 @@ type Engine struct {
 	fetchPool *hostcache.BufferPool
 	flushPool *hostcache.BufferPool
 	gradPool  *hostcache.BufferPool
+	// fetchSem enforces the config contract that PrefetchDepth bounds
+	// in-flight fetches: the buffer pools are sized generously to avoid
+	// pipeline deadlocks, so they cannot double as the fetch bound.
+	fetchSem chan struct{}
 
 	d2h *ratelimit.Limiter
 
@@ -53,11 +57,21 @@ type Engine struct {
 	pendingFlush   []*aio.Op
 	pendingGrads   []*aio.Op
 	flushWG        sync.WaitGroup
-	mu             sync.Mutex // guards pendingFlush bookkeeping
+	mu             sync.Mutex // guards pendingFlush/flushTickets bookkeeping
 	flushReadTimes struct {   // accumulated write metrics from async flushes
 		bytes float64
 		secs  float64
 	}
+
+	// cacheMu serializes the compound residency transitions of the update
+	// pipeline: {read loc, pin} in the issuer and {set loc, unpin, touch,
+	// pick victims, publish flush tickets} in the committer. loc and lru
+	// must change together or the issuer could classify a subgroup as a
+	// cache hit while the committer is evicting it.
+	cacheMu sync.Mutex
+	// flushTickets orders a refetch after an in-flight eviction flush of
+	// the same subgroup within one phase (read-after-write on the tier).
+	flushTickets map[int]*flushTicket
 
 	series metrics.Series
 	closed bool
@@ -81,9 +95,15 @@ func New(cfg Config) (*Engine, error) {
 
 	maxLen := e.shard.MaxSubgroupLen()
 	stateBuf := subgroup.StateBytes(maxLen)
-	e.fetchPool = hostcache.NewBufferPool(cfg.PrefetchDepth+1, stateBuf)
+	// inflight bounds fetches issued ahead of the update workers; the grad
+	// pool holds UpdateWorkers extra buffers so a worker's synchronous
+	// gradient read can never deadlock against queued prefetches.
+	inflight := cfg.PrefetchDepth + cfg.UpdateWorkers
+	e.fetchPool = hostcache.NewBufferPool(inflight+1, stateBuf)
 	e.flushPool = hostcache.NewBufferPool(2, stateBuf)
-	e.gradPool = hostcache.NewBufferPool(cfg.PrefetchDepth+1, 4*maxLen)
+	e.gradPool = hostcache.NewBufferPool(inflight+cfg.UpdateWorkers+1, 4*maxLen)
+	e.fetchSem = make(chan struct{}, cfg.PrefetchDepth)
+	e.flushTickets = make(map[int]*flushTicket)
 
 	e.names = make([]string, len(cfg.Tiers))
 	e.est = placement.NewEstimator(0.5)
@@ -180,48 +200,6 @@ func (e *Engine) flushSync(i int, sg *subgroup.Subgroup) error {
 	}
 	sg.State = nil
 	e.loc[i] = tier
-	return nil
-}
-
-// flushAsync serializes and flushes subgroup i in the background, freeing
-// its state immediately (the bytes live in the staging buffer until the
-// write completes). tier is the destination.
-func (e *Engine) flushAsync(i int, tier int, it *metrics.Iteration) error {
-	sg := e.shard.Subgroups[i]
-	if sg.State == nil {
-		return fmt.Errorf("engine: flush of non-resident subgroup %d", i)
-	}
-	buf := e.flushPool.Get() // backpressure: at most 2 concurrent flushes
-	n, err := sg.Marshal(buf, false)
-	if err != nil {
-		e.flushPool.Put(buf)
-		return err
-	}
-	op, err := e.aios[tier].SubmitWrite(e.key(i), buf[:n])
-	if err != nil {
-		e.flushPool.Put(buf)
-		return err
-	}
-	sg.State = nil
-	e.loc[i] = tier
-	name := e.names[tier]
-	nb := float64(n)
-	e.flushWG.Add(1)
-	go func() {
-		defer e.flushWG.Done()
-		_ = op.Wait()
-		secs := op.TransferTime().Seconds()
-		e.est.Observe(name, nb, secs)
-		e.mu.Lock()
-		e.flushReadTimes.bytes += nb
-		e.flushReadTimes.secs += secs
-		e.mu.Unlock()
-		e.flushPool.Put(buf)
-	}()
-	e.mu.Lock()
-	e.pendingFlush = append(e.pendingFlush, op)
-	e.mu.Unlock()
-	_ = it
 	return nil
 }
 
@@ -327,218 +305,6 @@ func decodeF32(dst []float32, src []byte) {
 		u := uint32(src[4*i]) | uint32(src[4*i+1])<<8 | uint32(src[4*i+2])<<16 | uint32(src[4*i+3])<<24
 		dst[i] = math.Float32frombits(u)
 	}
-}
-
-// pendingFetch tracks one in-flight subgroup fetch.
-type pendingFetch struct {
-	stateOp  *aio.Op
-	stateBuf []byte
-	gradOp   *aio.Op
-	gradBuf  []byte
-	tier     int
-}
-
-// updatePhase runs Algorithm 1 over all subgroups.
-func (e *Engine) updatePhase(it *metrics.Iteration) error {
-	m := len(e.shard.Subgroups)
-	order := hostcache.UpdateOrder(e.cfg.Order, m, e.phase)
-	if !e.scalerCheck() {
-		// Dynamic loss scaling detected an overflow: skip the whole update
-		// phase (the scale has been halved); subgroups stay where they are.
-		e.skippedSteps++
-		return nil
-	}
-	clip := e.computeClipFactor()
-	e.step++
-
-	// Previous phase's lazy flushes and this phase's gradient objects must
-	// be durable before we fetch them back.
-	e.mu.Lock()
-	flushes := e.pendingFlush
-	e.pendingFlush = nil
-	e.mu.Unlock()
-	for _, op := range flushes {
-		if err := op.Wait(); err != nil {
-			return fmt.Errorf("engine: lazy flush failed: %w", err)
-		}
-	}
-	for _, op := range e.pendingGrads {
-		if err := op.Wait(); err != nil {
-			return fmt.Errorf("engine: gradient flush failed: %w", err)
-		}
-	}
-	e.pendingGrads = nil
-
-	pend := make(map[int]*pendingFetch, e.cfg.PrefetchDepth)
-	next := 0
-	issue := func() error {
-		for next < m && len(pend) < e.cfg.PrefetchDepth {
-			sgID := order[next]
-			next++
-			if e.loc[sgID] == locHost {
-				continue // expected hit; no fetch
-			}
-			sg := e.shard.Subgroups[sgID]
-			tier := e.loc[sgID]
-			buf := e.fetchPool.Get()
-			size := subgroup.StateBytes(sg.Len())
-			op, err := e.aios[tier].SubmitRead(e.key(sgID), buf[:size])
-			if err != nil {
-				e.fetchPool.Put(buf)
-				return err
-			}
-			pf := &pendingFetch{stateOp: op, stateBuf: buf, tier: tier}
-			if !e.cfg.SkipGradFlush {
-				gbuf := e.gradPool.Get()
-				gop, err := e.aios[tier].SubmitRead(e.gradKey(sgID), gbuf[:4*sg.Len()])
-				if err != nil {
-					e.gradPool.Put(gbuf)
-					e.fetchPool.Put(buf)
-					return err
-				}
-				pf.gradOp = gop
-				pf.gradBuf = gbuf
-			}
-			pend[sgID] = pf
-		}
-		return nil
-	}
-	if err := issue(); err != nil {
-		return err
-	}
-
-	var sw metrics.Stopwatch
-	for _, sgID := range order {
-		sg := e.shard.Subgroups[sgID]
-		pf := pend[sgID]
-		switch {
-		case pf != nil:
-			delete(pend, sgID)
-			if err := pf.stateOp.Wait(); err != nil {
-				return fmt.Errorf("engine: fetch subgroup %d: %w", sgID, err)
-			}
-			size := subgroup.StateBytes(sg.Len())
-			sg.State = optim.NewState(make([]float32, sg.Len()))
-			if err := sg.Unmarshal(pf.stateBuf[:size]); err != nil {
-				return err
-			}
-			secs := pf.stateOp.TransferTime().Seconds()
-			it.BytesRead += float64(size)
-			it.ReadTime += secs
-			e.est.Observe(e.names[pf.tier], float64(size), secs)
-			e.fetchPool.Put(pf.stateBuf)
-			if pf.gradOp != nil {
-				if err := pf.gradOp.Wait(); err != nil {
-					return fmt.Errorf("engine: grad fetch subgroup %d: %w", sgID, err)
-				}
-				sg.EnsureGrads32()
-				decodeF32(sg.Grads32, pf.gradBuf[:4*sg.Len()])
-				it.BytesRead += float64(4 * sg.Len())
-				it.ReadTime += pf.gradOp.TransferTime().Seconds()
-				e.gradPool.Put(pf.gradBuf)
-			}
-			it.CacheMisses++
-			e.loc[sgID] = locHost
-		case e.loc[sgID] == locHost:
-			it.CacheHits++
-			if !e.cfg.SkipGradFlush && sg.Grads32 == nil {
-				// Rare: baseline hit still needs grads from storage.
-				sg.EnsureGrads32()
-				gbuf := e.gradPool.Get()
-				err := e.aios[e.plan.TierFor(sgID)].ReadSync(e.gradKey(sgID), gbuf[:4*sg.Len()])
-				if err != nil {
-					e.gradPool.Put(gbuf)
-					return err
-				}
-				decodeF32(sg.Grads32, gbuf[:4*sg.Len()])
-				e.gradPool.Put(gbuf)
-			}
-		default:
-			// Evicted between issue and processing: synchronous fallback.
-			if err := e.fetchSync(sgID, sg, it); err != nil {
-				return err
-			}
-		}
-
-		// Update kernel: delayed in-place conversion vs pre-upscaled.
-		sw.Start()
-		applyClip(sg, clip, e.cfg.SkipGradFlush)
-		if e.cfg.SkipGradFlush {
-			optim.StepFP16Parallel(sg.State, sg.Grads16, e.cfg.Hyper, e.step, e.cfg.CPUWorkers)
-		} else {
-			optim.StepFP32Parallel(sg.State, sg.Grads32, e.cfg.Hyper, e.step, e.cfg.CPUWorkers)
-			sg.Grads32 = nil // discarded after the update, as in ZeRO-3
-		}
-		it.UpdateComputeTime += sw.Lap()
-
-		// H2D: the refreshed FP16 parameters return to the device.
-		off := e.sgOffset[sgID]
-		fp16.Encode(e.params16[off:off+int64(sg.Len())], sg.State.Params)
-		e.d2hTransfer(int64(sg.Len()) * 2)
-
-		// Cache decision: most-recently-updated subgroups stay resident;
-		// the displaced one is lazily flushed to its (re)assigned tier.
-		evicted, did := e.lru.Touch(sgID)
-		if did {
-			tier := e.plan.TierFor(evicted)
-			if err := e.flushAsync(evicted, tier, it); err != nil {
-				return err
-			}
-		}
-		if err := issue(); err != nil {
-			return err
-		}
-	}
-	e.phase++
-	it.ParamsUpdated += e.shard.Params()
-
-	// Fold in async flush write metrics accumulated so far.
-	e.mu.Lock()
-	it.BytesWritten += e.flushReadTimes.bytes
-	it.WriteTime += e.flushReadTimes.secs
-	e.flushReadTimes.bytes = 0
-	e.flushReadTimes.secs = 0
-	e.mu.Unlock()
-
-	// Adaptive replanning from observed bandwidths (§3.3).
-	if e.cfg.AdaptivePlacement {
-		e.plan = placement.NewPlan(m, e.bandwidths())
-	}
-	return nil
-}
-
-// fetchSync fetches one subgroup synchronously (fallback path).
-func (e *Engine) fetchSync(sgID int, sg *subgroup.Subgroup, it *metrics.Iteration) error {
-	tier := e.loc[sgID]
-	buf := e.fetchPool.Get()
-	defer e.fetchPool.Put(buf)
-	size := subgroup.StateBytes(sg.Len())
-	op, err := e.aios[tier].SubmitRead(e.key(sgID), buf[:size])
-	if err != nil {
-		return err
-	}
-	if err := op.Wait(); err != nil {
-		return err
-	}
-	sg.State = optim.NewState(make([]float32, sg.Len()))
-	if err := sg.Unmarshal(buf[:size]); err != nil {
-		return err
-	}
-	it.BytesRead += float64(size)
-	it.ReadTime += op.TransferTime().Seconds()
-	it.CacheMisses++
-	e.loc[sgID] = locHost
-	if !e.cfg.SkipGradFlush {
-		sg.EnsureGrads32()
-		gbuf := e.gradPool.Get()
-		defer e.gradPool.Put(gbuf)
-		if err := e.aios[tier].ReadSync(e.gradKey(sgID), gbuf[:4*sg.Len()]); err != nil {
-			return err
-		}
-		decodeF32(sg.Grads32, gbuf[:4*sg.Len()])
-		it.BytesRead += float64(4 * sg.Len())
-	}
-	return nil
 }
 
 // TrainIteration runs one full iteration: forward and backward passes

@@ -1,0 +1,446 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"github.com/datastates/mlpoffload/internal/aio"
+	"github.com/datastates/mlpoffload/internal/fp16"
+	"github.com/datastates/mlpoffload/internal/hostcache"
+	"github.com/datastates/mlpoffload/internal/metrics"
+	"github.com/datastates/mlpoffload/internal/optim"
+	"github.com/datastates/mlpoffload/internal/placement"
+	"github.com/datastates/mlpoffload/internal/subgroup"
+)
+
+// The update phase runs as a three-stage pipeline (paper §3: the CPU-side
+// Adam update is overlapped with multi-path tier traffic):
+//
+//	issuer    — walks the phase's subgroup order, classifies each subgroup
+//	            as cache hit or miss, pins it, and keeps up to
+//	            PrefetchDepth+UpdateWorkers fetches/items in flight.
+//	workers   — UpdateWorkers goroutines consume items, wait for their
+//	            fetches, and run the Adam update + FP16 re-encode, so the
+//	            update of subgroup k overlaps with tier reads for k+1..k+d.
+//	committer — consumes items strictly in order: merges per-item metrics,
+//	            unpins, touches the LRU, and lazily flushes the displaced
+//	            victims, preserving the cache-friendly alternating-order
+//	            residency semantics of the single-threaded engine.
+//
+// Errors propagate per subgroup: the first failure cancels the phase
+// context; the issuer stops issuing and in-flight workers skip their
+// update, release their staging buffers, and drain cleanly.
+
+// pendingFetch tracks one in-flight subgroup fetch.
+type pendingFetch struct {
+	stateOp  *aio.Op
+	stateBuf []byte
+	gradOp   *aio.Op
+	gradBuf  []byte
+	tier     int
+}
+
+// updateItem carries one subgroup through the pipeline stages.
+type updateItem struct {
+	sgID int
+	hit  bool          // host-resident at issue time
+	pf   *pendingFetch // nil on a hit
+	err  error
+	m    metrics.Iteration // per-item measurements, merged at commit
+	done chan struct{}     // closed by the worker
+}
+
+// flushTicket orders a same-phase refetch after an eviction flush: the
+// issuer waits for done (and then the op) before submitting a read for a
+// subgroup whose flush may still be in flight. op is nil when the flush
+// failed to submit.
+type flushTicket struct {
+	done chan struct{}
+	op   *aio.Op
+}
+
+// phaseRun is the shared state of one update phase's pipeline.
+type phaseRun struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	clip   float32
+
+	mu  sync.Mutex
+	err error // first failure; cancels the phase
+}
+
+func (p *phaseRun) fail(err error) {
+	if err == nil {
+		return
+	}
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+		p.cancel()
+	}
+	p.mu.Unlock()
+}
+
+func (p *phaseRun) firstErr() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// updatePhase runs Algorithm 1 over all subgroups through the pipeline.
+func (e *Engine) updatePhase(it *metrics.Iteration) error {
+	m := len(e.shard.Subgroups)
+	order := hostcache.UpdateOrder(e.cfg.Order, m, e.phase)
+	if !e.scalerCheck() {
+		// Dynamic loss scaling detected an overflow: skip the whole update
+		// phase (the scale has been halved); subgroups stay where they are.
+		e.skippedSteps++
+		return nil
+	}
+	clip := e.computeClipFactor()
+	e.step++
+
+	// Previous phase's lazy flushes and this phase's gradient objects must
+	// be durable before we fetch them back.
+	e.mu.Lock()
+	flushes := e.pendingFlush
+	e.pendingFlush = nil
+	e.flushTickets = make(map[int]*flushTicket)
+	e.mu.Unlock()
+	for _, op := range flushes {
+		if err := op.Wait(); err != nil {
+			return fmt.Errorf("engine: lazy flush failed: %w", err)
+		}
+	}
+	for _, op := range e.pendingGrads {
+		if err := op.Wait(); err != nil {
+			return fmt.Errorf("engine: gradient flush failed: %w", err)
+		}
+	}
+	e.pendingGrads = nil
+
+	run := &phaseRun{clip: clip}
+	run.ctx, run.cancel = context.WithCancel(context.Background())
+	defer run.cancel()
+
+	// window bounds items in flight (and therefore pinned subgroups);
+	// workCh never blocks the issuer because its capacity matches.
+	inflight := e.cfg.PrefetchDepth + e.cfg.UpdateWorkers
+	window := make(chan struct{}, inflight)
+	workCh := make(chan *updateItem, inflight)
+	orderCh := make(chan *updateItem, m)
+
+	var workerWG sync.WaitGroup
+	for w := 0; w < e.cfg.UpdateWorkers; w++ {
+		workerWG.Add(1)
+		go func() {
+			defer workerWG.Done()
+			e.updateWorker(run, workCh)
+		}()
+	}
+	var commitWG sync.WaitGroup
+	commitWG.Add(1)
+	go func() {
+		defer commitWG.Done()
+		e.commitItems(run, it, window, orderCh)
+	}()
+
+	e.issueItems(run, order, window, workCh, orderCh)
+	workerWG.Wait()
+	commitWG.Wait()
+	if err := run.firstErr(); err != nil {
+		return err
+	}
+
+	e.phase++
+	it.ParamsUpdated += e.shard.Params()
+
+	// Fold in async flush write metrics accumulated so far.
+	e.mu.Lock()
+	it.BytesWritten += e.flushReadTimes.bytes
+	it.WriteTime += e.flushReadTimes.secs
+	e.flushReadTimes.bytes = 0
+	e.flushReadTimes.secs = 0
+	e.mu.Unlock()
+
+	// Adaptive replanning from observed bandwidths (§3.3).
+	if e.cfg.AdaptivePlacement {
+		e.plan = placement.NewPlan(m, e.bandwidths())
+	}
+	return nil
+}
+
+// issueItems is the issuer stage: it classifies and pins each subgroup in
+// order, submits prefetch reads for misses, and hands items to the workers
+// (via workCh) and the committer (via orderCh). It closes both channels
+// when done or when the phase is cancelled.
+func (e *Engine) issueItems(run *phaseRun, order []int, window chan struct{}, workCh, orderCh chan *updateItem) {
+	defer close(workCh)
+	defer close(orderCh)
+	for _, sgID := range order {
+		if run.ctx.Err() != nil {
+			return
+		}
+		window <- struct{}{} // released by the committer
+		item := &updateItem{sgID: sgID, done: make(chan struct{})}
+		e.cacheMu.Lock()
+		e.lru.Pin(sgID)
+		tier := e.loc[sgID]
+		e.cacheMu.Unlock()
+		if tier == locHost {
+			item.hit = true // pinned, so it stays resident until commit
+		} else if err := e.issueFetch(item, tier); err != nil {
+			item.err = err
+			run.fail(err)
+		}
+		orderCh <- item
+		workCh <- item
+	}
+}
+
+// issueFetch submits the asynchronous state (and, on the baseline path,
+// gradient) reads for one offloaded subgroup.
+func (e *Engine) issueFetch(item *updateItem, tier int) error {
+	sgID := item.sgID
+	sg := e.shard.Subgroups[sgID]
+	// Read-after-write: if this phase evicted the subgroup earlier, its
+	// flush must be durable before the refetch is submitted.
+	e.mu.Lock()
+	tk := e.flushTickets[sgID]
+	e.mu.Unlock()
+	if tk != nil {
+		<-tk.done
+		if tk.op == nil {
+			return fmt.Errorf("engine: refetch of subgroup %d after failed flush", sgID)
+		}
+		if err := tk.op.Wait(); err != nil {
+			return fmt.Errorf("engine: flush before refetch of subgroup %d: %w", sgID, err)
+		}
+	}
+	e.fetchSem <- struct{}{} // PrefetchDepth bounds in-flight fetches
+	buf := e.fetchPool.Get()
+	size := subgroup.StateBytes(sg.Len())
+	op, err := e.aios[tier].SubmitRead(e.key(sgID), buf[:size])
+	if err != nil {
+		e.fetchPool.Put(buf)
+		<-e.fetchSem
+		return err
+	}
+	pf := &pendingFetch{stateOp: op, stateBuf: buf, tier: tier}
+	if !e.cfg.SkipGradFlush {
+		gbuf := e.gradPool.Get()
+		gop, err := e.aios[tier].SubmitRead(e.gradKey(sgID), gbuf[:4*sg.Len()])
+		if err != nil {
+			e.gradPool.Put(gbuf)
+			e.releaseFetch(pf) // waits the state op; buffer must be idle
+			return err
+		}
+		pf.gradOp = gop
+		pf.gradBuf = gbuf
+	}
+	item.pf = pf
+	return nil
+}
+
+// updateWorker consumes items and runs the fetch-wait + Adam update stage.
+func (e *Engine) updateWorker(run *phaseRun, workCh chan *updateItem) {
+	for item := range workCh {
+		if item.err == nil {
+			if err := e.processItem(run, item); err != nil {
+				item.err = err
+				run.fail(err)
+			}
+		}
+		close(item.done)
+	}
+}
+
+// releaseFetch abandons an item's fetch: it returns the staging buffers to
+// their pools, waiting for the ops first (a pooled buffer must never have
+// a transfer in flight), and frees the fetch slot. Waiting an op that
+// already completed — or was already waited — returns immediately.
+func (e *Engine) releaseFetch(pf *pendingFetch) {
+	_ = pf.stateOp.Wait()
+	e.fetchPool.Put(pf.stateBuf)
+	if pf.gradOp != nil {
+		_ = pf.gradOp.Wait()
+		e.gradPool.Put(pf.gradBuf)
+	}
+	<-e.fetchSem
+}
+
+// processItem performs one subgroup's fetch-completion, unmarshal, clip,
+// Adam step and FP16 re-encode. All engine state it mutates is private to
+// the subgroup (pinning keeps eviction away); shared structures (estimator,
+// rate limiters, pools) are concurrency-safe.
+func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
+	sg := e.shard.Subgroups[item.sgID]
+	it := &item.m
+	if pf := item.pf; pf != nil {
+		if err := pf.stateOp.Wait(); err != nil {
+			e.releaseFetch(pf)
+			return fmt.Errorf("engine: fetch subgroup %d: %w", item.sgID, err)
+		}
+		if err := run.ctx.Err(); err != nil {
+			// Phase cancelled while the fetch was in flight: release the
+			// buffers untouched and drain.
+			e.releaseFetch(pf)
+			return err
+		}
+		size := subgroup.StateBytes(sg.Len())
+		sg.State = optim.NewState(make([]float32, sg.Len()))
+		if err := sg.Unmarshal(pf.stateBuf[:size]); err != nil {
+			sg.State = nil
+			e.releaseFetch(pf)
+			return err
+		}
+		secs := pf.stateOp.TransferTime().Seconds()
+		it.BytesRead += float64(size)
+		it.ReadTime += secs
+		e.est.Observe(e.names[pf.tier], float64(size), secs)
+		e.fetchPool.Put(pf.stateBuf)
+		if pf.gradOp != nil {
+			if err := pf.gradOp.Wait(); err != nil {
+				e.gradPool.Put(pf.gradBuf)
+				<-e.fetchSem
+				return fmt.Errorf("engine: grad fetch subgroup %d: %w", item.sgID, err)
+			}
+			sg.EnsureGrads32()
+			decodeF32(sg.Grads32, pf.gradBuf[:4*sg.Len()])
+			it.BytesRead += float64(4 * sg.Len())
+			it.ReadTime += pf.gradOp.TransferTime().Seconds()
+			e.gradPool.Put(pf.gradBuf)
+		}
+		<-e.fetchSem // fetch fully consumed: free the prefetch slot
+		it.CacheMisses++
+	} else {
+		if err := run.ctx.Err(); err != nil {
+			return err
+		}
+		it.CacheHits++
+		if !e.cfg.SkipGradFlush && sg.Grads32 == nil {
+			// Rare: baseline hit still needs grads from storage.
+			sg.EnsureGrads32()
+			gbuf := e.gradPool.Get()
+			err := e.aios[e.plan.TierFor(item.sgID)].ReadSync(e.gradKey(item.sgID), gbuf[:4*sg.Len()])
+			if err != nil {
+				e.gradPool.Put(gbuf)
+				return err
+			}
+			decodeF32(sg.Grads32, gbuf[:4*sg.Len()])
+			e.gradPool.Put(gbuf)
+		}
+	}
+
+	// Update kernel: delayed in-place conversion vs pre-upscaled.
+	var sw metrics.Stopwatch
+	sw.Start()
+	applyClip(sg, run.clip, e.cfg.SkipGradFlush)
+	if e.cfg.SkipGradFlush {
+		optim.StepFP16Parallel(sg.State, sg.Grads16, e.cfg.Hyper, e.step, e.cfg.CPUWorkers)
+	} else {
+		optim.StepFP32Parallel(sg.State, sg.Grads32, e.cfg.Hyper, e.step, e.cfg.CPUWorkers)
+		sg.Grads32 = nil // discarded after the update, as in ZeRO-3
+	}
+	it.UpdateComputeTime += sw.Lap()
+
+	// H2D: the refreshed FP16 parameters return to the device.
+	off := e.sgOffset[item.sgID]
+	fp16.Encode(e.params16[off:off+int64(sg.Len())], sg.State.Params)
+	e.d2hTransfer(int64(sg.Len()) * 2)
+	return nil
+}
+
+// commitItems is the committer stage: strictly in order, it merges each
+// item's metrics, makes the subgroup's residency official, and lazily
+// flushes LRU victims. Successful items are committed even after a phase
+// failure so the engine's residency bookkeeping matches the updates that
+// actually happened.
+func (e *Engine) commitItems(run *phaseRun, it *metrics.Iteration, window chan struct{}, orderCh chan *updateItem) {
+	for item := range orderCh {
+		<-item.done
+		if item.err != nil {
+			e.cacheMu.Lock()
+			e.lru.Unpin(item.sgID)
+			e.cacheMu.Unlock()
+			run.fail(item.err)
+			<-window
+			continue
+		}
+		it.Merge(item.m)
+
+		// Cache decision: most-recently-updated subgroups stay resident;
+		// displaced victims are lazily flushed to their (re)assigned tiers.
+		// loc, pins, eviction and ticket publication change atomically so
+		// the issuer always sees a consistent residency picture.
+		e.cacheMu.Lock()
+		if !item.hit {
+			e.loc[item.sgID] = locHost
+		}
+		e.lru.Unpin(item.sgID)
+		victims := e.lru.TouchEvict(item.sgID)
+		tickets := make([]*flushTicket, len(victims))
+		for i, v := range victims {
+			tickets[i] = &flushTicket{done: make(chan struct{})}
+			e.mu.Lock()
+			e.flushTickets[v] = tickets[i]
+			e.mu.Unlock()
+			e.loc[v] = e.plan.TierFor(v)
+		}
+		e.cacheMu.Unlock()
+		for i, v := range victims {
+			if err := e.flushEvicted(v, tickets[i]); err != nil {
+				run.fail(err)
+			}
+		}
+		<-window
+	}
+}
+
+// flushEvicted serializes and asynchronously flushes an evicted subgroup to
+// the tier already recorded in loc, fulfilling its ticket so a same-phase
+// refetch orders after the write. The subgroup's state is freed immediately
+// (the bytes live in the staging buffer until the write completes).
+func (e *Engine) flushEvicted(v int, tk *flushTicket) error {
+	sg := e.shard.Subgroups[v]
+	tier := e.loc[v]
+	if sg.State == nil {
+		close(tk.done)
+		return fmt.Errorf("engine: flush of non-resident subgroup %d", v)
+	}
+	buf := e.flushPool.Get() // backpressure: at most 2 concurrent flushes
+	n, err := sg.Marshal(buf, false)
+	if err != nil {
+		e.flushPool.Put(buf)
+		close(tk.done)
+		return err
+	}
+	op, err := e.aios[tier].SubmitWrite(e.key(v), buf[:n])
+	if err != nil {
+		e.flushPool.Put(buf)
+		close(tk.done)
+		return err
+	}
+	sg.State = nil
+	tk.op = op
+	close(tk.done)
+	name := e.names[tier]
+	nb := float64(n)
+	e.flushWG.Add(1)
+	go func() {
+		defer e.flushWG.Done()
+		_ = op.Wait()
+		secs := op.TransferTime().Seconds()
+		e.est.Observe(name, nb, secs)
+		e.mu.Lock()
+		e.flushReadTimes.bytes += nb
+		e.flushReadTimes.secs += secs
+		e.mu.Unlock()
+		e.flushPool.Put(buf)
+	}()
+	e.mu.Lock()
+	e.pendingFlush = append(e.pendingFlush, op)
+	e.mu.Unlock()
+	return nil
+}

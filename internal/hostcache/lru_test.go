@@ -1,6 +1,7 @@
 package hostcache
 
 import (
+	"sync"
 	"testing"
 )
 
@@ -97,4 +98,125 @@ func TestLRUNegativeCapacityPanics(t *testing.T) {
 		}
 	}()
 	NewLRU(-1)
+}
+
+// TestLRUPinShieldsFromEviction: a pinned member is skipped as eviction
+// victim; the next unpinned LRU member goes instead.
+func TestLRUPinShieldsFromEviction(t *testing.T) {
+	l := NewLRU(2)
+	l.Touch(1)
+	l.Touch(2)
+	l.Pin(1) // LRU member, but pinned
+	ev := l.TouchEvict(3)
+	if len(ev) != 1 || ev[0] != 2 {
+		t.Fatalf("evicted %v, want [2] (pinned 1 must survive)", ev)
+	}
+	if !l.Contains(1) || !l.Pinned(1) {
+		t.Error("pinned member dropped")
+	}
+	l.Unpin(1)
+}
+
+// TestLRUPinOverflowDrains: when all older members are pinned, the
+// just-touched subgroup itself is the victim — HostCacheSlots is a host
+// memory budget, so eviction beats overflow. Only when every member
+// including the new one is pinned does the set temporarily overflow, and
+// the backlog drains on the first touch after unpinning.
+func TestLRUPinOverflowDrains(t *testing.T) {
+	l := NewLRU(2)
+	l.Touch(1)
+	l.Touch(2)
+	l.Pin(1)
+	l.Pin(2)
+	// 1 and 2 pinned: the unpinned newcomer bounces straight back out.
+	if ev := l.TouchEvict(3); len(ev) != 1 || ev[0] != 3 {
+		t.Fatalf("evicted %v, want [3] (memory budget beats recency)", ev)
+	}
+	// Pinned newcomer: nothing evictable, set overflows.
+	l.Pin(4)
+	if ev := l.TouchEvict(4); len(ev) != 0 {
+		t.Fatalf("evicted %v, want none (every member pinned)", ev)
+	}
+	if l.Len() != 3 {
+		t.Fatalf("len = %d, want 3 (temporary overflow)", l.Len())
+	}
+	l.Unpin(1)
+	l.Unpin(2)
+	l.Unpin(4)
+	ev := l.TouchEvict(5)
+	if len(ev) != 2 || ev[0] != 1 || ev[1] != 2 {
+		t.Fatalf("evicted %v, want [1 2] (overflow drains oldest-first)", ev)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len = %d, want 2 after drain", l.Len())
+	}
+}
+
+// TestLRUPinCounts: pins nest; eviction is blocked until the last unpin.
+func TestLRUPinCounts(t *testing.T) {
+	l := NewLRU(1)
+	l.Touch(7)
+	l.Pin(7)
+	l.Pin(7)
+	l.Unpin(7)
+	if !l.Pinned(7) {
+		t.Fatal("pin count dropped too early")
+	}
+	// 8 is unpinned and over budget: it is evicted, 7 survives.
+	if ev := l.TouchEvict(8); len(ev) != 1 || ev[0] != 8 {
+		t.Fatalf("evicted %v, want [8] (pinned 7 must survive)", ev)
+	}
+	if !l.Contains(7) {
+		t.Fatal("pinned member dropped")
+	}
+	l.Unpin(7)
+	if l.Pinned(7) {
+		t.Fatal("still pinned after final unpin")
+	}
+}
+
+func TestLRUUnpinUnpinnedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewLRU(2).Unpin(3)
+}
+
+// TestLRUTouchEvictCapacityZero keeps the capacity-0 contract: nothing is
+// retained and the touched subgroup itself is the victim.
+func TestLRUTouchEvictCapacityZero(t *testing.T) {
+	l := NewLRU(0)
+	if ev := l.TouchEvict(5); len(ev) != 1 || ev[0] != 5 {
+		t.Fatalf("evicted %v, want [5]", ev)
+	}
+	if l.Len() != 0 {
+		t.Fatal("capacity-0 LRU retained a member")
+	}
+}
+
+// TestLRUConcurrentPinTouch exercises the pin/unpin/touch surface from
+// many goroutines; run under -race this guards the concurrent update
+// pipeline's cache interactions.
+func TestLRUConcurrentPinTouch(t *testing.T) {
+	l := NewLRU(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sg := (g*200 + i) % 16
+				l.Pin(sg)
+				l.TouchEvict(sg)
+				l.Contains(sg)
+				l.Unpin(sg)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() < 4 {
+		t.Errorf("len = %d, want the cache full after the storm", l.Len())
+	}
 }

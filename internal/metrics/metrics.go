@@ -53,6 +53,28 @@ type Iteration struct {
 	UpdateComputeTime float64
 }
 
+// Merge folds another iteration's counters into it. The concurrent update
+// pipeline gives each worker a private Iteration accumulator and merges
+// them in commit order, so the totals are deterministic for a given set of
+// per-subgroup measurements regardless of worker interleaving.
+func (it *Iteration) Merge(o Iteration) {
+	it.Phases = it.Phases.Add(o.Phases)
+	it.ParamsUpdated += o.ParamsUpdated
+	it.BytesRead += o.BytesRead
+	it.BytesWritten += o.BytesWritten
+	it.ReadTime += o.ReadTime
+	it.WriteTime += o.WriteTime
+	it.CacheHits += o.CacheHits
+	it.CacheMisses += o.CacheMisses
+	it.UpdateComputeTime += o.UpdateComputeTime
+	for k, v := range o.TierBytes {
+		if it.TierBytes == nil {
+			it.TierBytes = make(map[string]float64, len(o.TierBytes))
+		}
+		it.TierBytes[k] += v
+	}
+}
+
 // UpdateThroughput returns million parameters updated per second of update
 // phase. Zero-duration updates report 0.
 func (it Iteration) UpdateThroughput() float64 {

@@ -152,3 +152,44 @@ func TestStopwatch(t *testing.T) {
 		t.Error("negative second lap")
 	}
 }
+
+func TestIterationMerge(t *testing.T) {
+	var total Iteration
+	a := Iteration{
+		Phases:            Phases{Forward: 1, Backward: 2, Update: 3},
+		ParamsUpdated:     100,
+		BytesRead:         10,
+		BytesWritten:      20,
+		ReadTime:          0.5,
+		WriteTime:         0.25,
+		CacheHits:         3,
+		CacheMisses:       7,
+		UpdateComputeTime: 0.125,
+		TierBytes:         map[string]float64{"nvme": 64},
+	}
+	b := Iteration{
+		ParamsUpdated: 50,
+		BytesRead:     5,
+		CacheMisses:   1,
+		TierBytes:     map[string]float64{"nvme": 16, "pfs": 8},
+	}
+	total.Merge(a)
+	total.Merge(b)
+	if total.ParamsUpdated != 150 || total.BytesRead != 15 || total.BytesWritten != 20 {
+		t.Errorf("merged counters wrong: %+v", total)
+	}
+	if total.CacheHits != 3 || total.CacheMisses != 8 {
+		t.Errorf("merged cache stats wrong: %+v", total)
+	}
+	if total.Phases.Total() != 6 || total.ReadTime != 0.5 || total.UpdateComputeTime != 0.125 {
+		t.Errorf("merged timings wrong: %+v", total)
+	}
+	if total.TierBytes["nvme"] != 80 || total.TierBytes["pfs"] != 8 {
+		t.Errorf("merged tier bytes wrong: %v", total.TierBytes)
+	}
+	// Merging into a zero Iteration must not alias the source map.
+	b.TierBytes["pfs"] = 999
+	if total.TierBytes["pfs"] != 8 {
+		t.Error("Merge aliased the source TierBytes map")
+	}
+}

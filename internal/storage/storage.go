@@ -28,6 +28,17 @@ import (
 var ErrNotFound = errors.New("storage: key not found")
 
 // Tier is an object store with whole-object semantics.
+//
+// Concurrency contract: implementations must be safe for concurrent use by
+// multiple goroutines. The aio engine calls Read and Write from IOWorkers
+// goroutines per tier, the engine's update pipeline adds UpdateWorkers
+// concurrent callers on top, and several engine instances may share one
+// Tier on a node (TestFourWorkersSharedNode). Concurrent operations on
+// distinct keys must not interfere; concurrent operations on the same key
+// must each behave atomically (a Read observes some complete previously
+// written object, never a torn mix). Ordering between a concurrent Read
+// and Write of one key is the caller's responsibility — the engine orders
+// a refetch after its eviction flush explicitly.
 type Tier interface {
 	// Name identifies the tier (e.g. "nvme", "pfs").
 	Name() string
@@ -216,18 +227,36 @@ func (f *FileTier) Read(ctx context.Context, key string, dst []byte) error {
 	return nil
 }
 
-// Write implements Tier. Writes go to a temp file and rename for atomicity
-// (a crashed flush must not leave a torn subgroup object).
+// Write implements Tier. Writes go to a uniquely named temp file and
+// rename for atomicity: a crashed flush must not leave a torn subgroup
+// object, and concurrent writers of one key must each publish a complete
+// object (a shared temp path would let one writer rename another's
+// half-written file into place).
 func (f *FileTier) Write(ctx context.Context, key string, src []byte) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	p := f.path(key)
-	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, src, 0o644); err != nil {
+	tmp, err := os.CreateTemp(f.dir, filepath.Base(p)+".*.tmp")
+	if err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, p); err != nil {
+	if _, err := tmp.Write(src); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Chmod(0o644); err != nil { // CreateTemp defaults to 0600
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
 		return err
 	}
 	f.addWrite(int64(len(src)))

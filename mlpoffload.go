@@ -9,7 +9,15 @@
 //     fetch/update/flush pipeline over pluggable storage tiers, running
 //     real Adam updates on real FP32 state with real FP16 gradient
 //     conversion. Use it with in-memory, file-backed or
-//     bandwidth-throttled tiers.
+//     bandwidth-throttled tiers. The update phase itself is a three-stage
+//     pipeline — an issuer keeping EngineConfig.PrefetchDepth fetches in
+//     flight, a pool of EngineConfig.UpdateWorkers goroutines running the
+//     Adam updates, and an in-order committer driving the host cache and
+//     lazy eviction flushes — so the CPU-side update of one subgroup
+//     overlaps with tier reads and writes for its neighbours.
+//     UpdateWorkers=1 (the default) reproduces the paper's sequential
+//     update phase bit-for-bit; any worker count yields identical
+//     parameters.
 //
 //   - The paper-scale simulator (RunSim): the same offloading policies
 //     executed on a discrete-event simulator parameterized by the paper's
