@@ -9,9 +9,12 @@
 //	mlptrain -mode baseline           # DeepSpeed-ZeRO-3-shaped run
 //	mlptrain -params 8000000 -iters 8
 //	mlptrain -dir /tmp/offload        # file-backed tiers instead of RAM
+//	mlptrain -dir /tmp/offload -checkpoint-every 2   # restorable checkpoints
+//	mlptrain -dir /tmp/offload -resume               # continue a crashed run
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,30 +23,44 @@ import (
 	mlpoffload "github.com/datastates/mlpoffload"
 )
 
+// ckptPrefix namespaces this command's checkpoint keys.
+const ckptPrefix = "mlptrain"
+
 func main() {
 	var (
-		mode     = flag.String("mode", "mlp", "mlp | baseline")
-		params   = flag.Int64("params", 4_000_000, "shard parameters")
-		subgroup = flag.Int64("subgroup", 250_000, "subgroup size in parameters")
-		iters    = flag.Int("iters", 6, "training iterations")
-		dir      = flag.String("dir", "", "directory for file-backed tiers (empty = in-memory)")
-		throttle = flag.Bool("throttle", true, "emulate Table-1-scaled tier bandwidths")
-		workers  = flag.Int("update-workers", 1, "update-phase pipeline parallelism (1 = paper's sequential update)")
+		mode      = flag.String("mode", "mlp", "mlp | baseline")
+		params    = flag.Int64("params", 4_000_000, "shard parameters")
+		subgroup  = flag.Int64("subgroup", 250_000, "subgroup size in parameters")
+		iters     = flag.Int("iters", 6, "training iterations (total; -resume continues toward this target)")
+		dir       = flag.String("dir", "", "directory for file-backed tiers (empty = in-memory)")
+		throttle  = flag.Bool("throttle", true, "emulate Table-1-scaled tier bandwidths")
+		workers   = flag.Int("update-workers", 1, "update-phase pipeline parallelism (1 = paper's sequential update)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "write a restorable checkpoint every N iterations (0 = off)")
+		ckptKeep  = flag.Int("keep-checkpoints", 2, "retain only the newest N checkpoints (0 = keep all)")
+		resume    = flag.Bool("resume", false, "restore the latest checkpoint before training (requires -dir)")
 	)
 	flag.Parse()
 
-	mkTier := func(name string) mlpoffload.Tier {
-		var t mlpoffload.Tier
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "mlptrain: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	// mkRawTier builds the backing store; mkTier adds bandwidth emulation
+	// (checkpoint storage is not throttled — only training tiers model
+	// Table-1 devices).
+	mkRawTier := func(name string) mlpoffload.Tier {
 		if *dir != "" {
-			var err error
-			t, err = mlpoffload.NewFileTier(name, filepath.Join(*dir, name))
+			t, err := mlpoffload.NewFileTier(name, filepath.Join(*dir, name))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "mlptrain: %v\n", err)
-				os.Exit(1)
+				fail("%v", err)
 			}
-		} else {
-			t = mlpoffload.NewMemTier(name)
+			return t
 		}
+		return mlpoffload.NewMemTier(name)
+	}
+	mkTier := func(name string) mlpoffload.Tier {
+		t := mkRawTier(name)
 		if *throttle {
 			// Table-1 ratios scaled to laptop speeds: NVMe 690/530 MB/s,
 			// PFS 360/360 MB/s.
@@ -57,7 +74,9 @@ func main() {
 	}
 
 	nvme := mlpoffload.TierSpec{Tier: mkTier("nvme"), ReadBW: 690e6, WriteBW: 530e6}
-	pfs := mlpoffload.TierSpec{Tier: mkTier("pfs"), ReadBW: 360e6, WriteBW: 360e6}
+	// A file-backed "pfs" survives process teardown, so subgroups resident
+	// there are pre-staged for checkpoints; an in-memory one is volatile.
+	pfs := mlpoffload.TierSpec{Tier: mkTier("pfs"), ReadBW: 360e6, WriteBW: 360e6, Persistent: *dir != ""}
 
 	var cfg mlpoffload.EngineConfig
 	switch *mode {
@@ -67,31 +86,91 @@ func main() {
 		locks := mlpoffload.NewNodeLocks(true)
 		cfg = mlpoffload.MLPConfig(0, *params, *subgroup, []mlpoffload.TierSpec{nvme, pfs}, locks)
 	default:
-		fmt.Fprintf(os.Stderr, "mlptrain: unknown mode %q\n", *mode)
-		os.Exit(1)
+		fail("unknown mode %q", *mode)
 	}
 	cfg.UpdateWorkers = *workers
 
 	eng, err := mlpoffload.NewEngine(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mlptrain: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 	defer eng.Close()
 
+	ctx := context.Background()
+	var ckptTier mlpoffload.Tier
+	if *ckptEvery > 0 || *resume {
+		if *resume && *dir == "" {
+			fail("-resume needs file-backed tiers: pass -dir")
+		}
+		ckptTier = mkRawTier("ckpt")
+	}
+	// resolveTier maps manifest tier names (pre-staged snapshots) back to
+	// the training tiers, for retention pruning.
+	resolveTier := func(name string) mlpoffload.Tier {
+		switch name {
+		case "nvme":
+			return nvme.Tier
+		case "pfs":
+			return pfs.Tier
+		}
+		return nil
+	}
+
+	start := 0
+	if *resume {
+		r := mlpoffload.NewCheckpointReader(ckptTier, ckptPrefix)
+		step, err := r.LatestStep(ctx)
+		if err != nil {
+			fail("resume: %v", err)
+		}
+		m, err := r.ReadManifest(ctx, step)
+		if err != nil {
+			fail("resume: %v", err)
+		}
+		if err := eng.Restore(ctx, r, m); err != nil {
+			fail("resume: %v", err)
+		}
+		start = m.Step
+		fmt.Printf("resumed from checkpoint step %d (pre-staging saved %.0f%% of checkpoint I/O)\n",
+			start, m.Savings()*100)
+	}
+	var writer *mlpoffload.CheckpointWriter
+	if *ckptEvery > 0 {
+		writer = mlpoffload.NewCheckpointWriter(ckptTier, ckptPrefix)
+		defer writer.Close()
+	}
+
+	if start >= *iters {
+		fmt.Printf("checkpoint already at iteration %d >= -iters %d; nothing to do\n", start, *iters)
+		return
+	}
 	fmt.Printf("mode=%s params=%d subgroups=%d placement=%s\n",
 		*mode, *params, eng.Subgroups(), eng.Plan().Ratio())
 	fmt.Printf("%-5s %-9s %-9s %-9s %-9s %-7s %-7s\n",
 		"iter", "fwd(s)", "bwd(s)", "upd(s)", "total(s)", "hits", "misses")
-	for i := 0; i < *iters; i++ {
+	for i := start; i < *iters; i++ {
 		it, err := eng.TrainIteration(i)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mlptrain: iteration %d: %v\n", i, err)
-			os.Exit(1)
+			fail("iteration %d: %v", i, err)
 		}
 		fmt.Printf("%-5d %-9.3f %-9.3f %-9.3f %-9.3f %-7d %-7d\n",
 			i, it.Phases.Forward, it.Phases.Backward, it.Phases.Update,
 			it.Phases.Total(), it.CacheHits, it.CacheMisses)
+		if writer != nil && (i+1-start)%*ckptEvery == 0 {
+			m, err := eng.Checkpoint(ctx, i+1, writer)
+			if err != nil {
+				fail("checkpoint at iteration %d: %v", i, err)
+			}
+			fmt.Printf("      checkpoint step %d committed (pre-staging saved %.0f%% of checkpoint I/O)\n",
+				m.Step, m.Savings()*100)
+			r := mlpoffload.NewCheckpointReader(ckptTier, ckptPrefix)
+			if _, err := r.Prune(ctx, *ckptKeep, resolveTier); err != nil {
+				fail("prune checkpoints: %v", err)
+			}
+			if _, err := r.SweepOrphans(ctx, []mlpoffload.Tier{nvme.Tier, pfs.Tier}); err != nil {
+				fail("sweep checkpoints: %v", err)
+			}
+		}
 	}
 	m := eng.Series().Mean()
 	fmt.Printf("\nmean (after warmup): total=%.3fs update=%.3fs updThroughput=%.1f Mparams/s effIO=%.1f MB/s hitRate=%.0f%%\n",

@@ -4,17 +4,33 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"github.com/datastates/mlpoffload/internal/optim"
 	"github.com/datastates/mlpoffload/internal/storage"
 )
+
+// waitReleased polls for the asynchronous per-buffer release calls (they
+// fire when a write lands, not when Write returns).
+func waitReleased(t *testing.T, released *atomic.Int32, want int32) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for released.Load() != want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := released.Load(); got != want {
+		t.Errorf("released %d buffers, want %d", got, want)
+	}
+}
 
 func mkLocs() []Location {
 	return []Location{
 		{SubgroupID: 0, TierName: "host", Persistent: false, Bytes: 100},
-		{SubgroupID: 1, TierName: "nvme", Persistent: false, Bytes: 100},
-		{SubgroupID: 2, TierName: "pfs", Persistent: true, Bytes: 100},
-		{SubgroupID: 3, TierName: "pfs", Persistent: true, Bytes: 100},
+		{SubgroupID: 1, TierName: "nvme", Key: "rank000-sg00001.opt", Persistent: false, Bytes: 100},
+		{SubgroupID: 2, TierName: "pfs", Key: "rank000-sg00002.opt", Persistent: true, Bytes: 100},
+		{SubgroupID: 3, TierName: "pfs", Key: "rank000-sg00003.opt", Persistent: true, Bytes: 100},
 		{SubgroupID: 4, TierName: "", Persistent: false, Bytes: 100},
 	}
 }
@@ -44,15 +60,24 @@ func TestWriterFlushesRemainder(t *testing.T) {
 	w := NewWriter(tier, "ckpt")
 	defer w.Close()
 	plan := BuildPlan(mkLocs())
+	fetched := 0
 	fetch := func(_ context.Context, sg int) ([]byte, error) {
+		fetched++
 		return []byte(fmt.Sprintf("state-%d", sg)), nil
 	}
-	n, err := w.Write(context.Background(), 7, plan, fetch)
+	var released atomic.Int32
+	n, err := w.Write(context.Background(), 7, plan, fetch, func([]byte) { released.Add(1) })
 	if err != nil {
 		t.Fatal(err)
 	}
 	if n != int64(len("state-0")+len("state-1")+len("state-4")) {
 		t.Errorf("written = %d", n)
+	}
+	// Staging memory is bounded: every fetched buffer is released once its
+	// write lands (asynchronously, so poll briefly).
+	waitReleased(t, &released, int32(fetched))
+	if fetched != 3 {
+		t.Errorf("fetched = %d buffers, want 3", fetched)
 	}
 	keys, _ := tier.Keys(context.Background())
 	if len(keys) != 3 {
@@ -60,13 +85,13 @@ func TestWriterFlushesRemainder(t *testing.T) {
 	}
 	// Pre-staged subgroups (2, 3) must NOT be rewritten.
 	for _, k := range keys {
-		if k == "ckpt-step000007-sg00002.ckpt" || k == "ckpt-step000007-sg00003.ckpt" {
+		if k == ObjectKey("ckpt", 7, 2) || k == ObjectKey("ckpt", 7, 3) {
 			t.Errorf("pre-staged subgroup rewritten: %s", k)
 		}
 	}
 	// Round-trip one object.
 	dst := make([]byte, len("state-0"))
-	if err := tier.Read(context.Background(), "ckpt-step000007-sg00000.ckpt", dst); err != nil {
+	if err := tier.Read(context.Background(), ObjectKey("ckpt", 7, 0), dst); err != nil {
 		t.Fatal(err)
 	}
 	if string(dst) != "state-0" {
@@ -75,28 +100,346 @@ func TestWriterFlushesRemainder(t *testing.T) {
 }
 
 func TestWriterFetchError(t *testing.T) {
-	w := NewWriter(storage.NewMemTier("pfs"), "ckpt")
+	tier := storage.NewMemTier("pfs")
+	w := NewWriter(tier, "ckpt")
 	defer w.Close()
 	boom := errors.New("fetch failed")
-	plan := BuildPlan(mkLocs())
+	plan := BuildPlan(mkLocs()) // ToFlush order: 0, 1, 4
+	var released atomic.Int32
 	_, err := w.Write(context.Background(), 1, plan, func(_ context.Context, sg int) ([]byte, error) {
 		if sg == 1 {
 			return nil, boom
 		}
 		return []byte{1}, nil
-	})
+	}, func([]byte) { released.Add(1) })
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
 	}
+	waitReleased(t, &released, 1) // the one buffer fetched before the error
+	// The write submitted before the failing fetch was waited, not
+	// abandoned: it must be durable by the time Write returns.
+	if _, err := tier.Size(context.Background(), ObjectKey("ckpt", 1, 0)); err != nil {
+		t.Errorf("pre-error write not landed: %v", err)
+	}
 }
 
-func TestManifest(t *testing.T) {
-	m := BuildManifest(5, BuildPlan(mkLocs()))
-	if m.Step != 5 {
-		t.Error("step lost")
+func TestWriterWriteErrorWaitsAllOps(t *testing.T) {
+	boom := errors.New("disk full")
+	ft := &storage.FaultTier{
+		Tier:       storage.NewMemTier("pfs"),
+		FailEvery:  2, // every second write fails
+		Err:        boom,
+		FailWrites: true,
 	}
-	if len(m.Written) != 3 || len(m.PreStaged) != 2 {
-		t.Errorf("manifest = %+v", m)
+	w := NewWriter(ft, "ckpt")
+	plan := BuildPlan(mkLocs())
+	_, err := w.Write(context.Background(), 1, plan, func(_ context.Context, sg int) ([]byte, error) {
+		return []byte{byte(sg)}, nil
+	}, nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// All ops were waited before Write returned, so Close cannot hang on
+	// leaked in-flight work.
+	w.Close()
+}
+
+func TestManifestFromPlan(t *testing.T) {
+	m := BuildManifest(5, BuildPlan(mkLocs()), "ckpt")
+	if m.Step != 5 || m.FormatVersion != ManifestVersion {
+		t.Errorf("header = %+v", m)
+	}
+	if len(m.Entries) != 5 {
+		t.Fatalf("entries = %d", len(m.Entries))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Pre-staged entries point at step-tagged snapshot keys on their own
+	// tier — never at the live training keys the next phase overwrites.
+	for _, sg := range []int{2, 3} {
+		e, ok := m.Entry(sg)
+		if !ok || !e.PreStaged {
+			t.Fatalf("subgroup %d entry = %+v", sg, e)
+		}
+		if e.Tier != "pfs" || e.Key != SnapshotKey("ckpt", 5, sg) {
+			t.Errorf("subgroup %d references %s/%s, want pfs snapshot", sg, e.Tier, e.Key)
+		}
+		if e.Key == fmt.Sprintf("rank000-sg%05d.opt", sg) {
+			t.Errorf("subgroup %d references the live training key", sg)
+		}
+	}
+	// Flushed entries land on the checkpoint tier under step-tagged keys,
+	// remembering their origin for residency rebuild.
+	e0, _ := m.Entry(0)
+	if e0.Tier != "" || e0.Key != ObjectKey("ckpt", 5, 0) || e0.Origin != "host" {
+		t.Errorf("host entry = %+v", e0)
+	}
+	if s := m.Savings(); s != 0.4 {
+		t.Errorf("savings = %v, want 0.4", s)
+	}
+}
+
+func TestManifestValidate(t *testing.T) {
+	good := BuildManifest(1, BuildPlan(mkLocs()), "c")
+	bad := good
+	bad.FormatVersion = 99
+	if bad.Validate() == nil {
+		t.Error("unknown version accepted")
+	}
+	gap := good
+	gap.Entries = gap.Entries[1:]
+	if gap.Validate() == nil {
+		t.Error("non-dense entries accepted")
+	}
+}
+
+func TestManifestRoundTripAndReader(t *testing.T) {
+	ctx := context.Background()
+	tier := storage.NewMemTier("ckpt")
+	w := NewWriter(tier, "run")
+	defer w.Close()
+
+	mk := func(step int) Manifest {
+		m := BuildManifest(step, BuildPlan(mkLocs()), "run")
+		m.Rank = 3
+		m.Params = 500
+		m.SubgroupParams = 100
+		m.AdamStep = step
+		m.Phase = step
+		m.SkippedSteps = 1
+		m.Scaler = &optim.ScalerState{Scale: 1024, SinceGrow: 7, GoodSteps: int64(step)}
+		m.Numerics = Numerics{Order: "alternating", SkipGradFlush: true, GradAccumSteps: 2, LR: 6e-5, Beta1: 0.9, Beta2: 0.95, Eps: 1e-8}
+		return m
+	}
+	for _, step := range []int{2, 5} {
+		if err := w.WriteManifest(mk(step)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unrelated keys must not confuse discovery.
+	_ = tier.Write(ctx, "run-step000002-sg00000.ckpt", []byte{1})
+	_ = tier.Write(ctx, "other-step000009.manifest", []byte("{}"))
+
+	r := NewReader(tier, "run")
+	steps, err := r.Steps(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 2 || steps[0] != 2 || steps[1] != 5 {
+		t.Fatalf("steps = %v", steps)
+	}
+	latest, err := r.LatestStep(ctx)
+	if err != nil || latest != 5 {
+		t.Fatalf("latest = %d, %v", latest, err)
+	}
+	got, err := r.ReadManifest(ctx, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mk(5)
+	if got.Rank != want.Rank || got.Params != want.Params || got.AdamStep != want.AdamStep ||
+		got.Phase != want.Phase || got.SkippedSteps != want.SkippedSteps {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if got.Scaler == nil || *got.Scaler != *want.Scaler {
+		t.Errorf("scaler state = %+v, want %+v", got.Scaler, want.Scaler)
+	}
+	if got.Numerics != want.Numerics {
+		t.Errorf("numerics = %+v, want %+v", got.Numerics, want.Numerics)
+	}
+	if len(got.Entries) != len(want.Entries) || got.Entries[2] != want.Entries[2] {
+		t.Errorf("entries differ: %+v", got.Entries)
+	}
+}
+
+func TestReaderNoManifest(t *testing.T) {
+	r := NewReader(storage.NewMemTier("ckpt"), "run")
+	if _, err := r.LatestStep(context.Background()); !errors.Is(err, storage.ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestReaderVerify(t *testing.T) {
+	ctx := context.Background()
+	ckpt := storage.NewMemTier("ckpt")
+	pfs := storage.NewMemTier("pfs")
+	resolve := func(name string) storage.Tier {
+		if name == "pfs" {
+			return pfs
+		}
+		return nil
+	}
+	m := BuildManifest(1, BuildPlan(mkLocs()), "run")
+	r := NewReader(ckpt, "run")
+	if err := r.Verify(ctx, m, resolve); err == nil {
+		t.Fatal("verify passed with no objects present")
+	}
+	for _, e := range m.Entries {
+		tier := storage.Tier(ckpt)
+		if e.Tier != "" {
+			tier = pfs
+		}
+		if err := tier.Write(ctx, e.Key, make([]byte, e.Bytes)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Verify(ctx, m, resolve); err != nil {
+		t.Fatalf("verify failed with all objects present: %v", err)
+	}
+	// A size mismatch (torn or overwritten object) is staleness.
+	if err := pfs.Write(ctx, m.Entries[2].Key, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Verify(ctx, m, resolve); err == nil {
+		t.Error("verify missed a size mismatch")
+	}
+}
+
+// TestReaderPruneRetention: pruning keeps the newest checkpoints and
+// deletes everything the removed manifests reference — including the
+// snapshots on the persistent training tier — manifest first.
+func TestReaderPruneRetention(t *testing.T) {
+	ctx := context.Background()
+	ckpt := storage.NewMemTier("ckpt")
+	pfs := storage.NewMemTier("pfs")
+	resolve := func(name string) storage.Tier {
+		if name == "pfs" {
+			return pfs
+		}
+		return nil
+	}
+	w := NewWriter(ckpt, "run")
+	defer w.Close()
+	plan := BuildPlan(mkLocs())
+	write := func(step int) Manifest {
+		if _, err := w.Write(ctx, step, plan, func(_ context.Context, sg int) ([]byte, error) {
+			return make([]byte, 100), nil // matches mkLocs object sizes
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+		m := BuildManifest(step, plan, "run")
+		for _, e := range m.Entries {
+			if e.Tier != "" {
+				if err := pfs.Write(ctx, e.Key, make([]byte, e.Bytes)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := w.WriteManifest(m); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	for _, step := range []int{1, 2, 3} {
+		write(step)
+	}
+
+	r := NewReader(ckpt, "run")
+	if removed, err := r.Prune(ctx, 0, resolve); err != nil || removed != nil {
+		t.Fatalf("keep<=0 must be a no-op, got %v, %v", removed, err)
+	}
+	removed, err := r.Prune(ctx, 2, resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != 1 {
+		t.Fatalf("removed = %v, want [1]", removed)
+	}
+	steps, _ := r.Steps(ctx)
+	if len(steps) != 2 || steps[0] != 2 || steps[1] != 3 {
+		t.Fatalf("steps after prune = %v", steps)
+	}
+	// Step 1's objects are gone from both tiers; step 2/3's remain.
+	m1 := BuildManifest(1, plan, "run")
+	for _, e := range m1.Entries {
+		tier := storage.Tier(ckpt)
+		if e.Tier != "" {
+			tier = pfs
+		}
+		if _, err := tier.Size(ctx, e.Key); !errors.Is(err, storage.ErrNotFound) {
+			t.Errorf("pruned object %s still present (err=%v)", e.Key, err)
+		}
+	}
+	for _, step := range []int{2, 3} {
+		m, err := r.ReadManifest(ctx, step)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Verify(ctx, m, resolve); err != nil {
+			t.Errorf("retained step %d damaged by prune: %v", step, err)
+		}
+	}
+}
+
+// TestSweepOrphans: data objects from checkpoints whose manifest never
+// landed are deleted once a newer checkpoint commits; committed objects
+// and steps at/above the newest manifest (possibly in progress) survive.
+func TestSweepOrphans(t *testing.T) {
+	ctx := context.Background()
+	ckpt := storage.NewMemTier("ckpt")
+	pfs := storage.NewMemTier("pfs")
+	r := NewReader(ckpt, "run")
+
+	// Orphans at step 1 (failed attempt): flushed object + snapshot.
+	_ = ckpt.Write(ctx, ObjectKey("run", 1, 0), []byte{1})
+	_ = pfs.Write(ctx, SnapshotKey("run", 1, 3), []byte{1})
+	// Another prefix's orphan must not be touched.
+	_ = ckpt.Write(ctx, ObjectKey("other", 1, 0), []byte{1})
+	// Live training keys must never be touched.
+	_ = pfs.Write(ctx, "rank000-sg00003.opt", []byte{1})
+
+	// No committed manifest at all: sweeping is a no-op (the orphan could
+	// be the very first checkpoint, still in progress).
+	deleted, err := r.SweepOrphans(ctx, []storage.Tier{pfs})
+	if err != nil || deleted != nil {
+		t.Fatalf("sweep with no manifests = %v, %v; want no-op", deleted, err)
+	}
+
+	// Commit step 2, plus objects for a possibly-in-progress step 9.
+	w := NewWriter(ckpt, "run")
+	defer w.Close()
+	m2 := BuildManifest(2, BuildPlan(mkLocs()), "run")
+	_ = ckpt.Write(ctx, ObjectKey("run", 2, 0), make([]byte, 100))
+	_ = pfs.Write(ctx, SnapshotKey("run", 2, 2), make([]byte, 100))
+	if err := w.WriteManifest(m2); err != nil {
+		t.Fatal(err)
+	}
+	_ = ckpt.Write(ctx, ObjectKey("run", 9, 0), []byte{1})
+
+	deleted, err = r.SweepOrphans(ctx, []storage.Tier{pfs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deleted) != 2 {
+		t.Fatalf("deleted = %v, want the two step-1 orphans", deleted)
+	}
+	for _, k := range []string{ObjectKey("run", 1, 0)} {
+		if _, err := ckpt.Size(ctx, k); !errors.Is(err, storage.ErrNotFound) {
+			t.Errorf("orphan %s survived sweep", k)
+		}
+	}
+	if _, err := pfs.Size(ctx, SnapshotKey("run", 1, 3)); !errors.Is(err, storage.ErrNotFound) {
+		t.Error("orphan snapshot survived sweep")
+	}
+	// Committed step 2, in-progress step 9, foreign prefix, and live
+	// training keys all survive.
+	for tier, key := range map[storage.Tier]string{
+		ckpt: ObjectKey("run", 2, 0),
+		pfs:  SnapshotKey("run", 2, 2),
+	} {
+		if _, err := tier.Size(ctx, key); err != nil {
+			t.Errorf("committed object %s swept: %v", key, err)
+		}
+	}
+	if _, err := ckpt.Size(ctx, ObjectKey("run", 9, 0)); err != nil {
+		t.Error("in-progress (newer than latest manifest) object swept")
+	}
+	if _, err := ckpt.Size(ctx, ObjectKey("other", 1, 0)); err != nil {
+		t.Error("foreign-prefix object swept")
+	}
+	if _, err := pfs.Size(ctx, "rank000-sg00003.opt"); err != nil {
+		t.Error("live training key swept")
 	}
 }
 

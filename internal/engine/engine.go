@@ -54,11 +54,16 @@ type Engine struct {
 	step  int // optimizer step (1-based at first update)
 	phase int // update phases completed
 
-	pendingFlush   []*aio.Op
-	pendingGrads   []*aio.Op
-	flushWG        sync.WaitGroup
-	mu             sync.Mutex // guards pendingFlush/flushTickets bookkeeping
-	flushReadTimes struct {   // accumulated write metrics from async flushes
+	pendingFlush []*aio.Op
+	pendingGrads []*aio.Op
+	flushWG      sync.WaitGroup
+	mu           sync.Mutex // guards pendingFlush/flushTickets bookkeeping
+	// asyncFlushStats accumulates *write* metrics (bytes, transfer time)
+	// from asynchronous eviction flushes as they complete. A flush still in
+	// flight when updatePhase folds the accumulator is attributed to the
+	// next iteration's fold — per-iteration write totals are approximate at
+	// the boundary, while the series total stays exact.
+	asyncFlushStats struct {
 		bytes float64
 		secs  float64
 	}
@@ -361,7 +366,10 @@ func (e *Engine) GatherParams(dst []float32) error {
 	if int64(len(dst)) != e.cfg.Params {
 		return fmt.Errorf("engine: dst len %d != params %d", len(dst), e.cfg.Params)
 	}
-	e.Drain() // lazy flushes must land before we read tiers
+	// Lazy flushes must land — successfully — before we read tiers.
+	if err := e.drain(); err != nil {
+		return err
+	}
 	for i, sg := range e.shard.Subgroups {
 		off := e.sgOffset[i]
 		if e.loc[i] == locHost {
@@ -386,20 +394,34 @@ func (e *Engine) GatherParams(dst []float32) error {
 	return nil
 }
 
-// Drain waits for all outstanding asynchronous work.
-func (e *Engine) Drain() {
+// Drain waits for all outstanding asynchronous work, discarding errors.
+func (e *Engine) Drain() { _ = e.drain() }
+
+// drain waits for all outstanding asynchronous work and reports the first
+// failure it absorbed. Draining clears the pending-op lists, so a caller
+// that then reads tier state (checkpoint, restore, gather) MUST use this
+// form: with the plain Drain the failed flush would never surface — the
+// next updatePhase has nothing left to wait on — and the reader would see
+// the previous, stale object under the live key.
+func (e *Engine) drain() error {
 	e.mu.Lock()
 	flushes := e.pendingFlush
 	e.pendingFlush = nil
 	e.mu.Unlock()
+	var firstErr error
 	for _, op := range flushes {
-		_ = op.Wait()
+		if err := op.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("engine: lazy flush failed: %w", err)
+		}
 	}
 	for _, op := range e.pendingGrads {
-		_ = op.Wait()
+		if err := op.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("engine: gradient flush failed: %w", err)
+		}
 	}
 	e.pendingGrads = nil
 	e.flushWG.Wait()
+	return firstErr
 }
 
 // Close drains and shuts down the engine. Idempotent.

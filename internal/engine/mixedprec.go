@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/datastates/mlpoffload/internal/aio"
 	"github.com/datastates/mlpoffload/internal/checkpoint"
 	"github.com/datastates/mlpoffload/internal/fp16"
 	"github.com/datastates/mlpoffload/internal/optim"
+	"github.com/datastates/mlpoffload/internal/storage"
 	"github.com/datastates/mlpoffload/internal/subgroup"
 )
 
@@ -82,7 +84,7 @@ func (e *Engine) GradNorm() float64 {
 
 // CheckpointLocations classifies every subgroup's current placement for
 // checkpoint planning: subgroups already resident on a persistent tier are
-// pre-staged and need no checkpoint I/O (§3.3).
+// pre-staged and need no cross-tier checkpoint I/O (§3.3).
 func (e *Engine) CheckpointLocations() []checkpoint.Location {
 	out := make([]checkpoint.Location, len(e.shard.Subgroups))
 	for i, sg := range e.shard.Subgroups {
@@ -94,6 +96,7 @@ func (e *Engine) CheckpointLocations() []checkpoint.Location {
 			loc.TierName = "host"
 		} else {
 			loc.TierName = e.names[e.loc[i]]
+			loc.Key = e.key(i)
 			loc.Persistent = e.cfg.Tiers[e.loc[i]].Persistent
 		}
 		out[i] = loc
@@ -101,34 +104,230 @@ func (e *Engine) CheckpointLocations() []checkpoint.Location {
 	return out
 }
 
+// numerics captures the configuration knobs that determine training
+// values (as opposed to performance); a checkpoint resumed under
+// different numerics is rejected by Restore.
+func (e *Engine) numerics() checkpoint.Numerics {
+	return checkpoint.Numerics{
+		Order:          e.cfg.Order.String(),
+		SkipGradFlush:  e.cfg.SkipGradFlush,
+		LossScaling:    e.cfg.LossScaling,
+		GradAccumSteps: e.cfg.GradAccumSteps,
+		ClipNorm:       e.cfg.ClipNorm,
+		LR:             e.cfg.Hyper.LR,
+		Beta1:          e.cfg.Hyper.Beta1,
+		Beta2:          e.cfg.Hyper.Beta2,
+		Eps:            e.cfg.Hyper.Eps,
+		WeightDecay:    e.cfg.Hyper.WeightDecay,
+	}
+}
+
+// marshalHostSubgroup serializes a host-resident subgroup into a freshly
+// allocated buffer (checkpoint writers hold it across async writes).
+func (e *Engine) marshalHostSubgroup(sgID int) ([]byte, error) {
+	sg := e.shard.Subgroups[sgID]
+	if sg.State == nil {
+		return nil, fmt.Errorf("engine: subgroup %d not host-resident", sgID)
+	}
+	buf := make([]byte, subgroup.StateBytes(sg.Len()))
+	if _, err := sg.Marshal(buf, false); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
 // FetchSubgroupBytes returns the serialized optimizer state of one
-// subgroup for checkpointing — marshalled from memory when host-resident,
-// read back from its tier otherwise. The returned buffer is freshly
-// allocated (checkpoint writers hold it across async writes).
+// subgroup — marshalled from memory when host-resident, read back from its
+// tier otherwise. The caller must Drain the engine first so pending lazy
+// flushes have landed; Engine.Checkpoint drains once for its whole plan
+// instead of once per subgroup.
 func (e *Engine) FetchSubgroupBytes(ctx context.Context, sgID int) ([]byte, error) {
 	if sgID < 0 || sgID >= len(e.shard.Subgroups) {
 		return nil, fmt.Errorf("engine: subgroup %d out of range", sgID)
 	}
-	e.Drain() // pending lazy flushes must land first
-	sg := e.shard.Subgroups[sgID]
-	size := subgroup.StateBytes(sg.Len())
-	buf := make([]byte, size)
 	if e.loc[sgID] == locHost {
-		if _, err := sg.Marshal(buf, false); err != nil {
-			return nil, err
-		}
-		return buf, nil
+		return e.marshalHostSubgroup(sgID)
 	}
+	buf := make([]byte, subgroup.StateBytes(e.shard.Subgroups[sgID].Len()))
 	if err := e.aios[e.loc[sgID]].ReadSync(e.key(sgID), buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
 }
 
-// Checkpoint writes the non-pre-staged subgroups to the given writer and
-// returns the plan's savings fraction (how much I/O pre-staging avoided).
-func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer) (float64, error) {
+// Checkpoint writes a restorable checkpoint at the given step and commits
+// its manifest. Three transfer streams overlap: step-tagged snapshot
+// copies of the pre-staged subgroups on their own persistent tiers (so the
+// next update phase cannot overwrite what the manifest references),
+// asynchronous tier reads for the offloaded part of the ToFlush set, and
+// the writer's checkpoint-tier writes. The manifest lands last — it is the
+// commit record, and without it the checkpoint does not exist.
+//
+// Checkpoint must be called at an iteration boundary (no update phase in
+// flight), like GatherParams.
+func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer) (checkpoint.Manifest, error) {
+	if e.closed {
+		return checkpoint.Manifest{}, fmt.Errorf("engine: closed")
+	}
+	// One drain for the whole checkpoint (not one per subgroup): every
+	// lazy eviction flush and gradient write lands before tier reads. A
+	// failed flush fails the checkpoint — the live key still holds the
+	// previous object (tier writes are atomic), and committing a manifest
+	// over it would silently capture stale state.
+	if err := e.drain(); err != nil {
+		return checkpoint.Manifest{}, err
+	}
+
 	plan := checkpoint.BuildPlan(e.CheckpointLocations())
-	_, err := w.Write(ctx, step, plan, e.FetchSubgroupBytes)
-	return plan.Savings(), err
+	prefix := w.Prefix()
+
+	// The whole shard's serialized state cannot be staged at once — by
+	// this engine's premise it exceeds host memory. sem bounds the live
+	// checkpoint staging buffers across all three streams (snapshot
+	// copies, flush fetches, in-flight checkpoint writes); a token is
+	// held from buffer allocation until its last write lands.
+	window := e.cfg.PrefetchDepth + 2
+	sem := make(chan struct{}, window)
+
+	// Snapshot stream: step-tagged same-tier copies of the pre-staged
+	// subgroups, pipelined on a side goroutine while the writer flushes.
+	// A tier that supports server-side copies (FileTier hard links,
+	// MemTier aliases) versions the object with no data movement at all —
+	// the §3.3 "for free" pre-staging; otherwise the bytes make a
+	// same-tier round trip through the bounded staging window.
+	var snapErr error
+	snapDone := make(chan struct{})
+	go func() {
+		defer close(snapDone)
+		var writes []*aio.Op
+		for _, l := range plan.PreStaged {
+			tier := e.loc[l.SubgroupID]
+			snapKey := checkpoint.SnapshotKey(prefix, step, l.SubgroupID)
+			if copied, err := storage.TryCopy(ctx, e.cfg.Tiers[tier].Tier, l.Key, snapKey); copied {
+				if err != nil {
+					snapErr = fmt.Errorf("engine: checkpoint snapshot copy subgroup %d: %w", l.SubgroupID, err)
+					break
+				}
+				continue
+			}
+			sem <- struct{}{}
+			buf := make([]byte, l.Bytes)
+			rop, err := e.aios[tier].SubmitRead(l.Key, buf)
+			if err == nil {
+				err = rop.Wait()
+			}
+			if err != nil {
+				<-sem
+				snapErr = fmt.Errorf("engine: checkpoint snapshot read subgroup %d: %w", l.SubgroupID, err)
+				break // fall through: already-submitted writes must be waited
+			}
+			wop, err := e.aios[tier].SubmitWrite(snapKey, buf)
+			if err != nil {
+				<-sem
+				snapErr = fmt.Errorf("engine: checkpoint snapshot write subgroup %d: %w", l.SubgroupID, err)
+				break
+			}
+			writes = append(writes, wop)
+			go func(op *aio.Op) { _ = op.Wait(); <-sem }(wop)
+		}
+		for _, op := range writes {
+			if err := op.Wait(); err != nil && snapErr == nil {
+				snapErr = fmt.Errorf("engine: checkpoint snapshot write: %w", err)
+			}
+		}
+	}()
+
+	// Flush stream: an issuer keeps a bounded read-ahead of ToFlush
+	// subgroups in front of the writer, so checkpoint writes overlap the
+	// tier reads without ever staging more than the window.
+	type staged struct {
+		sg  int
+		op  *aio.Op // nil for host-marshalled subgroups
+		buf []byte
+		err error
+	}
+	stageCh := make(chan staged, len(plan.ToFlush))
+	stop := make(chan struct{})
+	go func() {
+		defer close(stageCh)
+		for _, l := range plan.ToFlush {
+			select {
+			case sem <- struct{}{}:
+			case <-stop:
+				return
+			}
+			if e.loc[l.SubgroupID] == locHost {
+				buf, err := e.marshalHostSubgroup(l.SubgroupID)
+				if err != nil {
+					<-sem
+					stageCh <- staged{sg: l.SubgroupID, err: err}
+					return
+				}
+				stageCh <- staged{sg: l.SubgroupID, buf: buf}
+				continue
+			}
+			buf := make([]byte, l.Bytes)
+			op, err := e.aios[e.loc[l.SubgroupID]].SubmitRead(l.Key, buf)
+			if err != nil {
+				<-sem
+				stageCh <- staged{sg: l.SubgroupID, err: err}
+				return
+			}
+			stageCh <- staged{sg: l.SubgroupID, op: op, buf: buf}
+		}
+	}()
+	fetch := func(_ context.Context, sgID int) ([]byte, error) {
+		s, ok := <-stageCh
+		if !ok || s.sg != sgID {
+			return nil, fmt.Errorf("engine: checkpoint staging desynchronized at subgroup %d", sgID)
+		}
+		if s.err != nil {
+			return nil, s.err
+		}
+		if s.op != nil {
+			if err := s.op.Wait(); err != nil {
+				<-sem // the writer never sees this buffer
+				return nil, err
+			}
+		}
+		return s.buf, nil
+	}
+	release := func([]byte) { <-sem }
+
+	_, werr := w.Write(ctx, step, plan, fetch, release)
+	// Abandon staging the writer never consumed (its loop stops at the
+	// first error): stop the issuer, then wait the orphaned reads.
+	close(stop)
+	for s := range stageCh {
+		if s.op != nil {
+			_ = s.op.Wait()
+		}
+		if s.err == nil {
+			<-sem
+		}
+	}
+	<-snapDone
+	if werr != nil {
+		return checkpoint.Manifest{}, werr
+	}
+	if snapErr != nil {
+		return checkpoint.Manifest{}, snapErr
+	}
+
+	m := checkpoint.BuildManifest(step, plan, prefix)
+	m.Rank = e.cfg.Rank
+	m.Params = e.cfg.Params
+	m.SubgroupParams = e.cfg.SubgroupParams
+	m.Numerics = e.numerics()
+	m.AdamStep = e.step
+	m.Phase = e.phase
+	m.SkippedSteps = e.skippedSteps
+	if e.scaler != nil {
+		st := e.scaler.State()
+		m.Scaler = &st
+	}
+	if err := w.WriteManifest(m); err != nil {
+		return checkpoint.Manifest{}, err
+	}
+	return m, nil
 }

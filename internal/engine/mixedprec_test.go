@@ -135,16 +135,30 @@ func TestCheckpointPreStaging(t *testing.T) {
 	ckptTier := storage.NewMemTier("ckpt")
 	w := checkpoint.NewWriter(ckptTier, "run1")
 	defer w.Close()
-	savings, err := e.Checkpoint(context.Background(), 2, w)
+	m, err := e.Checkpoint(context.Background(), 2, w)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if savings != plan.Savings() {
-		t.Errorf("savings mismatch: %v vs %v", savings, plan.Savings())
+	if m.Savings() != plan.Savings() {
+		t.Errorf("savings mismatch: %v vs %v", m.Savings(), plan.Savings())
 	}
+	// The checkpoint tier holds the flushed objects plus the manifest.
 	keys, _ := ckptTier.Keys(context.Background())
-	if len(keys) != len(plan.ToFlush) {
-		t.Errorf("checkpoint wrote %d objects, want %d", len(keys), len(plan.ToFlush))
+	if len(keys) != len(plan.ToFlush)+1 {
+		t.Errorf("checkpoint tier holds %d objects, want %d + manifest", len(keys), len(plan.ToFlush))
+	}
+	// Pre-staged subgroups were snapshotted under step-tagged keys on
+	// their own tier, and every referenced object checks out.
+	r := checkpoint.NewReader(ckptTier, "run1")
+	if err := r.Verify(context.Background(), m, func(name string) storage.Tier {
+		for _, ts := range tiers {
+			if ts.Tier.Name() == name {
+				return ts.Tier
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Errorf("manifest verify: %v", err)
 	}
 }
 

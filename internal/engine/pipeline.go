@@ -156,12 +156,13 @@ func (e *Engine) updatePhase(it *metrics.Iteration) error {
 	e.phase++
 	it.ParamsUpdated += e.shard.Params()
 
-	// Fold in async flush write metrics accumulated so far.
+	// Fold in async flush write metrics completed so far; flushes still in
+	// flight land in the next iteration's fold (see asyncFlushStats).
 	e.mu.Lock()
-	it.BytesWritten += e.flushReadTimes.bytes
-	it.WriteTime += e.flushReadTimes.secs
-	e.flushReadTimes.bytes = 0
-	e.flushReadTimes.secs = 0
+	it.BytesWritten += e.asyncFlushStats.bytes
+	it.WriteTime += e.asyncFlushStats.secs
+	e.asyncFlushStats.bytes = 0
+	e.asyncFlushStats.secs = 0
 	e.mu.Unlock()
 
 	// Adaptive replanning from observed bandwidths (§3.3).
@@ -434,8 +435,8 @@ func (e *Engine) flushEvicted(v int, tk *flushTicket) error {
 		secs := op.TransferTime().Seconds()
 		e.est.Observe(name, nb, secs)
 		e.mu.Lock()
-		e.flushReadTimes.bytes += nb
-		e.flushReadTimes.secs += secs
+		e.asyncFlushStats.bytes += nb
+		e.asyncFlushStats.secs += secs
 		e.mu.Unlock()
 		e.flushPool.Put(buf)
 	}()

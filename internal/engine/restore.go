@@ -1,0 +1,195 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/datastates/mlpoffload/internal/aio"
+	"github.com/datastates/mlpoffload/internal/checkpoint"
+	"github.com/datastates/mlpoffload/internal/fp16"
+	"github.com/datastates/mlpoffload/internal/hostcache"
+	"github.com/datastates/mlpoffload/internal/optim"
+	"github.com/datastates/mlpoffload/internal/subgroup"
+)
+
+// Restore rebuilds the engine's training state from a checkpoint manifest:
+// per-subgroup residency (loc and the host cache), the FP16 working copy,
+// the live tier objects, and the optimizer-progress counters (Adam step,
+// update-phase position, loss-scaler state). Whatever state the engine
+// held before the call is discarded, so a freshly constructed engine —
+// after a crash, in a new process — resumes training bit-identically to a
+// run that was never interrupted.
+//
+// Re-placement follows the *current* plan: a subgroup the manifest found
+// on one tier may be re-materialized on another if the placement changed
+// across the restart (different tier set ordering, adaptive re-planning);
+// only tier *names* referenced by pre-staged entries must still exist.
+// Host-cache residency is rebuilt by replaying the checkpointed phase's
+// commit order over the host-origin subgroups, so recency matches what
+// training had produced; subgroups that no longer fit (a smaller cache
+// after restart) are flushed to their planned tiers.
+//
+// Restore must run at an iteration boundary (no update phase in flight).
+// On error the engine may be partially restored: retry Restore (possibly
+// from another manifest) or rebuild the engine before training further.
+func (e *Engine) Restore(ctx context.Context, r *checkpoint.Reader, m checkpoint.Manifest) error {
+	if e.closed {
+		return fmt.Errorf("engine: closed")
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if m.Rank != e.cfg.Rank || m.Params != e.cfg.Params || m.SubgroupParams != e.cfg.SubgroupParams {
+		return fmt.Errorf("engine: manifest geometry (rank %d, %d params, %d/subgroup) does not match engine (rank %d, %d params, %d/subgroup)",
+			m.Rank, m.Params, m.SubgroupParams, e.cfg.Rank, e.cfg.Params, e.cfg.SubgroupParams)
+	}
+	if num := e.numerics(); m.Numerics != num {
+		return fmt.Errorf("engine: manifest numerics %+v do not match engine %+v — resuming under a different mode or hyperparameters would silently diverge",
+			m.Numerics, num)
+	}
+	if len(m.Entries) != len(e.shard.Subgroups) {
+		return fmt.Errorf("engine: manifest has %d subgroups, engine holds %d", len(m.Entries), len(e.shard.Subgroups))
+	}
+	if err := e.drain(); err != nil {
+		return err
+	}
+
+	// Discard pre-restore residency; everything is rebuilt below.
+	e.lru = hostcache.NewLRU(e.cfg.HostCacheSlots)
+	for _, sg := range e.shard.Subgroups {
+		sg.State = nil
+	}
+
+	// Replay the checkpointed phase's commit order so host-cache recency
+	// matches the interrupted run (phase p committed in the order of phase
+	// index p-1; a fresh engine restores in ascending order).
+	lastPhase := m.Phase - 1
+	if lastPhase < 0 {
+		lastPhase = 0
+	}
+	order := hostcache.UpdateOrder(e.cfg.Order, len(e.shard.Subgroups), lastPhase)
+	// Live-key writes are submitted asynchronously so the next subgroup's
+	// checkpoint read overlaps them; the fetch pool bounds the in-flight
+	// window (a staging buffer returns to the pool only when its write
+	// lands). All writes are verified before Restore returns.
+	var writes []*aio.Op
+	waitWrites := func() error {
+		var firstErr error
+		for _, op := range writes {
+			if err := op.Wait(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("engine: restore flush: %w", err)
+			}
+		}
+		return firstErr
+	}
+	for _, sgID := range order {
+		ent, _ := m.Entry(sgID) // dense per Validate
+		op, err := e.restoreSubgroup(ctx, r, ent)
+		if err != nil {
+			_ = waitWrites() // no in-flight work may outlive the call
+			return err
+		}
+		if op != nil {
+			writes = append(writes, op)
+		}
+	}
+	if err := waitWrites(); err != nil {
+		return err
+	}
+
+	e.step = m.AdamStep
+	e.phase = m.Phase
+	e.skippedSteps = m.SkippedSteps
+	if e.scaler != nil && m.Scaler != nil {
+		if err := e.scaler.SetState(*m.Scaler); err != nil {
+			return fmt.Errorf("engine: restore: %w", err)
+		}
+	}
+	for i := range e.partialNorms {
+		e.partialNorms[i] = 0
+	}
+	return nil
+}
+
+// restoreSubgroup materializes one subgroup from its checkpoint entry:
+// host-origin subgroups come back into host memory (evicting through the
+// cache as training would), everything else is rewritten to its live key
+// on the tier the current plan assigns. Both paths refresh the FP16
+// working copy from the serialized master parameters. The returned op,
+// when non-nil, is the in-flight live-key write; its staging buffer
+// returns to the pool on completion and the caller must verify it.
+func (e *Engine) restoreSubgroup(ctx context.Context, r *checkpoint.Reader, ent checkpoint.Entry) (*aio.Op, error) {
+	sgID := ent.SubgroupID
+	sg := e.shard.Subgroups[sgID]
+	size := subgroup.StateBytes(sg.Len())
+	if ent.Bytes != int64(size) {
+		return nil, fmt.Errorf("engine: restore subgroup %d: object is %d bytes, want %d", sgID, ent.Bytes, size)
+	}
+	buf := e.fetchPool.Get()
+	if err := e.readEntry(ctx, r, ent, buf[:size]); err != nil {
+		e.fetchPool.Put(buf)
+		return nil, fmt.Errorf("engine: restore subgroup %d: %w", sgID, err)
+	}
+	id, n, _, err := subgroup.PeekHeader(buf[:size])
+	if err != nil {
+		e.fetchPool.Put(buf)
+		return nil, fmt.Errorf("engine: restore subgroup %d: %w", sgID, err)
+	}
+	if id != sgID || n != sg.Len() {
+		e.fetchPool.Put(buf)
+		return nil, fmt.Errorf("engine: restore subgroup %d: object is subgroup %d with %d params", sgID, id, n)
+	}
+
+	if ent.Origin == "host" {
+		defer e.fetchPool.Put(buf)
+		sg.State = optim.NewState(make([]float32, sg.Len()))
+		if err := sg.Unmarshal(buf[:size]); err != nil {
+			sg.State = nil
+			return nil, fmt.Errorf("engine: restore subgroup %d: %w", sgID, err)
+		}
+		off := e.sgOffset[sgID]
+		fp16.Encode(e.params16[off:off+int64(sg.Len())], sg.State.Params)
+		e.loc[sgID] = locHost
+		for _, v := range e.lru.TouchEvict(sgID) {
+			if err := e.flushSync(v, e.shard.Subgroups[v]); err != nil {
+				return nil, fmt.Errorf("engine: restore eviction flush of subgroup %d: %w", v, err)
+			}
+		}
+		return nil, nil
+	}
+
+	// Offloaded at checkpoint time: decode the master parameters for the
+	// FP16 working copy straight from the serialized layout, then rewrite
+	// the object under its live key on the currently planned tier.
+	p32 := e.grad32[:sg.Len()]
+	decodeF32(p32, buf[subgroup.HeaderSize:subgroup.HeaderSize+4*sg.Len()])
+	off := e.sgOffset[sgID]
+	fp16.Encode(e.params16[off:off+int64(sg.Len())], p32)
+	tier := e.plan.TierFor(sgID)
+	op, err := e.aios[tier].SubmitWrite(e.key(sgID), buf[:size])
+	if err != nil {
+		e.fetchPool.Put(buf)
+		return nil, fmt.Errorf("engine: restore flush of subgroup %d: %w", sgID, err)
+	}
+	go func() {
+		_ = op.Wait() // the caller collects the error
+		e.fetchPool.Put(buf)
+	}()
+	e.loc[sgID] = tier
+	return op, nil
+}
+
+// readEntry reads a checkpoint entry's bytes: checkpoint-tier objects via
+// the reader, pre-staged snapshots from the engine's own tier of the
+// recorded name.
+func (e *Engine) readEntry(ctx context.Context, r *checkpoint.Reader, ent checkpoint.Entry, dst []byte) error {
+	if ent.Tier == "" {
+		return r.ReadObject(ctx, ent.Key, dst)
+	}
+	for i, name := range e.names {
+		if name == ent.Tier {
+			return e.aios[i].ReadSync(ent.Key, dst)
+		}
+	}
+	return fmt.Errorf("manifest references tier %q, which this engine does not have", ent.Tier)
+}

@@ -81,6 +81,44 @@ func (s *LossScaler) Check(grads []fp16.Bits) bool {
 	return true
 }
 
+// ScalerState is the serializable snapshot of a LossScaler, persisted in
+// checkpoint manifests so resumed training continues with the same
+// dynamic scale and growth-window position.
+type ScalerState struct {
+	Scale     float64 `json:"scale"`
+	SinceGrow int     `json:"sinceGrow"`
+	Overflows int64   `json:"overflows"`
+	Skips     int64   `json:"skips"`
+	GoodSteps int64   `json:"goodSteps"`
+}
+
+// State snapshots the scaler for checkpointing.
+func (s *LossScaler) State() ScalerState {
+	return ScalerState{
+		Scale:     s.scale,
+		SinceGrow: s.sinceGrow,
+		Overflows: s.overflows,
+		Skips:     s.skips,
+		GoodSteps: s.goodSteps,
+	}
+}
+
+// SetState restores a snapshot taken by State. A non-positive scale is a
+// corrupt snapshot and is rejected with an error — silently continuing
+// on the default scale would diverge from the checkpointed run with no
+// diagnostic.
+func (s *LossScaler) SetState(st ScalerState) error {
+	if st.Scale <= 0 {
+		return fmt.Errorf("optim: scaler snapshot has non-positive scale %g", st.Scale)
+	}
+	s.scale = st.Scale
+	s.sinceGrow = st.SinceGrow
+	s.overflows = st.Overflows
+	s.skips = st.Skips
+	s.goodSteps = st.GoodSteps
+	return nil
+}
+
 // Unscale divides an FP32 gradient buffer by the current scale in place,
 // recovering true gradient magnitudes before the optimizer step.
 func (s *LossScaler) Unscale(grads []float32) {

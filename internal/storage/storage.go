@@ -57,6 +57,37 @@ type Tier interface {
 	Stats() Stats
 }
 
+// ErrCopyUnsupported is returned by a Copier whose backing store cannot
+// perform server-side copies (e.g. a decorator over a plain Tier).
+var ErrCopyUnsupported = errors.New("storage: server-side copy unsupported")
+
+// Copier is an optional Tier capability: duplicate an object under a new
+// key without moving its bytes through the host. Checkpoint pre-staging
+// uses it to version persistent-tier objects "for free" — a hard link on
+// FileTier, a buffer alias on MemTier. The copy must be isolated from
+// later Writes to either key (Tier.Write always publishes a fresh
+// object, never mutates in place, so link/alias implementations are
+// safe). Implementations that merely delegate may return
+// ErrCopyUnsupported; use TryCopy to fall back gracefully.
+type Copier interface {
+	Copy(ctx context.Context, srcKey, dstKey string) error
+}
+
+// TryCopy performs a server-side copy when the tier supports it. It
+// reports whether the copy was performed; (false, nil) means the caller
+// must fall back to a read+write.
+func TryCopy(ctx context.Context, t Tier, srcKey, dstKey string) (bool, error) {
+	c, ok := t.(Copier)
+	if !ok {
+		return false, nil
+	}
+	err := c.Copy(ctx, srcKey, dstKey)
+	if errors.Is(err, ErrCopyUnsupported) {
+		return false, nil
+	}
+	return true, err
+}
+
 // Stats accumulates tier traffic.
 type Stats struct {
 	BytesRead    int64
@@ -131,6 +162,23 @@ func (m *MemTier) Write(ctx context.Context, key string, src []byte) error {
 	m.data[key] = buf
 	m.mu.Unlock()
 	m.addWrite(int64(len(src)))
+	return nil
+}
+
+// Copy implements Copier by aliasing the stored buffer under the new
+// key: MemTier never mutates stored buffers (Write replaces, Read copies
+// out), so sharing is safe and the copy moves no bytes.
+func (m *MemTier) Copy(ctx context.Context, srcKey, dstKey string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	obj, ok := m.data[srcKey]
+	if !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, m.name, srcKey)
+	}
+	m.data[dstKey] = obj
 	return nil
 }
 
@@ -263,6 +311,37 @@ func (f *FileTier) Write(ctx context.Context, key string, src []byte) error {
 	return nil
 }
 
+// Copy implements Copier with a hard link: the destination shares the
+// source's inode, so the copy is O(1) and survives later Writes of
+// either key (Write publishes a fresh inode via rename, leaving linked
+// snapshots untouched). Filesystems without link support fall back to a
+// byte copy on the storage device — still no round trip through the
+// engine's staging memory.
+func (f *FileTier) Copy(ctx context.Context, srcKey, dstKey string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	src, dst := f.path(srcKey), f.path(dstKey)
+	if _, err := os.Stat(src); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %s/%s", ErrNotFound, f.name, srcKey)
+		}
+		return err
+	}
+	if err := os.Remove(dst); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	if err := os.Link(src, dst); err == nil {
+		return nil
+	}
+	// Link failed (unsupported filesystem): copy within the tier.
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return f.Write(ctx, dstKey, data)
+}
+
 // Delete implements Tier.
 func (f *FileTier) Delete(ctx context.Context, key string) error {
 	if err := ctx.Err(); err != nil {
@@ -383,6 +462,15 @@ func (t *Throttled) Write(ctx context.Context, key string, src []byte) error {
 		return err
 	}
 	return t.inner.Write(ctx, key, src)
+}
+
+// Copy implements Copier by delegating to the inner tier. A server-side
+// copy never crosses the host link, so it is deliberately not throttled.
+func (t *Throttled) Copy(ctx context.Context, srcKey, dstKey string) error {
+	if c, ok := t.inner.(Copier); ok {
+		return c.Copy(ctx, srcKey, dstKey)
+	}
+	return ErrCopyUnsupported
 }
 
 // Delete implements Tier.

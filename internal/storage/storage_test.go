@@ -450,3 +450,85 @@ func TestTiersConcurrencyContract(t *testing.T) {
 		})
 	}
 }
+
+// testTierCopy exercises the Copier contract on a tier: the copy matches
+// the source and stays isolated from later Writes of either key.
+func testTierCopy(t *testing.T, tier Tier) {
+	t.Helper()
+	ctx := context.Background()
+	c, ok := tier.(Copier)
+	if !ok {
+		t.Fatalf("%s does not implement Copier", tier.Name())
+	}
+	orig := []byte("generation-1")
+	if err := tier.Write(ctx, "live", orig); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Copy(ctx, "live", "snap"); err != nil {
+		t.Fatal(err)
+	}
+	// Overwriting the live key must not touch the snapshot (Write always
+	// publishes a fresh object — the invariant link/alias copies rely on).
+	if err := tier.Write(ctx, "live", []byte("generation-2")); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(orig))
+	if err := tier.Read(ctx, "snap", got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, orig) {
+		t.Errorf("snapshot = %q, want the pre-overwrite %q", got, orig)
+	}
+	if err := c.Copy(ctx, "missing", "x"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("copy of missing key: err = %v, want ErrNotFound", err)
+	}
+	// Copy over an existing destination replaces it.
+	if err := c.Copy(ctx, "live", "snap"); err != nil {
+		t.Fatal(err)
+	}
+	got2 := make([]byte, len("generation-2"))
+	if err := tier.Read(ctx, "snap", got2); err != nil {
+		t.Fatal(err)
+	}
+	if string(got2) != "generation-2" {
+		t.Errorf("re-copy = %q, want generation-2", got2)
+	}
+}
+
+func TestMemTierCopy(t *testing.T) { testTierCopy(t, NewMemTier("mem")) }
+
+func TestFileTierCopy(t *testing.T) {
+	tier, err := NewFileTier("file", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testTierCopy(t, tier)
+}
+
+func TestThrottledCopyDelegates(t *testing.T) {
+	inner := NewMemTier("mem")
+	th := NewThrottled(inner, ThrottleConfig{ReadBW: 1e6, WriteBW: 1e6})
+	testTierCopy(t, th)
+}
+
+func TestTryCopyFallback(t *testing.T) {
+	ctx := context.Background()
+	// FaultTier embeds the Tier interface, so it exposes no Copy.
+	plain := &FaultTier{Tier: NewMemTier("mem")}
+	if copied, err := TryCopy(ctx, plain, "a", "b"); copied || err != nil {
+		t.Errorf("TryCopy on plain tier = %v, %v; want unsupported", copied, err)
+	}
+	// Throttled over a non-Copier inner reports ErrCopyUnsupported, which
+	// TryCopy maps to "not performed".
+	th := NewThrottled(&FaultTier{Tier: NewMemTier("mem")}, ThrottleConfig{ReadBW: 1e6, WriteBW: 1e6})
+	if copied, err := TryCopy(ctx, th, "a", "b"); copied || err != nil {
+		t.Errorf("TryCopy through non-copier decorator = %v, %v; want unsupported", copied, err)
+	}
+	mem := NewMemTier("mem")
+	if err := mem.Write(ctx, "a", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if copied, err := TryCopy(ctx, mem, "a", "b"); !copied || err != nil {
+		t.Errorf("TryCopy on MemTier = %v, %v; want performed", copied, err)
+	}
+}

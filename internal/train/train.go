@@ -8,11 +8,14 @@
 package train
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
+	"github.com/datastates/mlpoffload/internal/checkpoint"
 	"github.com/datastates/mlpoffload/internal/engine"
 	"github.com/datastates/mlpoffload/internal/metrics"
+	"github.com/datastates/mlpoffload/internal/storage"
 	"github.com/datastates/mlpoffload/internal/tierlock"
 )
 
@@ -159,6 +162,123 @@ func aggregate(workers []metrics.Iteration) metrics.Iteration {
 		}
 	}
 	return out
+}
+
+// rankPrefix namespaces one rank's checkpoint keys under the node prefix.
+func rankPrefix(prefix string, rank int) string {
+	return fmt.Sprintf("%s-rank%03d", prefix, rank)
+}
+
+// Checkpoint writes a coordinated checkpoint of every worker at the
+// current iteration boundary: each rank flushes its plan and commits its
+// manifest under a rank-qualified prefix on the shared checkpoint tier.
+// The call returns after every rank's manifest has landed; a checkpoint is
+// complete only when all ranks committed, which Resume enforces. It must
+// not run concurrently with TrainIteration.
+func (n *Node) Checkpoint(ctx context.Context, tier storage.Tier, prefix string) ([]checkpoint.Manifest, error) {
+	mans := make([]checkpoint.Manifest, len(n.engines))
+	errs := make([]error, len(n.engines))
+	var wg sync.WaitGroup
+	for rank, e := range n.engines {
+		wg.Add(1)
+		go func(rank int, e *engine.Engine) {
+			defer wg.Done()
+			w := checkpoint.NewWriter(tier, rankPrefix(prefix, rank))
+			defer w.Close()
+			mans[rank], errs[rank] = e.Checkpoint(ctx, n.iter, w)
+		}(rank, e)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("train: checkpoint rank %d at iteration %d: %w", rank, n.iter, err)
+		}
+	}
+	return mans, nil
+}
+
+// Resume restores every worker from the newest checkpoint step for which
+// ALL ranks committed a manifest (a rank that crashed mid-checkpoint
+// leaves that step incomplete and it is skipped), then positions the node
+// at that iteration. It returns the iteration training continues from.
+func (n *Node) Resume(ctx context.Context, tier storage.Tier, prefix string) (int, error) {
+	// Intersect the per-rank committed steps.
+	counts := make(map[int]int)
+	for rank := range n.engines {
+		r := checkpoint.NewReader(tier, rankPrefix(prefix, rank))
+		steps, err := r.Steps(ctx)
+		if err != nil {
+			return 0, fmt.Errorf("train: resume rank %d: %w", rank, err)
+		}
+		for _, s := range steps {
+			counts[s]++
+		}
+	}
+	step := -1
+	for s, c := range counts {
+		if c == len(n.engines) && s > step {
+			step = s
+		}
+	}
+	if step < 0 {
+		return 0, fmt.Errorf("train: no complete checkpoint found under prefix %q", prefix)
+	}
+
+	errs := make([]error, len(n.engines))
+	var wg sync.WaitGroup
+	for rank, e := range n.engines {
+		wg.Add(1)
+		go func(rank int, e *engine.Engine) {
+			defer wg.Done()
+			r := checkpoint.NewReader(tier, rankPrefix(prefix, rank))
+			m, err := r.ReadManifest(ctx, step)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			errs[rank] = e.Restore(ctx, r, m)
+		}(rank, e)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			return 0, fmt.Errorf("train: resume rank %d from step %d: %w", rank, step, err)
+		}
+	}
+	n.iter = step
+	return step, nil
+}
+
+// resolveTier maps a manifest tier name to the node's tier handle.
+func (n *Node) resolveTier(name string) storage.Tier {
+	for _, ts := range n.cfg.Tiers {
+		if ts.Tier.Name() == name {
+			return ts.Tier
+		}
+	}
+	return nil
+}
+
+// PruneCheckpoints removes, for every rank, committed checkpoints beyond
+// the newest keep and sweeps orphaned objects from checkpoints whose
+// manifest never landed — without it each checkpoint (and each failed
+// attempt) leaves a full optimizer-state copy on storage forever.
+// keep <= 0 skips the retention pass but still sweeps orphans.
+func (n *Node) PruneCheckpoints(ctx context.Context, tier storage.Tier, prefix string, keep int) error {
+	trainTiers := make([]storage.Tier, len(n.cfg.Tiers))
+	for i, ts := range n.cfg.Tiers {
+		trainTiers[i] = ts.Tier
+	}
+	for rank := range n.engines {
+		r := checkpoint.NewReader(tier, rankPrefix(prefix, rank))
+		if _, err := r.Prune(ctx, keep, n.resolveTier); err != nil {
+			return fmt.Errorf("train: prune rank %d: %w", rank, err)
+		}
+		if _, err := r.SweepOrphans(ctx, trainTiers); err != nil {
+			return fmt.Errorf("train: sweep rank %d: %w", rank, err)
+		}
+	}
+	return nil
 }
 
 // GatherAll fetches every worker's FP32 master parameters into one slice

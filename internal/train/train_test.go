@@ -1,10 +1,12 @@
 package train
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
 
+	"github.com/datastates/mlpoffload/internal/checkpoint"
 	"github.com/datastates/mlpoffload/internal/engine"
 	"github.com/datastates/mlpoffload/internal/storage"
 )
@@ -151,6 +153,140 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 	n.Close()
 	n.Close()
+}
+
+// TestNodeCheckpointResumeBitIdentical: a coordinated checkpoint at an
+// iteration boundary, a crash that wipes the volatile tier, and a resume
+// on a fresh node must reproduce the uninterrupted run exactly on every
+// worker.
+func TestNodeCheckpointResumeBitIdentical(t *testing.T) {
+	const (
+		k = 3 // crash after k iterations
+		n = 6
+	)
+	ctx := context.Background()
+	mkCfg := func(pfs storage.Tier) NodeConfig {
+		return NodeConfig{
+			Workers: 2, ParamsPerWorker: 400, SubgroupParams: 80,
+			Tiers: []engine.TierSpec{
+				{Tier: storage.NewMemTier("nvme"), ReadBW: 690, WriteBW: 530},
+				{Tier: pfs, ReadBW: 360, WriteBW: 360, Persistent: true},
+			},
+			MLP: true,
+			Mutate: func(_ int, cfg *engine.Config) {
+				cfg.Grad = engine.QuadraticGradFn(2)
+				cfg.Hyper.LR = 0.02
+			},
+		}
+	}
+	trainIters := func(nd *Node, iters int) {
+		t.Helper()
+		for i := 0; i < iters; i++ {
+			if _, err := nd.TrainIteration(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	ref, err := NewNode(mkCfg(storage.NewMemTier("pfs")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainIters(ref, n)
+	want, err := ref.GatherAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Close()
+
+	pfs := storage.NewMemTier("pfs") // persists across the crash
+	nd, err := NewNode(mkCfg(pfs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainIters(nd, k)
+	ckptTier := storage.NewMemTier("ckpt")
+	mans, err := nd.Checkpoint(ctx, ckptTier, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mans) != 2 {
+		t.Fatalf("manifests = %d", len(mans))
+	}
+	for rank, m := range mans {
+		if m.Step != k || m.Rank != rank {
+			t.Errorf("rank %d manifest step=%d rank=%d", rank, m.Step, m.Rank)
+		}
+	}
+	nd.Close() // crash: the nvme MemTiers die with the node
+
+	nd2, err := NewNode(mkCfg(pfs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd2.Close()
+	step, err := nd2.Resume(ctx, ckptTier, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != k {
+		t.Fatalf("resumed at %d, want %d", step, k)
+	}
+	trainIters(nd2, n-k)
+	got, err := nd2.GatherAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("param %d differs after node resume: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestNodeResumeRequiresCompleteCheckpoint: a step is resumable only when
+// every rank committed its manifest; a partial (crashed mid-checkpoint)
+// step is skipped in favor of the newest complete one.
+func TestNodeResumeRequiresCompleteCheckpoint(t *testing.T) {
+	ctx := context.Background()
+	cfg := NodeConfig{
+		Workers: 2, ParamsPerWorker: 200, SubgroupParams: 50,
+		Tiers: nodeTiers(1000), MLP: true,
+	}
+	nd, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+
+	ckptTier := storage.NewMemTier("ckpt")
+	if _, err := nd.Resume(ctx, ckptTier, "demo"); err == nil {
+		t.Fatal("resume succeeded with no checkpoint")
+	}
+
+	for i := 0; i < 2; i++ {
+		if _, err := nd.TrainIteration(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nd.Checkpoint(ctx, ckptTier, "demo"); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-checkpoint at a later step: only rank 0's
+	// manifest landed.
+	orphan := checkpoint.NewWriter(ckptTier, rankPrefix("demo", 0))
+	if err := orphan.WriteManifest(checkpoint.Manifest{FormatVersion: checkpoint.ManifestVersion, Step: 9}); err != nil {
+		t.Fatal(err)
+	}
+	orphan.Close()
+
+	step, err := nd.Resume(ctx, ckptTier, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 2 {
+		t.Errorf("resumed at step %d, want the complete step 2 (9 is partial)", step)
+	}
 }
 
 func TestMutatePerRank(t *testing.T) {

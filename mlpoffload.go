@@ -17,7 +17,11 @@
 //     overlaps with tier reads and writes for its neighbours.
 //     UpdateWorkers=1 (the default) reproduces the paper's sequential
 //     update phase bit-for-bit; any worker count yields identical
-//     parameters.
+//     parameters. Checkpoints are restorable end to end: pre-staged
+//     persistent-tier state is snapshotted under step-tagged keys, a
+//     manifest commits the checkpoint, and Engine.Restore (or the
+//     coordinated TrainNode.Resume) continues training bit-identically
+//     after a crash.
 //
 //   - The paper-scale simulator (RunSim): the same offloading policies
 //     executed on a discrete-event simulator parameterized by the paper's
@@ -35,6 +39,7 @@ package mlpoffload
 import (
 	"fmt"
 
+	"github.com/datastates/mlpoffload/internal/checkpoint"
 	"github.com/datastates/mlpoffload/internal/cluster"
 	"github.com/datastates/mlpoffload/internal/engine"
 	"github.com/datastates/mlpoffload/internal/experiments"
@@ -48,6 +53,7 @@ import (
 	"github.com/datastates/mlpoffload/internal/simrun"
 	"github.com/datastates/mlpoffload/internal/storage"
 	"github.com/datastates/mlpoffload/internal/tierlock"
+	"github.com/datastates/mlpoffload/internal/train"
 )
 
 // ---- Real engine ----
@@ -119,6 +125,46 @@ type FP16 = fp16.Bits
 
 // DecodeFP16 widens an FP16 buffer into FP32.
 func DecodeFP16(dst []float32, src []FP16) int { return fp16.Decode(dst, src) }
+
+// ---- Checkpoint / restore ----
+
+// CheckpointWriter flushes a checkpoint plan to a persistent tier and
+// commits its manifest (Engine.Checkpoint drives it).
+type CheckpointWriter = checkpoint.Writer
+
+// CheckpointReader discovers committed checkpoints through their
+// manifests and reads them back for Engine.Restore.
+type CheckpointReader = checkpoint.Reader
+
+// CheckpointManifest is a checkpoint's commit record: step, the full
+// subgroup→object map, shard geometry, and optimizer-progress state.
+type CheckpointManifest = checkpoint.Manifest
+
+// NewCheckpointWriter creates a checkpoint writer over a persistent tier.
+// All keys are namespaced under prefix.
+func NewCheckpointWriter(tier Tier, prefix string) *CheckpointWriter {
+	return checkpoint.NewWriter(tier, prefix)
+}
+
+// NewCheckpointReader creates a reader over the checkpoint tier with the
+// prefix the writer used.
+func NewCheckpointReader(tier Tier, prefix string) *CheckpointReader {
+	return checkpoint.NewReader(tier, prefix)
+}
+
+// ---- Multi-worker training node ----
+
+// TrainNode is a multi-worker training node: one engine per GPU-attached
+// worker, synchronized at iteration boundaries, with coordinated
+// node-level checkpoint and resume.
+type TrainNode = train.Node
+
+// TrainNodeConfig configures a TrainNode.
+type TrainNodeConfig = train.NodeConfig
+
+// NewTrainNode constructs all worker engines and offloads their initial
+// optimizer state.
+func NewTrainNode(cfg TrainNodeConfig) (*TrainNode, error) { return train.NewNode(cfg) }
 
 // ---- Real model substrate ----
 
