@@ -2,31 +2,56 @@
 // Figure 4 does: raw read/write throughput and per-process latency for
 // 1, 2 and 4 concurrent processes, against real (throttled) tiers.
 //
+// It also measures the I/O scheduler itself: -mixed runs a contended
+// scenario where a background checkpoint stream competes with foreground
+// demand fetches on one tier, once with every operation in a single class
+// (the pre-scheduler FIFO behaviour) and once with proper priority
+// classes, reporting demand-fetch latency percentiles and checkpoint
+// throughput for both.
+//
 // Usage:
 //
 //	iobench                       # throttled in-memory tiers (Table-1/1000 rates)
 //	iobench -dir /mnt/nvme        # a real directory (no throttle)
 //	iobench -size 8388608 -ops 16
+//	iobench -mixed                # checkpoint-vs-demand-fetch scheduler scenario
+//	iobench -mixed -json          # ... as JSON (for BENCH_*.json tracking)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	mlpoffload "github.com/datastates/mlpoffload"
+	"github.com/datastates/mlpoffload/internal/aio"
+	"github.com/datastates/mlpoffload/internal/storage"
 )
 
 func main() {
 	var (
-		dir  = flag.String("dir", "", "benchmark a real directory instead of emulated tiers")
-		size = flag.Int("size", 4<<20, "object size in bytes")
-		ops  = flag.Int("ops", 8, "objects per process")
+		dir      = flag.String("dir", "", "benchmark a real directory instead of emulated tiers")
+		size     = flag.Int("size", 4<<20, "object size in bytes")
+		ops      = flag.Int("ops", 8, "objects per process")
+		mixed    = flag.Bool("mixed", false, "run the mixed-priority scheduler scenario")
+		jsonOut  = flag.Bool("json", false, "emit JSON instead of a table (mixed scenario)")
+		fetches  = flag.Int("fetches", 64, "demand fetches per mixed-scenario mode")
+		mixSize  = flag.Int("mixsize", 256<<10, "object size in the mixed scenario")
+		mixBW    = flag.Float64("mixbw", 200e6, "emulated tier bandwidth for the mixed scenario (B/s)")
+		mixDepth = flag.Int("mixdepth", 32, "queued checkpoint writes the background stream maintains")
 	)
 	flag.Parse()
+
+	if *mixed {
+		runMixed(*fetches, *mixSize, *mixBW, *mixDepth, *jsonOut)
+		return
+	}
 
 	type device struct {
 		name string
@@ -102,4 +127,177 @@ func run(tier mlpoffload.Tier, procs, size, ops int, read bool) float64 {
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
 	return float64(procs*ops*size) / elapsed
+}
+
+// mixedResult is one mode's measurements in the mixed-priority scenario.
+type mixedResult struct {
+	Mode           string  `json:"mode"` // "fifo" or "classed"
+	DemandMeanMS   float64 `json:"demand_mean_ms"`
+	DemandP50MS    float64 `json:"demand_p50_ms"`
+	DemandP95MS    float64 `json:"demand_p95_ms"`
+	CheckpointMBps float64 `json:"checkpoint_mbps"`
+	CheckpointOps  int64   `json:"checkpoint_ops"`
+}
+
+// mixedReport is the -mixed -json document, shaped for BENCH_*.json
+// tracking (stable keys, flat numbers).
+type mixedReport struct {
+	Benchmark string `json:"benchmark"`
+	Config    struct {
+		ObjectBytes int     `json:"object_bytes"`
+		TierBW      float64 `json:"tier_bw_bytes_per_sec"`
+		Fetches     int     `json:"fetches"`
+		QueueDepth  int     `json:"queue_depth"`
+	} `json:"config"`
+	Results    []mixedResult `json:"results"`
+	SpeedupP95 float64       `json:"demand_p95_speedup"`
+}
+
+// runMixed contends a background checkpoint stream against foreground
+// demand fetches on one bandwidth-limited tier, in FIFO and in classed
+// mode, and reports fetch latency and checkpoint throughput.
+func runMixed(fetches, size int, bw float64, depth int, jsonOut bool) {
+	results := []mixedResult{
+		mixedMode("fifo", fetches, size, bw, depth),
+		mixedMode("classed", fetches, size, bw, depth),
+	}
+	if jsonOut {
+		var rep mixedReport
+		rep.Benchmark = "iobench-mixed-priority"
+		rep.Config.ObjectBytes = size
+		rep.Config.TierBW = bw
+		rep.Config.Fetches = fetches
+		rep.Config.QueueDepth = depth
+		rep.Results = results
+		if results[1].DemandP95MS > 0 {
+			rep.SpeedupP95 = results[0].DemandP95MS / results[1].DemandP95MS
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("mixed-priority: %d demand fetches of %s vs a saturated checkpoint stream (tier %.0f MB/s)\n",
+		fetches, fmtBytes(size), bw/1e6)
+	fmt.Printf("%-9s %-16s %-16s %-16s %-16s\n",
+		"mode", "demand p50 (ms)", "demand p95 (ms)", "demand mean (ms)", "checkpoint MB/s")
+	for _, r := range results {
+		fmt.Printf("%-9s %-16.2f %-16.2f %-16.2f %-16.1f\n",
+			r.Mode, r.DemandP50MS, r.DemandP95MS, r.DemandMeanMS, r.CheckpointMBps)
+	}
+	if results[1].DemandP95MS > 0 {
+		fmt.Printf("note: p95 demand-fetch latency %.1fx lower with priority classes\n",
+			results[0].DemandP95MS/results[1].DemandP95MS)
+	}
+}
+
+// mixedMode runs one mode of the scenario. In "fifo" mode the checkpoint
+// stream submits at DemandFetch class, reproducing the old single-queue
+// head-of-line blocking; in "classed" mode it submits at Checkpoint class
+// and the scheduler keeps the fetches ahead of it.
+func mixedMode(mode string, fetches, size int, bw float64, depth int) mixedResult {
+	tier := storage.NewThrottled(storage.NewMemTier("disk"), storage.ThrottleConfig{
+		ReadBW: bw, WriteBW: bw, ReadBurst: float64(size), WriteBurst: float64(size),
+	})
+	eng := aio.New(tier, aio.Config{Workers: 2, QueueDepth: depth})
+	defer eng.Close()
+
+	payload := make([]byte, size)
+	for i := 0; i < fetches; i++ {
+		if err := eng.WriteSync(fmt.Sprintf("state-%d", i), payload); err != nil {
+			fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	eng.Drain()
+
+	ckptClass := aio.Checkpoint
+	if mode == "fifo" {
+		ckptClass = aio.DemandFetch
+	}
+
+	// Background checkpoint stream: keep the queue saturated until told
+	// to stop, then let in-flight writes finish.
+	var ckptBytes atomic.Int64
+	var ckptOps atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, size)
+		var pending []*aio.Op
+		i := 0
+		for {
+			select {
+			case <-stop:
+				for _, op := range pending {
+					_ = op.Wait()
+				}
+				return
+			default:
+			}
+			op, err := eng.SubmitWriteClass(ckptClass, fmt.Sprintf("ckpt-%d", i%depth), buf)
+			if err != nil {
+				return
+			}
+			pending = append(pending, op)
+			ckptBytes.Add(int64(size))
+			ckptOps.Add(1)
+			i++
+			if len(pending) >= depth {
+				_ = pending[0].Wait()
+				pending = pending[1:]
+			}
+		}
+	}()
+
+	// Foreground: sequential demand fetches, each latency measured from
+	// submission (queueing included — that is what the scheduler fixes).
+	dst := make([]byte, size)
+	lat := make([]float64, 0, fetches)
+	start := time.Now()
+	for i := 0; i < fetches; i++ {
+		t0 := time.Now()
+		op, err := eng.SubmitReadClass(aio.DemandFetch, fmt.Sprintf("state-%d", i), dst)
+		if err == nil {
+			err = op.Wait()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+			os.Exit(1)
+		}
+		lat = append(lat, time.Since(t0).Seconds()*1e3)
+	}
+	elapsed := time.Since(start).Seconds()
+	close(stop)
+	wg.Wait()
+
+	sort.Float64s(lat)
+	mean := 0.0
+	for _, l := range lat {
+		mean += l
+	}
+	mean /= float64(len(lat))
+	return mixedResult{
+		Mode:           mode,
+		DemandMeanMS:   mean,
+		DemandP50MS:    lat[len(lat)/2],
+		DemandP95MS:    lat[len(lat)*95/100],
+		CheckpointMBps: float64(ckptBytes.Load()) / elapsed / 1e6,
+		CheckpointOps:  ckptOps.Load(),
+	}
+}
+
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10:
+		return fmt.Sprintf("%dKiB", n>>10)
+	}
+	return fmt.Sprintf("%dB", n)
 }

@@ -1,22 +1,48 @@
 // Package aio is the asynchronous I/O engine of the offloading runtime —
 // the stand-in for DeepNVMe/libaio in the paper's implementation. Callers
-// submit reads and writes against a storage tier and receive futures; a
-// bounded worker pool per engine drains the submission queue. The engine
-// integrates the tierlock concurrency control: when a lock manager is
-// supplied, each operation holds the node-level exclusive lock for its
-// tier while the device transfer is in flight.
+// submit reads, writes and deletes against a storage tier and receive
+// futures; a bounded worker pool per engine drains the submission queues.
+// The engine integrates the tierlock concurrency control: when a lock
+// manager is supplied, each operation holds the node-level exclusive lock
+// for its tier while the device transfer is in flight.
 //
 // One engine object is created per storage path per worker process, as in
 // the paper ("we instantiate multiple offloading engine objects per
 // process, corresponding to the number of storage tiers").
 //
-// Concurrency contract: Submit/Wait and every metric accessor are safe for
-// concurrent use — the update pipeline's issuer, workers and committer all
-// submit against the same engines. Operations execute on the tier from
-// Workers goroutines concurrently, so the backing storage.Tier must honor
-// its own concurrency contract; completion order is not submission order,
-// and callers needing read-after-write ordering on one key must wait for
-// the write's Op before submitting the read.
+// # Priority classes
+//
+// Operations carry a Class, and each engine schedules a per-tier
+// multi-level queue instead of a flat FIFO: workers always serve the
+// highest-priority non-empty class, so a background checkpoint stream can
+// never head-of-line-block the demand fetch the update committer is
+// stalled on. From most to least urgent:
+//
+//	DemandFetch  a fetch an update worker is blocked on right now
+//	GradRead     synchronous gradient reads feeding an imminent update
+//	Prefetch     speculative read-ahead issued by the update issuer
+//	Flush        lazy eviction writes (durability needed by next phase)
+//	Checkpoint   snapshot/write/read streams of checkpointing
+//	Migration    background subgroup migration after a replan
+//
+// Strict priority alone would let a saturated high class starve the rest,
+// so the scheduler ages: any queued operation older than the aging
+// threshold is served oldest-first regardless of class. Every class is
+// therefore guaranteed progress (an op waits at most the threshold plus
+// the service times of ops already executing), while fresh demand fetches
+// still overtake everything younger.
+//
+// QueueDepth bounds each class independently; a full Checkpoint queue
+// blocks only checkpoint submitters, never a DemandFetch Submit.
+//
+// Concurrency contract: Submit/Wait/Promote and every metric accessor are
+// safe for concurrent use — the update pipeline's issuer, workers and
+// committer all submit against the same engines. Operations execute on
+// the tier from Workers goroutines concurrently, so the backing
+// storage.Tier must honor its own concurrency contract; completion order
+// is neither submission order nor strict class order (Workers > 1), and
+// callers needing read-after-write ordering on one key must wait for the
+// write's Op before submitting the read.
 package aio
 
 import (
@@ -34,7 +60,7 @@ import (
 // ErrEngineClosed is returned for submissions after Close.
 var ErrEngineClosed = errors.New("aio: engine closed")
 
-// OpKind distinguishes reads from writes.
+// OpKind distinguishes reads, writes and deletes.
 type OpKind int
 
 const (
@@ -42,13 +68,64 @@ const (
 	Read OpKind = iota
 	// Write flushes the caller's buffer to the tier.
 	Write
+	// Delete removes an object (migration cleanup of stale source copies).
+	Delete
 )
 
 func (k OpKind) String() string {
-	if k == Read {
+	switch k {
+	case Read:
 		return "read"
+	case Write:
+		return "write"
+	default:
+		return "delete"
 	}
-	return "write"
+}
+
+// Class is an operation's scheduling priority (lower value = more urgent).
+type Class int32
+
+const (
+	// DemandFetch is a read a consumer is blocked on right now.
+	DemandFetch Class = iota
+	// GradRead is a gradient read feeding an imminent optimizer update.
+	GradRead
+	// Prefetch is speculative read-ahead (promotable to DemandFetch).
+	Prefetch
+	// Flush is a lazy eviction write.
+	Flush
+	// Checkpoint is checkpoint snapshot/write/read stream traffic.
+	Checkpoint
+	// Migration is background subgroup migration after a replan.
+	Migration
+
+	// NumClasses is the number of priority classes.
+	NumClasses = int(Migration) + 1
+)
+
+func (c Class) String() string {
+	switch c {
+	case DemandFetch:
+		return "demand-fetch"
+	case GradRead:
+		return "grad-read"
+	case Prefetch:
+		return "prefetch"
+	case Flush:
+		return "flush"
+	case Checkpoint:
+		return "checkpoint"
+	case Migration:
+		return "migration"
+	default:
+		return fmt.Sprintf("class(%d)", int32(c))
+	}
+}
+
+// Classes lists all priority classes from most to least urgent.
+func Classes() []Class {
+	return []Class{DemandFetch, GradRead, Prefetch, Flush, Checkpoint, Migration}
 }
 
 // Op is one asynchronous I/O operation (a future). Wait blocks until
@@ -58,12 +135,17 @@ type Op struct {
 	Key   string
 	Bytes int
 
+	class    atomic.Int32
 	done     chan struct{}
 	err      error
 	queuedAt time.Time
 	started  time.Time
 	finished time.Time
 }
+
+// Class returns the op's current priority class (it can rise via Promote
+// while the op is still queued).
+func (o *Op) Class() Class { return Class(o.class.Load()) }
 
 // Wait blocks until the operation completes and returns its error.
 func (o *Op) Wait() error {
@@ -97,11 +179,18 @@ func (o *Op) TransferTime() time.Duration { return o.finished.Sub(o.started) }
 
 // Engine is an asynchronous I/O engine bound to one storage tier.
 type Engine struct {
-	tier   storage.Tier
-	locks  *tierlock.Manager
-	subCh  chan *task
+	tier  storage.Tier
+	locks *tierlock.Manager
+
+	mu     sync.Mutex
+	cond   *sync.Cond // enqueue/dequeue/close events
+	queues [NumClasses][]*task
+	queued int
+	depth  int // per-class bound
+	aging  time.Duration
+	closed bool
+
 	wg     sync.WaitGroup
-	closed atomic.Bool
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -113,6 +202,7 @@ type Engine struct {
 	writeTimeNS  atomic.Int64
 	opsDone      atomic.Int64
 	opsFailed    atomic.Int64
+	perClass     [NumClasses]classCell
 }
 
 type task struct {
@@ -120,15 +210,35 @@ type task struct {
 	buf []byte
 }
 
+// classCell accumulates one class's counters.
+type classCell struct {
+	ops     atomic.Int64
+	failed  atomic.Int64
+	bytes   atomic.Int64
+	queueNS atomic.Int64
+	xferNS  atomic.Int64
+}
+
+// DefaultAgingThreshold is the queue age beyond which any op is served
+// oldest-first regardless of class. It is a few times the transfer time of
+// a large subgroup on the emulated tiers — long enough that urgent classes
+// keep their edge, short enough that Migration never stalls indefinitely.
+const DefaultAgingThreshold = 50 * time.Millisecond
+
 // Config configures an Engine.
 type Config struct {
 	// Workers is the I/O parallelism against this tier (the paper: "a
 	// worker can leverage the preferred I/O parallelism of the alternative
 	// storage"). Default 2.
 	Workers int
-	// QueueDepth bounds pending submissions; Submit blocks when full.
-	// Default 64.
+	// QueueDepth bounds pending submissions per class; Submit blocks when
+	// the op's class queue is full. Default 64.
 	QueueDepth int
+	// AgingThreshold is the starvation bound: a queued op older than this
+	// is dispatched oldest-first regardless of class. 0 means
+	// DefaultAgingThreshold; negative disables aging (strict priority,
+	// tests only — low classes can then starve).
+	AgingThreshold time.Duration
 	// Locks, when non-nil, provides node-level exclusive access control.
 	Locks *tierlock.Manager
 }
@@ -141,14 +251,19 @@ func New(tier storage.Tier, cfg Config) *Engine {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.AgingThreshold == 0 {
+		cfg.AgingThreshold = DefaultAgingThreshold
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
 		tier:   tier,
 		locks:  cfg.Locks,
-		subCh:  make(chan *task, cfg.QueueDepth),
+		depth:  cfg.QueueDepth,
+		aging:  cfg.AgingThreshold,
 		ctx:    ctx,
 		cancel: cancel,
 	}
+	e.cond = sync.NewCond(&e.mu)
 	for i := 0; i < cfg.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -161,14 +276,68 @@ func (e *Engine) Tier() storage.Tier { return e.tier }
 
 func (e *Engine) worker() {
 	defer e.wg.Done()
-	for t := range e.subCh {
+	for {
+		t := e.next()
+		if t == nil {
+			return
+		}
 		e.execute(t)
 	}
 }
 
-func (e *Engine) execute(t *task) {
+// next blocks until a task is schedulable and dequeues it, or returns nil
+// once the engine is closed and fully drained. The executing counter is
+// raised inside the same critical section that dequeues, so Drain can
+// never observe queued == 0 with the op not yet counted as executing.
+func (e *Engine) next() *task {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.queued == 0 {
+		if e.closed {
+			return nil
+		}
+		e.cond.Wait()
+	}
+	t := e.pick(time.Now())
+	e.queued--
 	e.executing.Add(1)
-	defer e.executing.Add(-1)
+	e.cond.Broadcast() // free a Submit slot, wake Drain pollers
+	return t
+}
+
+// pick implements the multi-level policy: serve the oldest op whose queue
+// age exceeds the aging threshold (starvation proofing, oldest first
+// across all classes), otherwise the head of the highest-priority
+// non-empty class. Caller holds mu and guarantees queued > 0.
+func (e *Engine) pick(now time.Time) *task {
+	best := -1
+	if e.aging > 0 {
+		for c := 0; c < NumClasses; c++ {
+			q := e.queues[c]
+			if len(q) == 0 || now.Sub(q[0].op.queuedAt) < e.aging {
+				continue
+			}
+			if best == -1 || q[0].op.queuedAt.Before(e.queues[best][0].op.queuedAt) {
+				best = c
+			}
+		}
+	}
+	if best == -1 {
+		for c := 0; c < NumClasses; c++ {
+			if len(e.queues[c]) > 0 {
+				best = c
+				break
+			}
+		}
+	}
+	t := e.queues[best][0]
+	e.queues[best][0] = nil // release for GC
+	e.queues[best] = e.queues[best][1:]
+	return t
+}
+
+func (e *Engine) execute(t *task) {
+	defer e.executing.Add(-1) // raised in next(), under the queue lock
 	op := t.op
 	op.started = time.Now()
 
@@ -187,6 +356,8 @@ func (e *Engine) execute(t *task) {
 		err = e.tier.Read(e.ctx, op.Key, t.buf)
 	case Write:
 		err = e.tier.Write(e.ctx, op.Key, t.buf)
+	case Delete:
+		err = e.tier.Delete(e.ctx, op.Key)
 	}
 	if rel != nil {
 		rel()
@@ -198,6 +369,8 @@ func (e *Engine) finish(op *Op, err error) {
 	op.finished = time.Now()
 	op.err = err
 	d := op.finished.Sub(op.started).Nanoseconds()
+	cell := &e.perClass[op.Class()]
+	cell.queueNS.Add(op.started.Sub(op.queuedAt).Nanoseconds())
 	if err == nil {
 		switch op.Kind {
 		case Read:
@@ -208,39 +381,103 @@ func (e *Engine) finish(op *Op, err error) {
 			e.writeTimeNS.Add(d)
 		}
 		e.opsDone.Add(1)
+		cell.ops.Add(1)
+		cell.bytes.Add(int64(op.Bytes))
+		cell.xferNS.Add(d)
 	} else {
 		e.opsFailed.Add(1)
+		cell.failed.Add(1)
 	}
 	close(op.done)
 }
 
-// submit enqueues a task, blocking if the queue is full.
-func (e *Engine) submit(kind OpKind, key string, buf []byte) (*Op, error) {
-	if e.closed.Load() {
+// submit enqueues a task at the given class, blocking while that class's
+// queue is full.
+func (e *Engine) submit(c Class, kind OpKind, key string, buf []byte) (*Op, error) {
+	if c < 0 || int(c) >= NumClasses {
+		return nil, fmt.Errorf("aio: invalid class %d", c)
+	}
+	op := &Op{Kind: kind, Key: key, Bytes: len(buf), done: make(chan struct{})}
+	op.class.Store(int32(c))
+	e.mu.Lock()
+	for !e.closed && len(e.queues[c]) >= e.depth {
+		e.cond.Wait()
+	}
+	if e.closed {
+		e.mu.Unlock()
 		return nil, ErrEngineClosed
 	}
-	op := &Op{Kind: kind, Key: key, Bytes: len(buf), done: make(chan struct{}), queuedAt: time.Now()}
-	select {
-	case e.subCh <- &task{op: op, buf: buf}:
-		return op, nil
-	case <-e.ctx.Done():
-		return nil, ErrEngineClosed
-	}
+	op.queuedAt = time.Now()
+	e.queues[c] = append(e.queues[c], &task{op: op, buf: buf})
+	e.queued++
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	return op, nil
 }
 
-// SubmitRead enqueues an asynchronous fetch of key into dst. The caller
-// must not touch dst until the returned op completes.
+// SubmitReadClass enqueues an asynchronous fetch of key into dst at the
+// given priority class. The caller must not touch dst until the returned
+// op completes.
+func (e *Engine) SubmitReadClass(c Class, key string, dst []byte) (*Op, error) {
+	return e.submit(c, Read, key, dst)
+}
+
+// SubmitWriteClass enqueues an asynchronous flush of src under key at the
+// given priority class. The caller must not modify src until the returned
+// op completes.
+func (e *Engine) SubmitWriteClass(c Class, key string, src []byte) (*Op, error) {
+	return e.submit(c, Write, key, src)
+}
+
+// SubmitDelete enqueues an asynchronous removal of key at the given
+// priority class. Deleting a missing key is not an error (Tier contract).
+func (e *Engine) SubmitDelete(c Class, key string) (*Op, error) {
+	return e.submit(c, Delete, key, nil)
+}
+
+// SubmitRead enqueues a fetch at DemandFetch priority — the default for
+// callers that will block on the result immediately.
 func (e *Engine) SubmitRead(key string, dst []byte) (*Op, error) {
-	return e.submit(Read, key, dst)
+	return e.submit(DemandFetch, Read, key, dst)
 }
 
-// SubmitWrite enqueues an asynchronous flush of src under key. The caller
-// must not modify src until the returned op completes.
+// SubmitWrite enqueues a flush at Flush priority — the default for lazy
+// durability writes.
 func (e *Engine) SubmitWrite(key string, src []byte) (*Op, error) {
-	return e.submit(Write, key, src)
+	return e.submit(Flush, Write, key, src)
 }
 
-// ReadSync is a convenience synchronous read through the async path.
+// Promote raises a queued op to a more urgent class (typically a Prefetch
+// the update worker is now blocked on, promoted to DemandFetch). It is a
+// no-op if the op already started executing, completed, or already has
+// equal or higher priority.
+func (e *Engine) Promote(op *Op, c Class) {
+	if c < 0 || int(c) >= NumClasses {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cur := Class(op.class.Load())
+	if c >= cur {
+		return
+	}
+	q := e.queues[cur]
+	for i, t := range q {
+		if t.op != op {
+			continue
+		}
+		copy(q[i:], q[i+1:])
+		q[len(q)-1] = nil
+		e.queues[cur] = q[:len(q)-1]
+		e.queues[c] = append(e.queues[c], t)
+		op.class.Store(int32(c))
+		e.cond.Broadcast() // a slot opened in cur's queue
+		return
+	}
+}
+
+// ReadSync is a convenience synchronous read through the async path at
+// DemandFetch priority.
 func (e *Engine) ReadSync(key string, dst []byte) error {
 	op, err := e.SubmitRead(key, dst)
 	if err != nil {
@@ -249,7 +486,8 @@ func (e *Engine) ReadSync(key string, dst []byte) error {
 	return op.Wait()
 }
 
-// WriteSync is a convenience synchronous write through the async path.
+// WriteSync is a convenience synchronous write through the async path at
+// Flush priority.
 func (e *Engine) WriteSync(key string, src []byte) error {
 	op, err := e.SubmitWrite(key, src)
 	if err != nil {
@@ -297,26 +535,77 @@ func (e *Engine) Metrics() Metrics {
 	}
 }
 
+// ClassMetrics is a snapshot of one priority class's counters. Ops counts
+// successful completions; an op promoted while queued is accounted under
+// the class it was dispatched at.
+type ClassMetrics struct {
+	Ops        int64
+	Failed     int64
+	Bytes      int64
+	QueueDelay time.Duration // total time ops of this class sat queued
+	Transfer   time.Duration // total device time of successful ops
+}
+
+// ClassMetrics returns a snapshot of one class's counters.
+func (e *Engine) ClassMetrics(c Class) ClassMetrics {
+	cell := &e.perClass[c]
+	return ClassMetrics{
+		Ops:        cell.ops.Load(),
+		Failed:     cell.failed.Load(),
+		Bytes:      cell.bytes.Load(),
+		QueueDelay: time.Duration(cell.queueNS.Load()),
+		Transfer:   time.Duration(cell.xferNS.Load()),
+	}
+}
+
+// PerClassMetrics returns snapshots for all classes, indexed by Class.
+func (e *Engine) PerClassMetrics() [NumClasses]ClassMetrics {
+	var out [NumClasses]ClassMetrics
+	for c := 0; c < NumClasses; c++ {
+		out[c] = e.ClassMetrics(Class(c))
+	}
+	return out
+}
+
+// QueuedByClass reports the current queue length of each class (a
+// scheduling observability hook; values are instantaneous).
+func (e *Engine) QueuedByClass() [NumClasses]int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out [NumClasses]int
+	for c := 0; c < NumClasses; c++ {
+		out[c] = len(e.queues[c])
+	}
+	return out
+}
+
 // Drain waits for all currently queued and executing operations to finish.
 // It is the barrier the engine uses at phase boundaries ("wait for all
 // lazy flushes before starting the next backward pass"). Drain polls; it is
 // a phase-boundary call, not a hot path.
 func (e *Engine) Drain() {
 	for {
-		if len(e.subCh) == 0 && e.executing.Load() == 0 {
+		e.mu.Lock()
+		idle := e.queued == 0
+		e.mu.Unlock()
+		if idle && e.executing.Load() == 0 {
 			return
 		}
 		time.Sleep(200 * time.Microsecond)
 	}
 }
 
-// Close stops accepting submissions, waits for queued ops to finish, and
-// releases workers. Close is idempotent.
+// Close stops accepting submissions, waits for queued ops of every class
+// to finish, and releases workers. Close is idempotent.
 func (e *Engine) Close() {
-	if e.closed.Swap(true) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
 		return
 	}
-	close(e.subCh)
+	e.closed = true
+	e.cond.Broadcast()
+	e.mu.Unlock()
 	e.wg.Wait()
 	e.cancel()
 }

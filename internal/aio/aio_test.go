@@ -250,6 +250,400 @@ func TestConcurrentSubmitters(t *testing.T) {
 	}
 }
 
+// gateTier wraps a MemTier so the first operation blocks until release is
+// closed, and records the order in which operations execute. It lets
+// scheduler tests fill queues deterministically while the single worker is
+// parked on the gate op.
+type gateTier struct {
+	storage.Tier
+	gate  chan struct{}
+	once  sync.Once
+	mu    sync.Mutex
+	order []string
+}
+
+func newGateTier() *gateTier {
+	return &gateTier{Tier: storage.NewMemTier("g"), gate: make(chan struct{})}
+}
+
+func (g *gateTier) record(key string) {
+	g.mu.Lock()
+	g.order = append(g.order, key)
+	g.mu.Unlock()
+}
+
+// hold makes the first op wait on the gate; later ops pass through.
+func (g *gateTier) hold(key string) {
+	first := false
+	g.once.Do(func() { first = true })
+	if first {
+		<-g.gate
+	}
+	g.record(key)
+}
+
+func (g *gateTier) Read(ctx context.Context, key string, dst []byte) error {
+	g.hold(key)
+	return g.Tier.Read(ctx, key, dst)
+}
+
+func (g *gateTier) Write(ctx context.Context, key string, src []byte) error {
+	g.hold(key)
+	return g.Tier.Write(ctx, key, src)
+}
+
+func (g *gateTier) Delete(ctx context.Context, key string) error {
+	g.hold(key)
+	return g.Tier.Delete(ctx, key)
+}
+
+func (g *gateTier) executed() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.order...)
+}
+
+func TestClassOrderingUnderFullQueues(t *testing.T) {
+	g := newGateTier()
+	e := New(g, Config{Workers: 1, QueueDepth: 8, AgingThreshold: -1})
+	defer e.Close()
+
+	// Park the single worker on a gate op, then enqueue one op per class in
+	// reverse priority order so FIFO arrival would invert the expected
+	// service order.
+	blocker, err := e.SubmitWriteClass(Migration, "blocker", []byte{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !workerParked(e) {
+		time.Sleep(time.Millisecond)
+	}
+	classes := []Class{Migration, Checkpoint, Flush, Prefetch, GradRead, DemandFetch}
+	ops := make([]*Op, 0, len(classes))
+	for _, c := range classes {
+		op, err := e.SubmitWriteClass(c, c.String(), []byte{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, op)
+	}
+	close(g.gate)
+	if err := blocker.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if err := op.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := g.executed()
+	want := []string{"blocker", "demand-fetch", "grad-read", "prefetch", "flush", "checkpoint", "migration"}
+	if len(got) != len(want) {
+		t.Fatalf("executed %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("service order %v, want %v", got, want)
+		}
+	}
+}
+
+// workerParked reports that the engine's worker picked up the gate op (the
+// queues are empty and exactly one op is executing).
+func workerParked(e *Engine) bool {
+	if e.executing.Load() != 1 {
+		return false
+	}
+	q := e.QueuedByClass()
+	for _, n := range q {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAgingPreventsMigrationStarvation(t *testing.T) {
+	g := newGateTier()
+	e := New(g, Config{Workers: 1, QueueDepth: 64, AgingThreshold: 10 * time.Millisecond})
+	defer e.Close()
+
+	blocker, err := e.SubmitWriteClass(DemandFetch, "blocker", []byte{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !workerParked(e) {
+		time.Sleep(time.Millisecond)
+	}
+	mig, err := e.SubmitWriteClass(Migration, "migration", []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the migration op age past the threshold, then bury it under a
+	// stream of demand fetches. Strict priority would run all of them
+	// first; aging must dispatch the older migration op ahead of them.
+	time.Sleep(20 * time.Millisecond)
+	var demands []*Op
+	for i := 0; i < 16; i++ {
+		op, err := e.SubmitWriteClass(DemandFetch, fmt.Sprintf("demand-%02d", i), []byte{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		demands = append(demands, op)
+	}
+	close(g.gate)
+	_ = blocker.Wait()
+	_ = mig.Wait()
+	for _, op := range demands {
+		_ = op.Wait()
+	}
+	order := g.executed()
+	if len(order) < 2 || order[1] != "migration" {
+		t.Fatalf("aged migration op not served first: %v", order)
+	}
+}
+
+func TestPromoteRaisesQueuedOp(t *testing.T) {
+	g := newGateTier()
+	e := New(g, Config{Workers: 1, QueueDepth: 8, AgingThreshold: -1})
+	defer e.Close()
+
+	blocker, err := e.SubmitWriteClass(DemandFetch, "blocker", []byte{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !workerParked(e) {
+		time.Sleep(time.Millisecond)
+	}
+	pre, err := e.SubmitReadClass(Prefetch, "blocker", make([]byte, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := e.SubmitWriteClass(Flush, "flush", []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.Class() != Prefetch {
+		t.Fatalf("class before promote = %v", pre.Class())
+	}
+	e.Promote(pre, DemandFetch)
+	if pre.Class() != DemandFetch {
+		t.Fatalf("class after promote = %v", pre.Class())
+	}
+	// Demote attempts are ignored.
+	e.Promote(pre, Migration)
+	if pre.Class() != DemandFetch {
+		t.Fatalf("demote changed class to %v", pre.Class())
+	}
+	close(g.gate)
+	_ = blocker.Wait()
+	_ = pre.Wait()
+	_ = fl.Wait()
+	order := g.executed()
+	if order[1] != "blocker" { // the promoted read (key "blocker") runs before the flush
+		t.Fatalf("promoted op not served first: %v", order)
+	}
+	// blocker + the promoted read: the promoted op is accounted under the
+	// class it was dispatched at, not the class it was submitted at.
+	if m := e.ClassMetrics(DemandFetch); m.Ops != 2 {
+		t.Errorf("promoted op accounted under wrong class: demand ops = %d, want 2", m.Ops)
+	}
+}
+
+func TestCloseDrainsAllClasses(t *testing.T) {
+	g := newGateTier()
+	e := New(g, Config{Workers: 1, QueueDepth: 8})
+
+	blocker, err := e.SubmitWriteClass(DemandFetch, "blocker", []byte{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !workerParked(e) {
+		time.Sleep(time.Millisecond)
+	}
+	var ops []*Op
+	for _, c := range Classes() {
+		op, err := e.SubmitWriteClass(c, "k-"+c.String(), []byte{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops = append(ops, op)
+	}
+	close(g.gate)
+	e.Close()
+	if err := blocker.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		select {
+		case <-op.Done():
+			if op.Err() != nil {
+				t.Errorf("op %s failed: %v", op.Key, op.Err())
+			}
+		default:
+			t.Fatalf("op %s (class %v) not complete after Close", op.Key, op.Class())
+		}
+	}
+	if _, err := e.SubmitWriteClass(Checkpoint, "late", []byte{1}); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("want ErrEngineClosed, got %v", err)
+	}
+}
+
+func TestPerClassQueueBounds(t *testing.T) {
+	g := newGateTier()
+	e := New(g, Config{Workers: 1, QueueDepth: 2, AgingThreshold: -1})
+	defer e.Close()
+
+	blocker, err := e.SubmitWriteClass(Checkpoint, "blocker", []byte{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !workerParked(e) {
+		time.Sleep(time.Millisecond)
+	}
+	// Fill the Checkpoint queue to its bound...
+	var ckpt []*Op
+	for i := 0; i < 2; i++ {
+		op, err := e.SubmitWriteClass(Checkpoint, fmt.Sprintf("ckpt-%d", i), []byte{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ckpt = append(ckpt, op)
+	}
+	// ...then verify a DemandFetch submission is NOT blocked by it: the
+	// whole point of per-class bounds is that a saturated checkpoint
+	// stream cannot head-of-line-block the critical path at admission.
+	submitted := make(chan *Op, 1)
+	go func() {
+		op, err := e.SubmitWriteClass(DemandFetch, "demand", []byte{1})
+		if err != nil {
+			t.Error(err)
+		}
+		submitted <- op
+	}()
+	var demand *Op
+	select {
+	case demand = <-submitted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("DemandFetch Submit blocked behind a full Checkpoint queue")
+	}
+	close(g.gate)
+	_ = blocker.Wait()
+	_ = demand.Wait()
+	for _, op := range ckpt {
+		_ = op.Wait()
+	}
+}
+
+func TestDeleteOp(t *testing.T) {
+	e := New(storage.NewMemTier("m"), Config{})
+	defer e.Close()
+	if err := e.WriteSync("k", []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	op, err := e.SubmitDelete(Migration, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ReadSync("k", make([]byte, 1)); !errors.Is(err, storage.ErrNotFound) {
+		t.Fatalf("object survived delete: %v", err)
+	}
+	// Deleting a missing key is not an error (Tier contract).
+	op, err = e.SubmitDelete(Migration, "missing")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassMetricsAccumulate(t *testing.T) {
+	e := New(storage.NewMemTier("m"), Config{Workers: 1})
+	defer e.Close()
+	for i := 0; i < 3; i++ {
+		op, err := e.SubmitWriteClass(Flush, fmt.Sprintf("k%d", i), make([]byte, 100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := op.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	op, err := e.SubmitReadClass(Checkpoint, "k0", make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	fm := e.ClassMetrics(Flush)
+	if fm.Ops != 3 || fm.Bytes != 300 {
+		t.Errorf("flush metrics = %+v", fm)
+	}
+	cm := e.ClassMetrics(Checkpoint)
+	if cm.Ops != 1 || cm.Bytes != 100 {
+		t.Errorf("checkpoint metrics = %+v", cm)
+	}
+	if dm := e.ClassMetrics(DemandFetch); dm.Ops != 0 {
+		t.Errorf("demand metrics = %+v", dm)
+	}
+	per := e.PerClassMetrics()
+	if per[Flush] != fm || per[Checkpoint] != cm {
+		t.Error("PerClassMetrics disagrees with ClassMetrics")
+	}
+	// A failed op is accounted as Failed, not Ops.
+	rop, err := e.SubmitReadClass(GradRead, "missing", make([]byte, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = rop.Wait()
+	if gm := e.ClassMetrics(GradRead); gm.Ops != 0 || gm.Failed != 1 {
+		t.Errorf("failed-op metrics = %+v", gm)
+	}
+}
+
+func TestConcurrentMixedClassSubmitters(t *testing.T) {
+	// Race coverage: many goroutines submitting different classes, with
+	// promotes in flight, against several workers.
+	e := New(storage.NewMemTier("m"), Config{Workers: 4, QueueDepth: 8})
+	defer e.Close()
+	var wg sync.WaitGroup
+	classes := Classes()
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				c := classes[(w+i)%len(classes)]
+				key := fmt.Sprintf("w%d-%d", w, i)
+				op, err := e.SubmitWriteClass(c, key, []byte{byte(w), byte(i)})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				e.Promote(op, DemandFetch)
+				if err := op.Wait(); err != nil {
+					t.Error(err)
+					return
+				}
+				dst := make([]byte, 2)
+				if err := e.ReadSync(key, dst); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m := e.Metrics(); m.OpsDone != 480 {
+		t.Errorf("OpsDone = %d, want 480", m.OpsDone)
+	}
+}
+
 func BenchmarkAsyncWriteThroughput(b *testing.B) {
 	e := New(storage.NewMemTier("m"), Config{Workers: 4, QueueDepth: 128})
 	defer e.Close()

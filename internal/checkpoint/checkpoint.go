@@ -178,7 +178,7 @@ func (w *Writer) Write(ctx context.Context, step int, plan Plan, fetch Fetcher, 
 			firstErr = fmt.Errorf("checkpoint: fetch subgroup %d: %w", loc.SubgroupID, err)
 			break
 		}
-		op, err := w.engine.SubmitWrite(ObjectKey(w.prefix, step, loc.SubgroupID), data)
+		op, err := w.engine.SubmitWriteClass(aio.Checkpoint, ObjectKey(w.prefix, step, loc.SubgroupID), data)
 		if err != nil {
 			if release != nil {
 				release(data)

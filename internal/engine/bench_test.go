@@ -67,6 +67,68 @@ func BenchmarkUpdatePhase(b *testing.B) {
 	}
 }
 
+// BenchmarkUpdatePhaseMigration measures full iterations under migration
+// churn: adaptive placement is on and the two tiers swap speeds every
+// iteration, so every replan displaces subgroups and the live migrator
+// moves them at Migration priority while the next iteration's fetches,
+// updates and flushes run. The interesting comparison is against
+// BenchmarkUpdatePhase (no churn): the gap bounds the cost of keeping the
+// plan an enforced contract.
+func BenchmarkUpdatePhaseMigration(b *testing.B) {
+	const (
+		params   = 2_000_000
+		subgroup = 100_000
+	)
+	mkTier := func(name string, bw float64) *storage.Throttled {
+		return storage.NewThrottled(storage.NewMemTier(name), storage.ThrottleConfig{
+			ReadBW: bw, WriteBW: bw,
+			ReadBurst: 64 * 1024, WriteBurst: 64 * 1024,
+		})
+	}
+	for _, window := range []int{2, 4} {
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			nvme := mkTier("nvme", 1e9)
+			pfs := mkTier("pfs", 5e8)
+			tiers := []TierSpec{
+				{Tier: nvme, ReadBW: 1e9, WriteBW: 1e9},
+				{Tier: pfs, ReadBW: 5e8, WriteBW: 5e8},
+			}
+			cfg := MLPConfig(0, params, subgroup, tiers, nil)
+			cfg.AdaptivePlacement = true
+			cfg.MigrationWindow = window
+			cfg.PrefetchDepth = 6
+			cfg.IOWorkers = 4
+			cfg.HostCacheSlots = 3
+			eng, err := New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(eng.Close)
+			b.SetBytes(params * 12)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%2 == 0 {
+					nvme.SetRates(25e7, 25e7)
+					pfs.SetRates(1e9, 1e9)
+				} else {
+					nvme.SetRates(1e9, 1e9)
+					pfs.SetRates(25e7, 25e7)
+				}
+				if _, err := eng.TrainIteration(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := eng.MigrationStats()
+			if st.Err != nil {
+				b.Fatal(st.Err)
+			}
+			b.ReportMetric(float64(st.Moves)/float64(b.N), "migrations/iter")
+		})
+	}
+}
+
 // BenchmarkUpdatePhaseUnthrottled isolates the pipeline's own overhead on
 // unthrottled in-memory tiers (no I/O wait to overlap, so this bounds the
 // coordination cost the worker pool adds).

@@ -91,6 +91,15 @@ type Config struct {
 	// from observed bandwidths (EWMA); otherwise the nominal split is
 	// kept.
 	AdaptivePlacement bool
+	// MigrationWindow bounds the staging buffers (and concurrent copies)
+	// of the live migrator that moves offloaded subgroups to their newly
+	// planned tiers after an adaptive replan. Without it a replanned
+	// subgroup's bytes only move when it happens to pass through the host
+	// cache, so cold subgroups can stay on the wrong tier indefinitely.
+	// 0 defaults to 2; negative disables live migration (plan drift is
+	// then only repaired by eviction traffic, the pre-migration
+	// behaviour). Ignored unless AdaptivePlacement is set.
+	MigrationWindow int
 
 	// HostCacheSlots is the number of subgroups the host can keep resident
 	// between phases (the paper's "minimum of three": flushing, updating,
@@ -216,6 +225,9 @@ func (c *Config) validate() error {
 	}
 	if c.UpdateWorkers <= 0 {
 		c.UpdateWorkers = 1
+	}
+	if c.MigrationWindow == 0 {
+		c.MigrationWindow = 2
 	}
 	if c.GradAccumSteps <= 0 {
 		c.GradAccumSteps = 1

@@ -30,7 +30,24 @@ type Engine struct {
 	plan placement.Plan
 
 	lru *hostcache.LRU
-	loc []int // per subgroup: locHost or tier index
+	// loc is the *actual* backing location of each subgroup (locHost or a
+	// tier index) — reality, where plan is intent. The live migrator's job
+	// is to converge loc onto plan. Guarded by cacheMu wherever it can
+	// race the migrator; plain reads are safe only in code that runs with
+	// migrations quiesced (after drain) or for pinned subgroups.
+	loc []int
+	// gradLoc is the tier each subgroup's FP32 gradient object was written
+	// to during the latest backward pass (-1 = none yet). Gradients are
+	// per-iteration transients, so they are never migrated; fetches read
+	// them from where backward put them even if the state object moved.
+	gradLoc []int
+	// staleTier is the tier still holding a host-resident subgroup's
+	// now-stale state object from before its fetch (-1 = none). When the
+	// subgroup is later evicted to a *different* tier, the stale source is
+	// deleted — the same delete discipline the migrator follows, so an
+	// offloaded subgroup's object lives on exactly one tier. Guarded by
+	// cacheMu.
+	staleTier []int
 
 	fetchPool *hostcache.BufferPool
 	flushPool *hostcache.BufferPool
@@ -57,26 +74,58 @@ type Engine struct {
 	pendingFlush []*aio.Op
 	pendingGrads []*aio.Op
 	flushWG      sync.WaitGroup
-	mu           sync.Mutex // guards pendingFlush/flushTickets bookkeeping
+	mu           sync.Mutex // guards pendingFlush/flushTickets/async-stats bookkeeping
 	// asyncFlushStats accumulates *write* metrics (bytes, transfer time)
-	// from asynchronous eviction flushes as they complete. A flush still in
-	// flight when updatePhase folds the accumulator is attributed to the
-	// next iteration's fold — per-iteration write totals are approximate at
-	// the boundary, while the series total stays exact.
+	// from asynchronous eviction flushes as they complete, plus the
+	// per-priority-class breakdown of every asynchronous op (flushes and
+	// migrations). An op still in flight when updatePhase folds the
+	// accumulator is attributed to the next iteration's fold —
+	// per-iteration totals are approximate at the boundary, while the
+	// series total stays exact.
 	asyncFlushStats struct {
 		bytes float64
 		secs  float64
+		class map[string]metrics.ClassIO
 	}
 
 	// cacheMu serializes the compound residency transitions of the update
-	// pipeline: {read loc, pin} in the issuer and {set loc, unpin, touch,
-	// pick victims, publish flush tickets} in the committer. loc and lru
-	// must change together or the issuer could classify a subgroup as a
-	// cache hit while the committer is evicting it.
+	// pipeline: {read loc, pin} in the issuer, {set loc, unpin, touch,
+	// pick victims, publish flush tickets} in the committer, and
+	// {check pin, mark migrating, flip loc} in the migrator. loc, lru,
+	// plan and migrating must change together or the issuer could classify
+	// a subgroup as a cache hit while the committer is evicting it (or
+	// fetch from a tier the migrator is abandoning).
 	cacheMu sync.Mutex
-	// flushTickets orders a refetch after an in-flight eviction flush of
-	// the same subgroup within one phase (read-after-write on the tier).
+	// flushTickets orders a refetch (or a migration read) after an
+	// in-flight eviction flush of the same subgroup (read-after-write on
+	// the tier). Entries persist until the next update phase has waited
+	// the flushes durable.
 	flushTickets map[int]*flushTicket
+	// pendingDeletes are best-effort reclamation deletes of stale state
+	// and gradient objects. They are waited — errors ignored, a failed
+	// delete only orphans bytes — at the next update-phase start, before
+	// any write could target the same key on the same tier again (a slow
+	// delete landing after a fresh write would destroy a live object).
+	// deleteTickets lets the migrator, which runs between those barriers,
+	// order its destination write after a subgroup's in-flight delete.
+	// Both guarded by mu.
+	pendingDeletes []*aio.Op
+	deleteTickets  map[int]*aio.Op
+	// migrating marks subgroups whose backing object is mid-copy between
+	// tiers; the issuer waits for the ticket before classifying them.
+	// Guarded by cacheMu.
+	migrating map[int]*migrationTicket
+	// Migration queue state (see migrate.go). migMu guards the queue and
+	// in-flight count; migCond signals enqueue/completion/close.
+	migMu       sync.Mutex
+	migCond     *sync.Cond
+	migQueued   map[int]bool
+	migOrder    []int
+	migInflight int
+	migClosed   bool
+	migWG       sync.WaitGroup
+	migPool     *hostcache.BufferPool
+	migStats    migStatsCell
 
 	series metrics.Series
 	closed bool
@@ -109,12 +158,13 @@ func New(cfg Config) (*Engine, error) {
 	e.gradPool = hostcache.NewBufferPool(inflight+cfg.UpdateWorkers+1, 4*maxLen)
 	e.fetchSem = make(chan struct{}, cfg.PrefetchDepth)
 	e.flushTickets = make(map[int]*flushTicket)
+	e.deleteTickets = make(map[int]*aio.Op)
 
 	e.names = make([]string, len(cfg.Tiers))
 	e.est = placement.NewEstimator(0.5)
 	for i, t := range cfg.Tiers {
 		e.names[i] = t.Tier.Name()
-		e.est.Seed(t.Tier.Name(), t.MinBW())
+		e.est.Seed(t.Tier.Name(), t.ReadBW, t.WriteBW)
 		e.aios = append(e.aios, aio.New(t.Tier, aio.Config{
 			Workers:    cfg.IOWorkers,
 			QueueDepth: 4 * cfg.PrefetchDepth,
@@ -125,6 +175,22 @@ func New(cfg Config) (*Engine, error) {
 
 	e.lru = hostcache.NewLRU(cfg.HostCacheSlots)
 	e.loc = make([]int, m)
+	e.gradLoc = make([]int, m)
+	e.staleTier = make([]int, m)
+	for i := range e.gradLoc {
+		e.gradLoc[i] = -1
+		e.staleTier[i] = -1
+	}
+	e.migrating = make(map[int]*migrationTicket)
+	e.migQueued = make(map[int]bool)
+	e.migCond = sync.NewCond(&e.migMu)
+	if cfg.AdaptivePlacement && cfg.MigrationWindow > 0 {
+		e.migPool = hostcache.NewBufferPool(cfg.MigrationWindow, stateBuf)
+		for i := 0; i < cfg.MigrationWindow; i++ {
+			e.migWG.Add(1)
+			go e.migrator()
+		}
+	}
 	e.params16 = make([]fp16.Bits, cfg.Params)
 	e.sgOffset = make([]int64, m)
 	e.grad32 = make([]float32, maxLen)
@@ -165,7 +231,11 @@ func (e *Engine) bandwidths() []placement.TierBandwidth {
 func (e *Engine) Subgroups() int { return len(e.shard.Subgroups) }
 
 // Plan returns the current placement plan.
-func (e *Engine) Plan() placement.Plan { return e.plan }
+func (e *Engine) Plan() placement.Plan {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
+	return e.plan
+}
 
 // Series returns the recorded iteration metrics.
 func (e *Engine) Series() *metrics.Series { return &e.series }
@@ -179,6 +249,35 @@ func (e *Engine) key(i int) string { return subgroup.Key(e.cfg.Rank, i) }
 // gradKey returns the FP32-gradient object key for subgroup i (baseline).
 func (e *Engine) gradKey(i int) string {
 	return fmt.Sprintf("rank%03d-sg%05d.grad", e.cfg.Rank, i)
+}
+
+// recordDelete tracks a best-effort reclamation delete until the next
+// phase-boundary wait. sg >= 0 additionally publishes it as the
+// subgroup's delete ticket so a concurrent migration orders its
+// destination write after it.
+func (e *Engine) recordDelete(sg int, op *aio.Op) {
+	e.mu.Lock()
+	e.pendingDeletes = append(e.pendingDeletes, op)
+	if sg >= 0 {
+		e.deleteTickets[sg] = op
+	}
+	e.mu.Unlock()
+}
+
+// waitDeletes waits every pending reclamation delete — errors ignored, a
+// failed delete only orphans bytes — then drops the tickets (all waited,
+// so nothing needs ordering against them anymore).
+func (e *Engine) waitDeletes() {
+	e.mu.Lock()
+	dels := e.pendingDeletes
+	e.pendingDeletes = nil
+	e.mu.Unlock()
+	for _, op := range dels {
+		_ = op.Wait()
+	}
+	e.mu.Lock()
+	e.deleteTickets = make(map[int]*aio.Op)
+	e.mu.Unlock()
 }
 
 // d2hTransfer charges a device<->host transfer against the PCIe budget.
@@ -273,15 +372,33 @@ func (e *Engine) backward(iter int, accumStep int, lastAccum bool) error {
 			gbuf := e.gradPool.Get()
 			wide := gbuf[:4*n]
 			encodeF32(wide, g32)
+			// loc can be flipped concurrently by the live migrator; the
+			// gradient co-locates with wherever the state is *now*, and
+			// gradLoc records that so the update-phase fetch follows the
+			// gradient even if the state object migrates again before it.
+			e.cacheMu.Lock()
 			tier := e.loc[i]
 			if tier == locHost {
 				tier = e.plan.TierFor(i)
 			}
-			op, err := e.aios[tier].SubmitWrite(e.gradKey(i), wide)
+			e.cacheMu.Unlock()
+			op, err := e.aios[tier].SubmitWriteClass(aio.Flush, e.gradKey(i), wide)
 			if err != nil {
 				e.gradPool.Put(gbuf)
 				return err
 			}
+			if old := e.gradLoc[i]; old >= 0 && old != tier {
+				// The previous iteration's gradient object lives on another
+				// tier (the state migrated since): reclaim it so migration
+				// churn cannot accumulate orphaned grad objects. Tracked on
+				// pendingDeletes — waited at the next phase start but never
+				// fatal, and durable before any later backward could write
+				// this grad key on that tier again.
+				if dop, derr := e.aios[old].SubmitDelete(aio.Flush, e.gradKey(i)); derr == nil {
+					e.recordDelete(-1, dop)
+				}
+			}
+			e.gradLoc[i] = tier
 			e.pendingGrads = append(e.pendingGrads, op)
 			buf := gbuf
 			e.flushWG.Add(1)
@@ -345,9 +462,13 @@ func (e *Engine) TrainIteration(iter int) (metrics.Iteration, error) {
 	return it, nil
 }
 
-// tierBytes reports where the optimizer state lives right now.
+// tierBytes reports where the optimizer state lives right now. The
+// migrator may be flipping loc concurrently, so the snapshot is taken
+// under cacheMu.
 func (e *Engine) tierBytes() map[string]float64 {
 	out := make(map[string]float64, len(e.names)+1)
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
 	for i, sg := range e.shard.Subgroups {
 		b := float64(subgroup.StateBytes(sg.Len()))
 		if e.loc[i] == locHost {
@@ -403,7 +524,13 @@ func (e *Engine) Drain() { _ = e.drain() }
 // form: with the plain Drain the failed flush would never surface — the
 // next updatePhase has nothing left to wait on — and the reader would see
 // the previous, stale object under the live key.
+//
+// drain also quiesces the live migrator: every queued migration completes
+// (or is abandoned) before it returns, so callers see a stable loc[] and
+// no in-flight cross-tier copies. Migration failures do not fail drain —
+// the source object stays authoritative and the next replan retries.
 func (e *Engine) drain() error {
+	e.drainMigrations()
 	e.mu.Lock()
 	flushes := e.pendingFlush
 	e.pendingFlush = nil
@@ -421,6 +548,7 @@ func (e *Engine) drain() error {
 	}
 	e.pendingGrads = nil
 	e.flushWG.Wait()
+	e.waitDeletes()
 	return firstErr
 }
 
@@ -431,6 +559,7 @@ func (e *Engine) Close() {
 	}
 	e.closed = true
 	e.Drain()
+	e.stopMigrators()
 	for _, a := range e.aios {
 		a.Close()
 	}

@@ -84,8 +84,14 @@ func (e *Engine) GradNorm() float64 {
 
 // CheckpointLocations classifies every subgroup's current placement for
 // checkpoint planning: subgroups already resident on a persistent tier are
-// pre-staged and need no cross-tier checkpoint I/O (§3.3).
+// pre-staged and need no cross-tier checkpoint I/O (§3.3). Callers must
+// have drained the engine (Engine.Checkpoint does), which also quiesces
+// the live migrator — the manifest then records the exact, possibly
+// mid-convergence, placement and Restore reproduces training
+// bit-identically from it.
 func (e *Engine) CheckpointLocations() []checkpoint.Location {
+	e.cacheMu.Lock()
+	defer e.cacheMu.Unlock()
 	out := make([]checkpoint.Location, len(e.shard.Subgroups))
 	for i, sg := range e.shard.Subgroups {
 		loc := checkpoint.Location{
@@ -212,7 +218,7 @@ func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer)
 			}
 			sem <- struct{}{}
 			buf := make([]byte, l.Bytes)
-			rop, err := e.aios[tier].SubmitRead(l.Key, buf)
+			rop, err := e.aios[tier].SubmitReadClass(aio.Checkpoint, l.Key, buf)
 			if err == nil {
 				err = rop.Wait()
 			}
@@ -221,7 +227,7 @@ func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer)
 				snapErr = fmt.Errorf("engine: checkpoint snapshot read subgroup %d: %w", l.SubgroupID, err)
 				break // fall through: already-submitted writes must be waited
 			}
-			wop, err := e.aios[tier].SubmitWrite(snapKey, buf)
+			wop, err := e.aios[tier].SubmitWriteClass(aio.Checkpoint, snapKey, buf)
 			if err != nil {
 				<-sem
 				snapErr = fmt.Errorf("engine: checkpoint snapshot write subgroup %d: %w", l.SubgroupID, err)
@@ -267,7 +273,7 @@ func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer)
 				continue
 			}
 			buf := make([]byte, l.Bytes)
-			op, err := e.aios[e.loc[l.SubgroupID]].SubmitRead(l.Key, buf)
+			op, err := e.aios[e.loc[l.SubgroupID]].SubmitReadClass(aio.Checkpoint, l.Key, buf)
 			if err != nil {
 				<-sem
 				stageCh <- staged{sg: l.SubgroupID, err: err}

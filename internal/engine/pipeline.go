@@ -39,6 +39,7 @@ type pendingFetch struct {
 	gradOp   *aio.Op
 	gradBuf  []byte
 	tier     int
+	gradTier int
 }
 
 // updateItem carries one subgroup through the pipeline stages.
@@ -102,23 +103,31 @@ func (e *Engine) updatePhase(it *metrics.Iteration) error {
 	e.step++
 
 	// Previous phase's lazy flushes and this phase's gradient objects must
-	// be durable before we fetch them back.
+	// be durable before we fetch them back. The flush-ticket map is reset
+	// only *after* the flushes are waited: the live migrator keys its
+	// read-after-write ordering off those tickets, so an in-flight flush
+	// must stay discoverable until it is durable.
 	e.mu.Lock()
 	flushes := e.pendingFlush
 	e.pendingFlush = nil
-	e.flushTickets = make(map[int]*flushTicket)
 	e.mu.Unlock()
 	for _, op := range flushes {
 		if err := op.Wait(); err != nil {
 			return fmt.Errorf("engine: lazy flush failed: %w", err)
 		}
 	}
+	e.mu.Lock()
+	e.flushTickets = make(map[int]*flushTicket)
+	e.mu.Unlock()
 	for _, op := range e.pendingGrads {
 		if err := op.Wait(); err != nil {
 			return fmt.Errorf("engine: gradient flush failed: %w", err)
 		}
 	}
 	e.pendingGrads = nil
+	// Reclamation deletes must land before this phase can write the same
+	// keys again (errors ignored — an orphan never corrupts).
+	e.waitDeletes()
 
 	run := &phaseRun{clip: clip}
 	run.ctx, run.cancel = context.WithCancel(context.Background())
@@ -156,20 +165,52 @@ func (e *Engine) updatePhase(it *metrics.Iteration) error {
 	e.phase++
 	it.ParamsUpdated += e.shard.Params()
 
-	// Fold in async flush write metrics completed so far; flushes still in
+	// Fold in async flush/migration metrics completed so far; ops still in
 	// flight land in the next iteration's fold (see asyncFlushStats).
 	e.mu.Lock()
 	it.BytesWritten += e.asyncFlushStats.bytes
 	it.WriteTime += e.asyncFlushStats.secs
 	e.asyncFlushStats.bytes = 0
 	e.asyncFlushStats.secs = 0
+	for k, v := range e.asyncFlushStats.class {
+		if it.ClassIO == nil {
+			it.ClassIO = make(map[string]metrics.ClassIO)
+		}
+		it.ClassIO[k] = it.ClassIO[k].Add(v)
+	}
+	e.asyncFlushStats.class = nil
 	e.mu.Unlock()
 
-	// Adaptive replanning from observed bandwidths (§3.3).
+	// Adaptive replanning from observed bandwidths (§3.3), then live
+	// migration of every offloaded subgroup the new plan displaced — the
+	// migrator converges reality onto the plan in the background instead
+	// of waiting for eviction traffic to happen to pass by.
 	if e.cfg.AdaptivePlacement {
-		e.plan = placement.NewPlan(m, e.bandwidths())
+		newPlan := placement.NewPlan(m, e.bandwidths())
+		e.cacheMu.Lock()
+		e.plan = newPlan
+		e.cacheMu.Unlock()
+		e.scheduleMigrations()
 	}
 	return nil
+}
+
+// recordAsyncOp folds one completed asynchronous op (eviction flush,
+// migration copy) into the per-class accumulator the next update-phase
+// fold publishes to metrics.Iteration.ClassIO.
+func (e *Engine) recordAsyncOp(op *aio.Op, bytes float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.asyncFlushStats.class == nil {
+		e.asyncFlushStats.class = make(map[string]metrics.ClassIO)
+	}
+	k := op.Class().String()
+	c := e.asyncFlushStats.class[k]
+	c.Ops++
+	c.Bytes += bytes
+	c.QueueDelay += op.QueueTime().Seconds()
+	c.Transfer += op.TransferTime().Seconds()
+	e.asyncFlushStats.class[k] = c
 }
 
 // issueItems is the issuer stage: it classifies and pins each subgroup in
@@ -186,6 +227,19 @@ func (e *Engine) issueItems(run *phaseRun, order []int, window chan struct{}, wo
 		window <- struct{}{} // released by the committer
 		item := &updateItem{sgID: sgID, done: make(chan struct{})}
 		e.cacheMu.Lock()
+		// A subgroup mid-migration is between tiers: wait for the copy to
+		// land (or abort) so the fetch targets the object's real home. The
+		// migrator skips pinned subgroups, so once we pin below no new
+		// migration can start under this fetch.
+		for {
+			mt := e.migrating[sgID]
+			if mt == nil {
+				break
+			}
+			e.cacheMu.Unlock()
+			<-mt.done
+			e.cacheMu.Lock()
+		}
 		e.lru.Pin(sgID)
 		tier := e.loc[sgID]
 		e.cacheMu.Unlock()
@@ -222,7 +276,12 @@ func (e *Engine) issueFetch(item *updateItem, tier int) error {
 	e.fetchSem <- struct{}{} // PrefetchDepth bounds in-flight fetches
 	buf := e.fetchPool.Get()
 	size := subgroup.StateBytes(sg.Len())
-	op, err := e.aios[tier].SubmitRead(e.key(sgID), buf[:size])
+	// Issued as Prefetch: the issuer runs ahead of the workers, so at
+	// submission time this is speculative read-ahead. The worker that
+	// blocks on it promotes it to DemandFetch (processItem), which is what
+	// keeps the critical path ahead of flush/checkpoint/migration traffic
+	// without starving them.
+	op, err := e.aios[tier].SubmitReadClass(aio.Prefetch, e.key(sgID), buf[:size])
 	if err != nil {
 		e.fetchPool.Put(buf)
 		<-e.fetchSem
@@ -230,8 +289,14 @@ func (e *Engine) issueFetch(item *updateItem, tier int) error {
 	}
 	pf := &pendingFetch{stateOp: op, stateBuf: buf, tier: tier}
 	if !e.cfg.SkipGradFlush {
+		// Gradients live where backward flushed them (gradLoc), which can
+		// differ from the state's tier once a migration has run.
+		gtier := e.gradLoc[sgID]
+		if gtier < 0 {
+			gtier = tier
+		}
 		gbuf := e.gradPool.Get()
-		gop, err := e.aios[tier].SubmitRead(e.gradKey(sgID), gbuf[:4*sg.Len()])
+		gop, err := e.aios[gtier].SubmitReadClass(aio.GradRead, e.gradKey(sgID), gbuf[:4*sg.Len()])
 		if err != nil {
 			e.gradPool.Put(gbuf)
 			e.releaseFetch(pf) // waits the state op; buffer must be idle
@@ -239,6 +304,7 @@ func (e *Engine) issueFetch(item *updateItem, tier int) error {
 		}
 		pf.gradOp = gop
 		pf.gradBuf = gbuf
+		pf.gradTier = gtier
 	}
 	item.pf = pf
 	return nil
@@ -279,6 +345,10 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 	sg := e.shard.Subgroups[item.sgID]
 	it := &item.m
 	if pf := item.pf; pf != nil {
+		// This worker is now blocked on the fetch: it stops being
+		// speculative. Promote it past flush/checkpoint/migration traffic
+		// (a no-op if it already started executing).
+		e.aios[pf.tier].Promote(pf.stateOp, aio.DemandFetch)
 		if err := pf.stateOp.Wait(); err != nil {
 			e.releaseFetch(pf)
 			return fmt.Errorf("engine: fetch subgroup %d: %w", item.sgID, err)
@@ -299,7 +369,9 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 		secs := pf.stateOp.TransferTime().Seconds()
 		it.BytesRead += float64(size)
 		it.ReadTime += secs
-		e.est.Observe(e.names[pf.tier], float64(size), secs)
+		it.RecordClassIO(pf.stateOp.Class().String(), float64(size),
+			pf.stateOp.QueueTime().Seconds(), secs)
+		e.est.ObserveRead(e.names[pf.tier], float64(size), secs)
 		e.fetchPool.Put(pf.stateBuf)
 		if pf.gradOp != nil {
 			if err := pf.gradOp.Wait(); err != nil {
@@ -309,8 +381,12 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 			}
 			sg.EnsureGrads32()
 			decodeF32(sg.Grads32, pf.gradBuf[:4*sg.Len()])
+			gsecs := pf.gradOp.TransferTime().Seconds()
 			it.BytesRead += float64(4 * sg.Len())
-			it.ReadTime += pf.gradOp.TransferTime().Seconds()
+			it.ReadTime += gsecs
+			it.RecordClassIO(pf.gradOp.Class().String(), float64(4*sg.Len()),
+				pf.gradOp.QueueTime().Seconds(), gsecs)
+			e.est.ObserveRead(e.names[pf.gradTier], float64(4*sg.Len()), gsecs)
 			e.gradPool.Put(pf.gradBuf)
 		}
 		<-e.fetchSem // fetch fully consumed: free the prefetch slot
@@ -321,10 +397,20 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 		}
 		it.CacheHits++
 		if !e.cfg.SkipGradFlush && sg.Grads32 == nil {
-			// Rare: baseline hit still needs grads from storage.
+			// Rare: baseline hit still needs grads from storage — from
+			// wherever backward flushed them this iteration.
+			gtier := e.gradLoc[item.sgID]
+			if gtier < 0 {
+				e.cacheMu.Lock()
+				gtier = e.plan.TierFor(item.sgID)
+				e.cacheMu.Unlock()
+			}
 			sg.EnsureGrads32()
 			gbuf := e.gradPool.Get()
-			err := e.aios[e.plan.TierFor(item.sgID)].ReadSync(e.gradKey(item.sgID), gbuf[:4*sg.Len()])
+			gop, err := e.aios[gtier].SubmitReadClass(aio.GradRead, e.gradKey(item.sgID), gbuf[:4*sg.Len()])
+			if err == nil {
+				err = gop.Wait()
+			}
 			if err != nil {
 				e.gradPool.Put(gbuf)
 				return err
@@ -378,20 +464,27 @@ func (e *Engine) commitItems(run *phaseRun, it *metrics.Iteration, window chan s
 		e.cacheMu.Lock()
 		if !item.hit {
 			e.loc[item.sgID] = locHost
+			// The fetched-from tier still holds the pre-update object;
+			// remember it so the eventual eviction can reclaim it if it
+			// lands on a different tier.
+			e.staleTier[item.sgID] = item.pf.tier
 		}
 		e.lru.Unpin(item.sgID)
 		victims := e.lru.TouchEvict(item.sgID)
 		tickets := make([]*flushTicket, len(victims))
+		stales := make([]int, len(victims))
 		for i, v := range victims {
 			tickets[i] = &flushTicket{done: make(chan struct{})}
 			e.mu.Lock()
 			e.flushTickets[v] = tickets[i]
 			e.mu.Unlock()
 			e.loc[v] = e.plan.TierFor(v)
+			stales[i] = e.staleTier[v]
+			e.staleTier[v] = -1
 		}
 		e.cacheMu.Unlock()
 		for i, v := range victims {
-			if err := e.flushEvicted(v, tickets[i]); err != nil {
+			if err := e.flushEvicted(v, tickets[i], stales[i]); err != nil {
 				run.fail(err)
 			}
 		}
@@ -402,8 +495,11 @@ func (e *Engine) commitItems(run *phaseRun, it *metrics.Iteration, window chan s
 // flushEvicted serializes and asynchronously flushes an evicted subgroup to
 // the tier already recorded in loc, fulfilling its ticket so a same-phase
 // refetch orders after the write. The subgroup's state is freed immediately
-// (the bytes live in the staging buffer until the write completes).
-func (e *Engine) flushEvicted(v int, tk *flushTicket) error {
+// (the bytes live in the staging buffer until the write completes). stale,
+// when >= 0 and different from the destination, is a tier still holding
+// the subgroup's pre-update object; it is reclaimed so the object lives on
+// exactly one tier (a failed delete only orphans bytes, never corrupts).
+func (e *Engine) flushEvicted(v int, tk *flushTicket, stale int) error {
 	sg := e.shard.Subgroups[v]
 	tier := e.loc[v]
 	if sg.State == nil {
@@ -417,7 +513,7 @@ func (e *Engine) flushEvicted(v int, tk *flushTicket) error {
 		close(tk.done)
 		return err
 	}
-	op, err := e.aios[tier].SubmitWrite(e.key(v), buf[:n])
+	op, err := e.aios[tier].SubmitWriteClass(aio.Flush, e.key(v), buf[:n])
 	if err != nil {
 		e.flushPool.Put(buf)
 		close(tk.done)
@@ -426,14 +522,28 @@ func (e *Engine) flushEvicted(v int, tk *flushTicket) error {
 	sg.State = nil
 	tk.op = op
 	close(tk.done)
+	if stale >= 0 && stale != tier {
+		// Tracked on pendingDeletes (not pendingFlush): the next phase
+		// start waits it — so no later write of this key can race a slow
+		// delete — but a failed delete must not fail the phase. The
+		// delete ticket orders a concurrent migration's destination write
+		// behind it.
+		if dop, derr := e.aios[stale].SubmitDelete(aio.Flush, e.key(v)); derr == nil {
+			e.recordDelete(v, dop)
+		}
+	}
 	name := e.names[tier]
 	nb := float64(n)
 	e.flushWG.Add(1)
 	go func() {
 		defer e.flushWG.Done()
-		_ = op.Wait()
+		if op.Wait() != nil {
+			e.flushPool.Put(buf)
+			return // error surfaces via pendingFlush/ticket waiters
+		}
 		secs := op.TransferTime().Seconds()
-		e.est.Observe(name, nb, secs)
+		e.est.ObserveWrite(name, nb, secs)
+		e.recordAsyncOp(op, nb)
 		e.mu.Lock()
 		e.asyncFlushStats.bytes += nb
 		e.asyncFlushStats.secs += secs

@@ -54,10 +54,14 @@ func (e *Engine) Restore(ctx context.Context, r *checkpoint.Reader, m checkpoint
 		return err
 	}
 
-	// Discard pre-restore residency; everything is rebuilt below.
+	// Discard pre-restore residency; everything is rebuilt below. Live
+	// keys surviving on tiers the rebuilt placement will not use are
+	// reclaimed per subgroup in restoreSubgroup.
 	e.lru = hostcache.NewLRU(e.cfg.HostCacheSlots)
-	for _, sg := range e.shard.Subgroups {
+	for i, sg := range e.shard.Subgroups {
 		sg.State = nil
+		e.gradLoc[i] = -1
+		e.staleTier[i] = -1
 	}
 
 	// Replay the checkpointed phase's commit order so host-cache recency
@@ -150,6 +154,7 @@ func (e *Engine) restoreSubgroup(ctx context.Context, r *checkpoint.Reader, ent 
 		off := e.sgOffset[sgID]
 		fp16.Encode(e.params16[off:off+int64(sg.Len())], sg.State.Params)
 		e.loc[sgID] = locHost
+		e.reclaimLiveKey(sgID, locHost)
 		for _, v := range e.lru.TouchEvict(sgID) {
 			if err := e.flushSync(v, e.shard.Subgroups[v]); err != nil {
 				return nil, fmt.Errorf("engine: restore eviction flush of subgroup %d: %w", v, err)
@@ -166,7 +171,7 @@ func (e *Engine) restoreSubgroup(ctx context.Context, r *checkpoint.Reader, ent 
 	off := e.sgOffset[sgID]
 	fp16.Encode(e.params16[off:off+int64(sg.Len())], p32)
 	tier := e.plan.TierFor(sgID)
-	op, err := e.aios[tier].SubmitWrite(e.key(sgID), buf[:size])
+	op, err := e.aios[tier].SubmitWriteClass(aio.Flush, e.key(sgID), buf[:size])
 	if err != nil {
 		e.fetchPool.Put(buf)
 		return nil, fmt.Errorf("engine: restore flush of subgroup %d: %w", sgID, err)
@@ -176,7 +181,25 @@ func (e *Engine) restoreSubgroup(ctx context.Context, r *checkpoint.Reader, ent 
 		e.fetchPool.Put(buf)
 	}()
 	e.loc[sgID] = tier
+	e.reclaimLiveKey(sgID, tier)
 	return op, nil
+}
+
+// reclaimLiveKey deletes the subgroup's live-key object from every tier
+// except keep (pass locHost to reclaim all): the pre-crash run may have
+// left copies under a different placement, and restore re-establishes the
+// one-object-one-tier invariant. Deletes are synchronous (restore is not
+// a hot path), best-effort (a survivor orphans bytes, never corrupts),
+// and must not touch step-tagged snapshot keys — only the live key.
+func (e *Engine) reclaimLiveKey(sgID, keep int) {
+	for ti := range e.aios {
+		if ti == keep {
+			continue
+		}
+		if op, err := e.aios[ti].SubmitDelete(aio.Flush, e.key(sgID)); err == nil {
+			_ = op.Wait()
+		}
+	}
 }
 
 // readEntry reads a checkpoint entry's bytes: checkpoint-tier objects via

@@ -51,6 +51,53 @@ type Iteration struct {
 	TierBytes map[string]float64
 	// UpdateComputeTime is the CPU time inside the Adam kernel.
 	UpdateComputeTime float64
+	// ClassIO breaks the iteration's tier traffic down by I/O scheduler
+	// priority class (keys are aio.Class strings: "demand-fetch",
+	// "prefetch", "flush", "migration", ...). Queue delays expose
+	// head-of-line blocking the aggregate Read/WriteTime hides.
+	ClassIO map[string]ClassIO
+}
+
+// ClassIO aggregates one priority class's operations within an iteration.
+type ClassIO struct {
+	Ops        int
+	Bytes      float64
+	QueueDelay float64 // seconds ops sat queued before dispatch
+	Transfer   float64 // seconds of device transfer time
+}
+
+// Add folds another accumulation of the same class into c.
+func (c ClassIO) Add(o ClassIO) ClassIO {
+	return ClassIO{
+		Ops:        c.Ops + o.Ops,
+		Bytes:      c.Bytes + o.Bytes,
+		QueueDelay: c.QueueDelay + o.QueueDelay,
+		Transfer:   c.Transfer + o.Transfer,
+	}
+}
+
+// Scale multiplies every field by f (Ops rounds down).
+func (c ClassIO) Scale(f float64) ClassIO {
+	return ClassIO{
+		Ops:        int(float64(c.Ops) * f),
+		Bytes:      c.Bytes * f,
+		QueueDelay: c.QueueDelay * f,
+		Transfer:   c.Transfer * f,
+	}
+}
+
+// RecordClassIO accumulates one completed operation under its priority
+// class.
+func (it *Iteration) RecordClassIO(class string, bytes, queueDelay, transfer float64) {
+	if it.ClassIO == nil {
+		it.ClassIO = make(map[string]ClassIO)
+	}
+	c := it.ClassIO[class]
+	c.Ops++
+	c.Bytes += bytes
+	c.QueueDelay += queueDelay
+	c.Transfer += transfer
+	it.ClassIO[class] = c
 }
 
 // Merge folds another iteration's counters into it. The concurrent update
@@ -72,6 +119,12 @@ func (it *Iteration) Merge(o Iteration) {
 			it.TierBytes = make(map[string]float64, len(o.TierBytes))
 		}
 		it.TierBytes[k] += v
+	}
+	for k, v := range o.ClassIO {
+		if it.ClassIO == nil {
+			it.ClassIO = make(map[string]ClassIO, len(o.ClassIO))
+		}
+		it.ClassIO[k] = it.ClassIO[k].Add(v)
 	}
 }
 
@@ -133,6 +186,7 @@ func (s *Series) Mean() Iteration {
 	}
 	var out Iteration
 	tb := make(map[string]float64)
+	cio := make(map[string]ClassIO)
 	for _, it := range ms {
 		out.Phases = out.Phases.Add(it.Phases)
 		out.ParamsUpdated += it.ParamsUpdated
@@ -145,6 +199,9 @@ func (s *Series) Mean() Iteration {
 		out.UpdateComputeTime += it.UpdateComputeTime
 		for k, v := range it.TierBytes {
 			tb[k] += v
+		}
+		for k, v := range it.ClassIO {
+			cio[k] = cio[k].Add(v)
 		}
 	}
 	inv := 1.0 / float64(len(ms))
@@ -162,6 +219,12 @@ func (s *Series) Mean() Iteration {
 		tb[k] *= inv
 	}
 	out.TierBytes = tb
+	if len(cio) > 0 {
+		for k := range cio {
+			cio[k] = cio[k].Scale(inv)
+		}
+		out.ClassIO = cio
+	}
 	return out
 }
 

@@ -193,3 +193,50 @@ func TestIterationMerge(t *testing.T) {
 		t.Error("Merge aliased the source TierBytes map")
 	}
 }
+
+func TestClassIORecordAndMerge(t *testing.T) {
+	var a Iteration
+	a.RecordClassIO("demand-fetch", 100, 0.01, 0.2)
+	a.RecordClassIO("demand-fetch", 50, 0.02, 0.1)
+	a.RecordClassIO("flush", 30, 0.00, 0.3)
+	if c := a.ClassIO["demand-fetch"]; c.Ops != 2 || c.Bytes != 150 ||
+		math.Abs(c.QueueDelay-0.03) > 1e-12 || math.Abs(c.Transfer-0.3) > 1e-12 {
+		t.Errorf("recorded demand-fetch = %+v", c)
+	}
+
+	var b Iteration
+	b.RecordClassIO("flush", 10, 0.05, 0.1)
+	b.RecordClassIO("migration", 500, 1.5, 2.0)
+
+	var total Iteration
+	total.Merge(a)
+	total.Merge(b)
+	if c := total.ClassIO["flush"]; c.Ops != 2 || c.Bytes != 40 {
+		t.Errorf("merged flush = %+v", c)
+	}
+	if c := total.ClassIO["migration"]; c.Ops != 1 || c.Bytes != 500 || c.QueueDelay != 1.5 {
+		t.Errorf("merged migration = %+v", c)
+	}
+	if len(total.ClassIO) != 3 {
+		t.Errorf("merged classes = %v", total.ClassIO)
+	}
+}
+
+func TestSeriesMeanAveragesClassIO(t *testing.T) {
+	var s Series // no warmup
+	for i := 0; i < 2; i++ {
+		var it Iteration
+		it.RecordClassIO("prefetch", 100, 0.1, 0.5)
+		s.Append(it)
+	}
+	m := s.Mean()
+	if c := m.ClassIO["prefetch"]; c.Ops != 1 || c.Bytes != 100 || c.Transfer != 0.5 {
+		t.Errorf("mean prefetch = %+v", c)
+	}
+	// A series with no class stats keeps ClassIO nil.
+	var empty Series
+	empty.Append(Iteration{})
+	if m := empty.Mean(); m.ClassIO != nil {
+		t.Errorf("empty-series mean ClassIO = %v", m.ClassIO)
+	}
+}

@@ -150,10 +150,18 @@ func (p Plan) Ratio() string {
 // microbenchmarks and updated with observed transfer throughput, as §3.3
 // prescribes ("after the first iteration, B_i is adjusted based on the
 // average observed I/O bandwidth").
+//
+// Reads and writes are tracked separately: the Eq. 1 placement input is
+// min(read, write), and a single blended EWMA would let a burst of fast
+// reads mask a slow write path (or vice versa) on write-asymmetric tiers.
+// Fetches feed ObserveRead, eviction flushes and migration writes feed
+// ObserveWrite, and Bandwidths folds the two back into the min the
+// planner consumes.
 type Estimator struct {
-	mu    sync.Mutex
-	alpha float64
-	bw    map[string]float64
+	mu      sync.Mutex
+	alpha   float64
+	readBW  map[string]float64
+	writeBW map[string]float64
 }
 
 // NewEstimator creates an estimator with smoothing factor alpha in (0,1]
@@ -162,49 +170,103 @@ func NewEstimator(alpha float64) *Estimator {
 	if alpha <= 0 || alpha > 1 {
 		panic("placement: alpha must be in (0,1]")
 	}
-	return &Estimator{alpha: alpha, bw: make(map[string]float64)}
+	return &Estimator{
+		alpha:   alpha,
+		readBW:  make(map[string]float64),
+		writeBW: make(map[string]float64),
+	}
 }
 
-// Seed sets the initial microbenchmarked bandwidth for a tier.
-func (e *Estimator) Seed(tier string, bw float64) {
+// Seed sets the initial microbenchmarked read and write bandwidths for a
+// tier.
+func (e *Estimator) Seed(tier string, readBW, writeBW float64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.bw[tier] = bw
+	e.readBW[tier] = readBW
+	e.writeBW[tier] = writeBW
 }
 
-// Observe folds a measured transfer (bytes over seconds) into the tier's
-// estimate. Zero-duration observations are ignored.
-func (e *Estimator) Observe(tier string, bytes, seconds float64) {
+// observe folds one observation into an EWMA map. Caller holds mu.
+func (e *Estimator) observe(m map[string]float64, tier string, bytes, seconds float64) {
 	if seconds <= 0 || bytes <= 0 {
 		return
 	}
 	obs := bytes / seconds
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	cur, ok := e.bw[tier]
+	cur, ok := m[tier]
 	if !ok {
-		e.bw[tier] = obs
+		m[tier] = obs
 		return
 	}
-	e.bw[tier] = cur + e.alpha*(obs-cur)
+	m[tier] = cur + e.alpha*(obs-cur)
 }
 
-// Estimate returns the current bandwidth estimate and whether one exists.
+// ObserveRead folds a measured fetch (bytes over seconds) into the tier's
+// read estimate. Zero-duration observations are ignored.
+func (e *Estimator) ObserveRead(tier string, bytes, seconds float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.observe(e.readBW, tier, bytes, seconds)
+}
+
+// ObserveWrite folds a measured flush (bytes over seconds) into the
+// tier's write estimate. Zero-duration observations are ignored.
+func (e *Estimator) ObserveWrite(tier string, bytes, seconds float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.observe(e.writeBW, tier, bytes, seconds)
+}
+
+// Estimate returns the tier's current Eq. 1 bandwidth — min of the known
+// read and write estimates — and whether any estimate exists.
 func (e *Estimator) Estimate(tier string) (float64, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	bw, ok := e.bw[tier]
+	return e.estimate(tier)
+}
+
+// estimate returns min(read, write) over the known directions. Caller
+// holds mu.
+func (e *Estimator) estimate(tier string) (float64, bool) {
+	r, rok := e.readBW[tier]
+	w, wok := e.writeBW[tier]
+	switch {
+	case rok && wok:
+		if w < r {
+			return w, true
+		}
+		return r, true
+	case rok:
+		return r, true
+	case wok:
+		return w, true
+	}
+	return 0, false
+}
+
+// EstimateRead returns the tier's read-bandwidth estimate.
+func (e *Estimator) EstimateRead(tier string) (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bw, ok := e.readBW[tier]
 	return bw, ok
 }
 
-// Bandwidths materializes estimates for the given tier names, in order,
-// falling back to fallback for unknown tiers.
+// EstimateWrite returns the tier's write-bandwidth estimate.
+func (e *Estimator) EstimateWrite(tier string) (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	bw, ok := e.writeBW[tier]
+	return bw, ok
+}
+
+// Bandwidths materializes min(read, write) estimates for the given tier
+// names, in order, falling back to fallback for unknown tiers.
 func (e *Estimator) Bandwidths(names []string, fallback float64) []TierBandwidth {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	out := make([]TierBandwidth, len(names))
 	for i, n := range names {
-		bw, ok := e.bw[n]
+		bw, ok := e.estimate(n)
 		if !ok {
 			bw = fallback
 		}

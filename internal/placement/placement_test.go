@@ -139,17 +139,17 @@ func TestPlanRatioString(t *testing.T) {
 
 func TestEstimatorSeedObserve(t *testing.T) {
 	e := NewEstimator(0.5)
-	e.Seed("nvme", 100)
+	e.Seed("nvme", 100, 100)
 	bw, ok := e.Estimate("nvme")
 	if !ok || bw != 100 {
 		t.Fatalf("seed lost: %v %v", bw, ok)
 	}
-	e.Observe("nvme", 50, 1) // observed 50 B/s
+	e.ObserveRead("nvme", 50, 1) // observed 50 B/s
 	bw, _ = e.Estimate("nvme")
 	if bw != 75 {
 		t.Errorf("EWMA = %v, want 75", bw)
 	}
-	e.Observe("nvme", 75, 1)
+	e.ObserveRead("nvme", 75, 1)
 	bw, _ = e.Estimate("nvme")
 	if bw != 75 {
 		t.Errorf("EWMA = %v, want 75", bw)
@@ -158,19 +158,22 @@ func TestEstimatorSeedObserve(t *testing.T) {
 
 func TestEstimatorFirstObservationWithoutSeed(t *testing.T) {
 	e := NewEstimator(0.3)
-	e.Observe("pfs", 200, 2)
+	e.ObserveRead("pfs", 200, 2)
 	bw, ok := e.Estimate("pfs")
 	if !ok || bw != 100 {
 		t.Errorf("first obs = %v %v", bw, ok)
+	}
+	if _, ok := e.EstimateWrite("pfs"); ok {
+		t.Error("read observation leaked into write estimate")
 	}
 }
 
 func TestEstimatorIgnoresDegenerate(t *testing.T) {
 	e := NewEstimator(0.5)
-	e.Seed("x", 10)
-	e.Observe("x", 0, 1)
-	e.Observe("x", 1, 0)
-	e.Observe("x", -5, 2)
+	e.Seed("x", 10, 10)
+	e.ObserveRead("x", 0, 1)
+	e.ObserveRead("x", 1, 0)
+	e.ObserveWrite("x", -5, 2)
 	bw, _ := e.Estimate("x")
 	if bw != 10 {
 		t.Errorf("degenerate observations changed estimate: %v", bw)
@@ -179,10 +182,29 @@ func TestEstimatorIgnoresDegenerate(t *testing.T) {
 
 func TestEstimatorBandwidths(t *testing.T) {
 	e := NewEstimator(1)
-	e.Seed("a", 5)
+	e.Seed("a", 5, 9)
 	tbs := e.Bandwidths([]string{"a", "missing"}, 42)
 	if tbs[0].BW != 5 || tbs[1].BW != 42 {
 		t.Errorf("Bandwidths = %v", tbs)
+	}
+}
+
+func TestEstimatorTracksWriteAsymmetry(t *testing.T) {
+	// A tier whose writes collapse must see its Eq. 1 input collapse even
+	// while reads stay fast — a blended estimate would hide the write path
+	// (this is how eviction-flush bandwidth steers the plan).
+	e := NewEstimator(1)
+	e.Seed("pfs", 100, 100)
+	e.ObserveRead("pfs", 100, 1) // reads still healthy
+	e.ObserveWrite("pfs", 10, 1) // writes collapsed to 10 B/s
+	bw, ok := e.Estimate("pfs")
+	if !ok || bw != 10 {
+		t.Errorf("Estimate = %v %v, want min(read,write) = 10", bw, ok)
+	}
+	r, _ := e.EstimateRead("pfs")
+	w, _ := e.EstimateWrite("pfs")
+	if r != 100 || w != 10 {
+		t.Errorf("per-direction estimates = %v/%v, want 100/10", r, w)
 	}
 }
 
@@ -190,16 +212,32 @@ func TestEstimatorAdaptsPlacement(t *testing.T) {
 	// End-to-end: PFS slows down under external load; replanning shifts
 	// subgroups toward NVMe.
 	e := NewEstimator(1)
-	e.Seed("nvme", 5.3)
-	e.Seed("pfs", 3.6)
+	e.Seed("nvme", 5.3, 5.3)
+	e.Seed("pfs", 3.6, 3.6)
 	before := Split(90, e.Bandwidths([]string{"nvme", "pfs"}, 1))
-	e.Observe("pfs", 0.9, 1) // PFS now delivering 0.9 B/s
+	e.ObserveRead("pfs", 0.9, 1) // PFS now delivering 0.9 B/s
 	after := Split(90, e.Bandwidths([]string{"nvme", "pfs"}, 1))
 	if after[1] >= before[1] {
 		t.Errorf("pfs share did not shrink: before %v after %v", before, after)
 	}
 	if after[0]+after[1] != 90 {
 		t.Errorf("after sums to %d", after[0]+after[1])
+	}
+}
+
+func TestEstimatorWriteAsymmetryAdaptsPlacement(t *testing.T) {
+	// The satellite case: only the write path of one tier degrades (e.g.
+	// a PFS under heavy external write load). Fetch-only observation would
+	// keep the old plan; flush observation must shrink the tier's share.
+	e := NewEstimator(1)
+	e.Seed("nvme", 5.3, 5.3)
+	e.Seed("pfs", 3.6, 3.6)
+	before := Split(90, e.Bandwidths([]string{"nvme", "pfs"}, 1))
+	e.ObserveRead("pfs", 3.6, 1)  // fetches unchanged
+	e.ObserveWrite("pfs", 0.4, 1) // eviction flushes crawling
+	after := Split(90, e.Bandwidths([]string{"nvme", "pfs"}, 1))
+	if after[1] >= before[1] {
+		t.Errorf("pfs share did not shrink on write collapse: before %v after %v", before, after)
 	}
 }
 

@@ -265,7 +265,7 @@ func Run(cfg Config) (*Result, error) {
 		tbw := make([]placement.TierBandwidth, len(tiers))
 		for i, t := range tiers {
 			tbw[i] = placement.TierBandwidth{Name: t.name, BW: t.spec.MinBW()}
-			est.Seed(t.name, t.spec.MinBW())
+			est.Seed(t.name, t.spec.ReadBW, t.spec.WriteBW)
 			tierNames[i] = t.name
 		}
 		plan = placement.NewPlan(M, tbw)
@@ -440,7 +440,7 @@ func Run(cfg Config) (*Result, error) {
 							it.BytesRead += bytes
 							it.ReadTime += d
 							fetchDur[sgID] = d
-							est.Observe(tier.name, bytes, xfer)
+							est.ObserveRead(tier.name, bytes, xfer)
 							if tracing {
 								trace = append(trace, SubgroupIO{Pos: pos, ReadBW: bytes / d})
 							}
@@ -487,7 +487,7 @@ func Run(cfg Config) (*Result, error) {
 								d, xfer := tier.writeOp(fp, bytes)
 								it.BytesWritten += bytes
 								it.WriteTime += d
-								est.Observe(tier.name, bytes, xfer)
+								est.ObserveWrite(tier.name, bytes, xfer)
 								if tracing {
 									trace = append(trace, SubgroupIO{Pos: pos, WriteBW: bytes / d})
 								}

@@ -407,6 +407,13 @@ type Throttled struct {
 type ThrottleConfig struct {
 	ReadBW  float64 // bytes/second; must be > 0
 	WriteBW float64 // bytes/second; must be > 0
+	// ReadBurst/WriteBurst are the token-bucket capacities in bytes
+	// (0 = a quarter second's worth). Transfers much smaller than the
+	// burst complete at memory speed, so tests that need *observed*
+	// bandwidth to track the configured rate should set bursts below the
+	// object size.
+	ReadBurst  float64
+	WriteBurst float64
 	// Curve models aggregate efficiency under n concurrent ops; nil = ideal.
 	Curve ratelimit.EfficiencyCurve
 	// Clock for the limiters; nil = wall clock.
@@ -418,16 +425,35 @@ func NewThrottled(inner Tier, cfg ThrottleConfig) *Throttled {
 	if cfg.ReadBW <= 0 || cfg.WriteBW <= 0 {
 		panic("storage: throttle bandwidths must be positive")
 	}
+	if cfg.ReadBurst <= 0 {
+		cfg.ReadBurst = cfg.ReadBW / 4
+	}
+	if cfg.WriteBurst <= 0 {
+		cfg.WriteBurst = cfg.WriteBW / 4
+	}
 	return &Throttled{
 		inner:    inner,
-		readLim:  ratelimit.NewLimiter(cfg.ReadBW, cfg.ReadBW/4, cfg.Clock),
-		writeLim: ratelimit.NewLimiter(cfg.WriteBW, cfg.WriteBW/4, cfg.Clock),
+		readLim:  ratelimit.NewLimiter(cfg.ReadBW, cfg.ReadBurst, cfg.Clock),
+		writeLim: ratelimit.NewLimiter(cfg.WriteBW, cfg.WriteBurst, cfg.Clock),
 		gate:     ratelimit.NewGate(cfg.Curve),
 	}
 }
 
 // Name implements Tier.
 func (t *Throttled) Name() string { return t.inner.Name() }
+
+// SetRates changes the emulated read/write bandwidths mid-run (both must
+// be positive), preserving accumulated tokens. This is how experiments
+// simulate a tier slowing down under external load — e.g. to watch
+// adaptive placement replan and the live migrator converge onto the new
+// plan.
+func (t *Throttled) SetRates(readBW, writeBW float64) {
+	if readBW <= 0 || writeBW <= 0 {
+		panic("storage: throttle bandwidths must be positive")
+	}
+	t.readLim.SetRate(readBW)
+	t.writeLim.SetRate(writeBW)
+}
 
 // throttle charges n bytes against lim, inflated by the current contention
 // penalty: with k concurrent streams and curve eff, the device-level cost

@@ -17,11 +17,19 @@
 //     overlaps with tier reads and writes for its neighbours.
 //     UpdateWorkers=1 (the default) reproduces the paper's sequential
 //     update phase bit-for-bit; any worker count yields identical
-//     parameters. Checkpoints are restorable end to end: pre-staged
-//     persistent-tier state is snapshotted under step-tagged keys, a
-//     manifest commits the checkpoint, and Engine.Restore (or the
-//     coordinated TrainNode.Resume) continues training bit-identically
-//     after a crash.
+//     parameters. Tier traffic is priority-scheduled: every I/O op
+//     carries a class (demand fetch > grad read > prefetch > flush >
+//     checkpoint > migration) in a per-tier multi-level queue with
+//     starvation-proof aging, so a background checkpoint or migration
+//     stream can never head-of-line-block the update critical path. With
+//     AdaptivePlacement, the per-iteration replan is an enforced
+//     contract: a live migrator moves displaced subgroups to their newly
+//     planned tiers in the background (EngineConfig.MigrationWindow).
+//     Checkpoints are restorable end to end: pre-staged persistent-tier
+//     state is snapshotted under step-tagged keys, a manifest commits the
+//     checkpoint, and Engine.Restore (or the coordinated
+//     TrainNode.Resume) continues training bit-identically after a
+//     crash, including checkpoints taken mid-migration.
 //
 //   - The paper-scale simulator (RunSim): the same offloading policies
 //     executed on a discrete-event simulator parameterized by the paper's
@@ -202,22 +210,36 @@ func NewFileTier(name, dir string) (Tier, error) { return storage.NewFileTier(na
 type ThrottleSpec struct {
 	ReadBW  float64 // bytes/second
 	WriteBW float64 // bytes/second
+	// ReadBurst/WriteBurst are token-bucket capacities in bytes (0 = a
+	// quarter second's worth). Set them below the object size when the
+	// *observed* per-transfer bandwidth must track the configured rate
+	// (adaptive-placement demos); leave 0 for plain rate limiting.
+	ReadBurst  float64
+	WriteBurst float64
 	// InterferenceAlpha degrades aggregate efficiency under n concurrent
 	// streams as 1/(1+alpha*(n-1)); 0 means an ideal device.
 	InterferenceAlpha float64
 }
 
+// ThrottledTier is a bandwidth-emulated tier. SetRates changes its
+// read/write bandwidths mid-run, which is how experiments simulate a tier
+// slowing down under external load (and watch adaptive placement + live
+// migration converge onto the new plan).
+type ThrottledTier = storage.Throttled
+
 // NewThrottledTier wraps a tier with Table-1-style bandwidth limits so a
 // laptop reproduces NVMe/PFS behaviour at scaled-down rates.
-func NewThrottledTier(inner Tier, spec ThrottleSpec) Tier {
+func NewThrottledTier(inner Tier, spec ThrottleSpec) *ThrottledTier {
 	var curve ratelimit.EfficiencyCurve
 	if spec.InterferenceAlpha > 0 {
 		curve = ratelimit.InterferenceCurve(spec.InterferenceAlpha)
 	}
 	return storage.NewThrottled(inner, storage.ThrottleConfig{
-		ReadBW:  spec.ReadBW,
-		WriteBW: spec.WriteBW,
-		Curve:   curve,
+		ReadBW:     spec.ReadBW,
+		WriteBW:    spec.WriteBW,
+		ReadBurst:  spec.ReadBurst,
+		WriteBurst: spec.WriteBurst,
+		Curve:      curve,
 	})
 }
 
