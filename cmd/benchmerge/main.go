@@ -1,0 +1,157 @@
+// Command benchmerge merges benchmark outputs into one BENCH_<run>.json
+// document — the per-push perf record the CI bench workflow uploads as
+// an artifact, seeding the repository's performance trajectory.
+//
+// Inputs:
+//
+//   - -benchtxt file: textual `go test -bench` output; every Benchmark
+//     line is parsed into {name, iterations, metrics} (ns/op, MB/s,
+//     B/op, allocs/op and any custom b.ReportMetric unit).
+//   - positional args: JSON report files (e.g. `iobench -mixed -json`,
+//     `iobench -codec -json`), embedded verbatim under their
+//     "benchmark" field (falling back to the file name).
+//
+// Output (-out, default stdout):
+//
+//	{
+//	  "schema": 1,
+//	  "run": "<-run label>",
+//	  "generated_unix": 1700000000,
+//	  "go_benchmarks": [{"name": "...", "iterations": 5, "metrics": {"ns/op": 1.0}}],
+//	  "reports": {"iobench-mixed-priority": {...}, "iobench-codec": {...}}
+//	}
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// goBenchmark is one parsed `go test -bench` result line.
+type goBenchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// document is the merged BENCH_<run>.json schema (version 1).
+type document struct {
+	Schema        int                        `json:"schema"`
+	Run           string                     `json:"run,omitempty"`
+	GeneratedUnix int64                      `json:"generated_unix"`
+	GoBenchmarks  []goBenchmark              `json:"go_benchmarks,omitempty"`
+	Reports       map[string]json.RawMessage `json:"reports,omitempty"`
+}
+
+func main() {
+	var (
+		out      = flag.String("out", "", "output file (empty = stdout)")
+		run      = flag.String("run", "", "run label (commit SHA, CI run id)")
+		benchtxt = flag.String("benchtxt", "", "file holding textual `go test -bench` output")
+	)
+	flag.Parse()
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchmerge: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	doc := document{Schema: 1, Run: *run, GeneratedUnix: time.Now().Unix()}
+
+	if *benchtxt != "" {
+		f, err := os.Open(*benchtxt)
+		if err != nil {
+			fail("%v", err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			if b, ok := parseBenchLine(sc.Text()); ok {
+				doc.GoBenchmarks = append(doc.GoBenchmarks, b)
+			}
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			fail("read %s: %v", *benchtxt, err)
+		}
+		if len(doc.GoBenchmarks) == 0 {
+			fail("no benchmark lines found in %s", *benchtxt)
+		}
+	}
+
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		if !json.Valid(data) {
+			fail("%s is not valid JSON", path)
+		}
+		name := strings.TrimSuffix(filepath.Base(path), ".json")
+		var probe struct {
+			Benchmark string `json:"benchmark"`
+		}
+		if json.Unmarshal(data, &probe) == nil && probe.Benchmark != "" {
+			name = probe.Benchmark
+		}
+		if doc.Reports == nil {
+			doc.Reports = make(map[string]json.RawMessage)
+		}
+		if _, dup := doc.Reports[name]; dup {
+			fail("duplicate report name %q (from %s)", name, path)
+		}
+		doc.Reports[name] = json.RawMessage(data)
+	}
+
+	if len(doc.GoBenchmarks) == 0 && len(doc.Reports) == 0 {
+		fail("nothing to merge: pass -benchtxt and/or JSON report files")
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fail("%v", err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("wrote %s: %d go benchmarks, %d reports\n", *out, len(doc.GoBenchmarks), len(doc.Reports))
+}
+
+// parseBenchLine parses one `go test -bench` result line:
+//
+//	BenchmarkName/sub=x-8   5   201411423 ns/op   59.58 MB/s   323 allocs/op
+//
+// i.e. a name, an iteration count, then (value, unit) pairs.
+func parseBenchLine(line string) (goBenchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return goBenchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return goBenchmark{}, false
+	}
+	b := goBenchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return goBenchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return goBenchmark{}, false
+	}
+	return b, true
+}

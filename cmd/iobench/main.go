@@ -9,6 +9,13 @@
 // classes, reporting demand-fetch latency percentiles and checkpoint
 // throughput for both.
 //
+// It also measures the tier-codec middleware: -codec moves
+// optimizer-state-shaped objects through a bandwidth-limited tier with
+// the codec off and with the given spec on, reporting the effective
+// (raw-bytes-delivered) bandwidth both ways and the compression ratio —
+// the effective-bandwidth multiplier compression buys on a throttled
+// device.
+//
 // Usage:
 //
 //	iobench                       # throttled in-memory tiers (Table-1/1000 rates)
@@ -16,13 +23,21 @@
 //	iobench -size 8388608 -ops 16
 //	iobench -mixed                # checkpoint-vs-demand-fetch scheduler scenario
 //	iobench -mixed -json          # ... as JSON (for BENCH_*.json tracking)
+//	iobench -codec                # codec effective-bandwidth scenario
+//	iobench -codec -json          # ... as JSON (for BENCH_*.json tracking)
+//
+// The -json document schemas are documented in README.md ("iobench JSON
+// schemas") and kept stable for the CI bench workflow.
 package main
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
+	"math/rand"
 	"os"
 	"sort"
 	"sync"
@@ -32,24 +47,34 @@ import (
 	mlpoffload "github.com/datastates/mlpoffload"
 	"github.com/datastates/mlpoffload/internal/aio"
 	"github.com/datastates/mlpoffload/internal/storage"
+	"github.com/datastates/mlpoffload/internal/tiercodec"
 )
 
 func main() {
 	var (
-		dir      = flag.String("dir", "", "benchmark a real directory instead of emulated tiers")
-		size     = flag.Int("size", 4<<20, "object size in bytes")
-		ops      = flag.Int("ops", 8, "objects per process")
-		mixed    = flag.Bool("mixed", false, "run the mixed-priority scheduler scenario")
-		jsonOut  = flag.Bool("json", false, "emit JSON instead of a table (mixed scenario)")
-		fetches  = flag.Int("fetches", 64, "demand fetches per mixed-scenario mode")
-		mixSize  = flag.Int("mixsize", 256<<10, "object size in the mixed scenario")
-		mixBW    = flag.Float64("mixbw", 200e6, "emulated tier bandwidth for the mixed scenario (B/s)")
-		mixDepth = flag.Int("mixdepth", 32, "queued checkpoint writes the background stream maintains")
+		dir       = flag.String("dir", "", "benchmark a real directory instead of emulated tiers")
+		size      = flag.Int("size", 4<<20, "object size in bytes")
+		ops       = flag.Int("ops", 8, "objects per process")
+		mixed     = flag.Bool("mixed", false, "run the mixed-priority scheduler scenario")
+		jsonOut   = flag.Bool("json", false, "emit JSON instead of a table (mixed/codec scenarios)")
+		fetches   = flag.Int("fetches", 64, "demand fetches per mixed-scenario mode")
+		mixSize   = flag.Int("mixsize", 256<<10, "object size in the mixed scenario")
+		mixBW     = flag.Float64("mixbw", 200e6, "emulated tier bandwidth for the mixed scenario (B/s)")
+		mixDepth  = flag.Int("mixdepth", 32, "queued checkpoint writes the background stream maintains")
+		codec     = flag.Bool("codec", false, "run the tier-codec effective-bandwidth scenario")
+		codecSpec = flag.String("codecspec", "flate+crc", "codec spec for the -codec scenario")
+		codecSize = flag.Int("codecsize", 4<<20, "object size in the codec scenario")
+		codecOps  = flag.Int("codecops", 8, "objects per direction in the codec scenario")
+		codecBW   = flag.Float64("codecbw", 48e6, "emulated tier bandwidth for the codec scenario (B/s)")
 	)
 	flag.Parse()
 
 	if *mixed {
 		runMixed(*fetches, *mixSize, *mixBW, *mixDepth, *jsonOut)
+		return
+	}
+	if *codec {
+		runCodec(*codecSpec, *codecSize, *codecOps, *codecBW, *jsonOut)
 		return
 	}
 
@@ -289,6 +314,143 @@ func mixedMode(mode string, fetches, size int, bw float64, depth int) mixedResul
 		DemandP95MS:    lat[len(lat)*95/100],
 		CheckpointMBps: float64(ckptBytes.Load()) / elapsed / 1e6,
 		CheckpointOps:  ckptOps.Load(),
+	}
+}
+
+// codecResult is one mode's measurements in the codec scenario.
+type codecResult struct {
+	Mode       string  `json:"mode"` // "off" or the codec spec
+	WriteMBps  float64 `json:"write_mbps"`
+	ReadMBps   float64 `json:"read_mbps"`
+	Ratio      float64 `json:"compression_ratio"` // raw bytes / encoded bytes (1 with codec off)
+	Bypassed   int64   `json:"bypassed_objects"`
+	WireMBytes float64 `json:"wire_mbytes"` // encoded megabytes actually moved
+}
+
+// codecReport is the -codec -json document, shaped for BENCH_*.json
+// tracking (stable keys, flat numbers).
+type codecReport struct {
+	Benchmark string `json:"benchmark"`
+	Config    struct {
+		ObjectBytes int     `json:"object_bytes"`
+		TierBW      float64 `json:"tier_bw_bytes_per_sec"`
+		Ops         int     `json:"ops"`
+		Codec       string  `json:"codec"`
+	} `json:"config"`
+	Results      []codecResult `json:"results"`
+	ReadSpeedup  float64       `json:"effective_read_speedup"`
+	WriteSpeedup float64       `json:"effective_write_speedup"`
+}
+
+// statePayload synthesizes an optimizer-state-shaped object: normally
+// distributed FP32 values around a common scale — clustered exponents,
+// varied mantissas, the distribution subgroup objects actually have.
+func statePayload(size int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, size)
+	n := size / 4
+	for i := 0; i < n; i++ {
+		v := float32(0.25 + rng.NormFloat64()*0.01)
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	rng.Read(out[4*n:])
+	return out
+}
+
+// runCodec measures effective tier bandwidth with the codec off and on:
+// raw bytes delivered per second of device time, against one
+// bandwidth-limited tier. The codec mode's win on a throttled device is
+// its compression ratio minus codec CPU.
+func runCodec(spec string, size, ops int, bw float64, jsonOut bool) {
+	parsed, err := mlpoffload.ParseCodecSpec(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iobench: -codecspec %q: %v\n", spec, err)
+		os.Exit(1)
+	}
+	if !parsed.Enabled() {
+		fmt.Fprintf(os.Stderr, "iobench: the -codec scenario needs an enabled -codecspec (e.g. flate+crc), got %q\n", spec)
+		os.Exit(1)
+	}
+	payload := statePayload(size, 42)
+	measure := func(wrap bool) codecResult {
+		ctx := context.Background()
+		var tier storage.Tier = storage.NewThrottled(storage.NewMemTier("disk"), storage.ThrottleConfig{
+			ReadBW: bw, WriteBW: bw, ReadBurst: 64 << 10, WriteBurst: 64 << 10,
+		})
+		res := codecResult{Mode: "off"}
+		var ct *tiercodec.Tier
+		if wrap {
+			ct, err = tiercodec.New(tier, parsed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+				os.Exit(1)
+			}
+			tier = ct
+			res.Mode = parsed.String()
+		}
+		t0 := time.Now()
+		for i := 0; i < ops; i++ {
+			if err := tier.Write(ctx, fmt.Sprintf("obj-%d", i), payload); err != nil {
+				fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		res.WriteMBps = float64(ops*size) / time.Since(t0).Seconds() / 1e6
+		dst := make([]byte, size)
+		t0 = time.Now()
+		for i := 0; i < ops; i++ {
+			if err := tier.Read(ctx, fmt.Sprintf("obj-%d", i), dst); err != nil {
+				fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		res.ReadMBps = float64(ops*size) / time.Since(t0).Seconds() / 1e6
+		res.Ratio = 1
+		if ct != nil {
+			st := ct.CodecStats()
+			res.Ratio = st.WriteRatio
+			res.Bypassed = st.Bypassed
+			res.WireMBytes = float64(st.EncodedBytesOut+st.EncodedBytesIn) / 1e6
+		} else {
+			res.WireMBytes = float64(2*ops*size) / 1e6
+		}
+		return res
+	}
+	results := []codecResult{measure(false), measure(true)}
+	if jsonOut {
+		var rep codecReport
+		rep.Benchmark = "iobench-codec"
+		rep.Config.ObjectBytes = size
+		rep.Config.TierBW = bw
+		rep.Config.Ops = ops
+		rep.Config.Codec = parsed.String()
+		rep.Results = results
+		if results[0].ReadMBps > 0 {
+			rep.ReadSpeedup = results[1].ReadMBps / results[0].ReadMBps
+		}
+		if results[0].WriteMBps > 0 {
+			rep.WriteSpeedup = results[1].WriteMBps / results[0].WriteMBps
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "iobench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("codec: %d objects of %s each way over a %.0f MB/s tier\n",
+		ops, fmtBytes(size), bw/1e6)
+	fmt.Printf("%-12s %-16s %-16s %-12s %-10s\n",
+		"mode", "write (MB/s)", "read (MB/s)", "ratio", "bypassed")
+	for _, r := range results {
+		fmt.Printf("%-12s %-16.1f %-16.1f %-12.2f %-10d\n",
+			r.Mode, r.WriteMBps, r.ReadMBps, r.Ratio, r.Bypassed)
+	}
+	if results[0].ReadMBps > 0 {
+		fmt.Printf("note: %.2fx effective read, %.2fx effective write bandwidth with %s\n",
+			results[1].ReadMBps/results[0].ReadMBps,
+			results[1].WriteMBps/results[0].WriteMBps, parsed)
 	}
 }
 

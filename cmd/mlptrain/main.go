@@ -38,12 +38,18 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 0, "write a restorable checkpoint every N iterations (0 = off)")
 		ckptKeep  = flag.Int("keep-checkpoints", 2, "retain only the newest N checkpoints (0 = keep all)")
 		resume    = flag.Bool("resume", false, "restore the latest checkpoint before training (requires -dir)")
+		codec     = flag.String("codec", "", `tier codec middleware: "flate+crc" (compress + integrity), "flate", "crc", "" = off`)
 	)
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "mlptrain: "+format+"\n", args...)
 		os.Exit(1)
+	}
+
+	codecSpec, err := mlpoffload.ParseCodecSpec(*codec)
+	if err != nil {
+		fail("%v", err)
 	}
 
 	// mkRawTier builds the backing store; mkTier adds bandwidth emulation
@@ -73,10 +79,12 @@ func main() {
 		return t
 	}
 
-	nvme := mlpoffload.TierSpec{Tier: mkTier("nvme"), ReadBW: 690e6, WriteBW: 530e6}
+	// TierSpec.Codec has the engine wrap each training tier in the codec
+	// middleware; the nominal bandwidths stay the device rates.
+	nvme := mlpoffload.TierSpec{Tier: mkTier("nvme"), ReadBW: 690e6, WriteBW: 530e6, Codec: codecSpec}
 	// A file-backed "pfs" survives process teardown, so subgroups resident
 	// there are pre-staged for checkpoints; an in-memory one is volatile.
-	pfs := mlpoffload.TierSpec{Tier: mkTier("pfs"), ReadBW: 360e6, WriteBW: 360e6, Persistent: *dir != ""}
+	pfs := mlpoffload.TierSpec{Tier: mkTier("pfs"), ReadBW: 360e6, WriteBW: 360e6, Persistent: *dir != "", Codec: codecSpec}
 
 	var cfg mlpoffload.EngineConfig
 	switch *mode {
@@ -103,6 +111,15 @@ func main() {
 			fail("-resume needs file-backed tiers: pass -dir")
 		}
 		ckptTier = mkRawTier("ckpt")
+		if codecSpec.Enabled() {
+			// Checkpoint objects cross the codec too: less checkpoint I/O,
+			// and every stored object is integrity-checked on restore.
+			ct, err := mlpoffload.NewCodecTier(ckptTier, codecSpec)
+			if err != nil {
+				fail("%v", err)
+			}
+			ckptTier = ct
+		}
 	}
 	// resolveTier maps manifest tier names (pre-staged snapshots) back to
 	// the training tiers, for retention pruning.
@@ -175,4 +192,8 @@ func main() {
 	m := eng.Series().Mean()
 	fmt.Printf("\nmean (after warmup): total=%.3fs update=%.3fs updThroughput=%.1f Mparams/s effIO=%.1f MB/s hitRate=%.0f%%\n",
 		m.Phases.Total(), m.Phases.Update, m.UpdateThroughput(), m.EffectiveIO()/1e6, m.HitRate()*100)
+	if codecSpec.Enabled() {
+		fmt.Printf("codec %s: %.2fx compression (wire %.1f MB/s vs effective %.1f MB/s), %d integrity retries\n",
+			codecSpec, m.CompressionRatio(), m.WireIO()/1e6, m.EffectiveIO()/1e6, eng.IntegrityRetries())
+	}
 }

@@ -138,10 +138,19 @@ type Op struct {
 	class    atomic.Int32
 	done     chan struct{}
 	err      error
+	wire     int64
 	queuedAt time.Time
 	started  time.Time
 	finished time.Time
 }
+
+// WireBytes returns the bytes the operation moved at the device level;
+// valid only after Done. Under a codec-wrapped tier this is the encoded
+// size (smaller than Bytes when compression won, header included); for
+// plain tiers it equals Bytes. Bandwidth consumers — the placement
+// estimator above all — must use it instead of Bytes, or compression
+// silently inflates their device-bandwidth estimates.
+func (o *Op) WireBytes() int64 { return o.wire }
 
 // Class returns the op's current priority class (it can rise via Promote
 // while the op is still queued).
@@ -195,14 +204,16 @@ type Engine struct {
 	cancel context.CancelFunc
 
 	// metrics
-	executing    atomic.Int64
-	bytesRead    atomic.Int64
-	bytesWritten atomic.Int64
-	readTimeNS   atomic.Int64
-	writeTimeNS  atomic.Int64
-	opsDone      atomic.Int64
-	opsFailed    atomic.Int64
-	perClass     [NumClasses]classCell
+	executing     atomic.Int64
+	bytesRead     atomic.Int64
+	bytesWritten  atomic.Int64
+	wireReadBytes atomic.Int64
+	wireWritten   atomic.Int64
+	readTimeNS    atomic.Int64
+	writeTimeNS   atomic.Int64
+	opsDone       atomic.Int64
+	opsFailed     atomic.Int64
+	perClass      [NumClasses]classCell
 }
 
 type task struct {
@@ -212,11 +223,12 @@ type task struct {
 
 // classCell accumulates one class's counters.
 type classCell struct {
-	ops     atomic.Int64
-	failed  atomic.Int64
-	bytes   atomic.Int64
-	queueNS atomic.Int64
-	xferNS  atomic.Int64
+	ops       atomic.Int64
+	failed    atomic.Int64
+	bytes     atomic.Int64
+	wireBytes atomic.Int64
+	queueNS   atomic.Int64
+	xferNS    atomic.Int64
 }
 
 // DefaultAgingThreshold is the queue age beyond which any op is served
@@ -346,28 +358,42 @@ func (e *Engine) execute(t *task) {
 		var err error
 		rel, err = e.locks.Acquire(e.ctx, e.tier.Name())
 		if err != nil {
-			e.finish(op, fmt.Errorf("aio: %s %s: lock: %w", op.Kind, op.Key, err))
+			e.finish(op, 0, fmt.Errorf("aio: %s %s: lock: %w", op.Kind, op.Key, err))
 			return
 		}
 	}
+	// A codec decorator records the encoded (device-level) size of the
+	// transfer into the wire-count cell; plain tiers leave it at zero and
+	// the op's raw size stands in.
 	var err error
+	var wc *storage.WireCount
+	ctx := e.ctx
 	switch op.Kind {
 	case Read:
-		err = e.tier.Read(e.ctx, op.Key, t.buf)
+		ctx, wc = storage.WithWireCount(ctx)
+		err = e.tier.Read(ctx, op.Key, t.buf)
 	case Write:
-		err = e.tier.Write(e.ctx, op.Key, t.buf)
+		ctx, wc = storage.WithWireCount(ctx)
+		err = e.tier.Write(ctx, op.Key, t.buf)
 	case Delete:
-		err = e.tier.Delete(e.ctx, op.Key)
+		err = e.tier.Delete(ctx, op.Key)
 	}
 	if rel != nil {
 		rel()
 	}
-	e.finish(op, err)
+	wire := int64(op.Bytes)
+	if wc != nil {
+		if w := wc.Bytes(); w > 0 {
+			wire = w
+		}
+	}
+	e.finish(op, wire, err)
 }
 
-func (e *Engine) finish(op *Op, err error) {
+func (e *Engine) finish(op *Op, wire int64, err error) {
 	op.finished = time.Now()
 	op.err = err
+	op.wire = wire
 	d := op.finished.Sub(op.started).Nanoseconds()
 	cell := &e.perClass[op.Class()]
 	cell.queueNS.Add(op.started.Sub(op.queuedAt).Nanoseconds())
@@ -375,14 +401,17 @@ func (e *Engine) finish(op *Op, err error) {
 		switch op.Kind {
 		case Read:
 			e.bytesRead.Add(int64(op.Bytes))
+			e.wireReadBytes.Add(wire)
 			e.readTimeNS.Add(d)
 		case Write:
 			e.bytesWritten.Add(int64(op.Bytes))
+			e.wireWritten.Add(wire)
 			e.writeTimeNS.Add(d)
 		}
 		e.opsDone.Add(1)
 		cell.ops.Add(1)
 		cell.bytes.Add(int64(op.Bytes))
+		cell.wireBytes.Add(wire)
 		cell.xferNS.Add(d)
 	} else {
 		e.opsFailed.Add(1)
@@ -496,18 +525,22 @@ func (e *Engine) WriteSync(key string, src []byte) error {
 	return op.Wait()
 }
 
-// Metrics is a snapshot of engine counters.
+// Metrics is a snapshot of engine counters. Bytes are raw (caller-side)
+// counts; WireBytes are the device-level counts, which differ under a
+// codec-wrapped tier (see Op.WireBytes).
 type Metrics struct {
-	BytesRead    int64
-	BytesWritten int64
-	ReadTime     time.Duration
-	WriteTime    time.Duration
-	OpsDone      int64
-	OpsFailed    int64
+	BytesRead        int64
+	BytesWritten     int64
+	WireBytesRead    int64
+	WireBytesWritten int64
+	ReadTime         time.Duration
+	WriteTime        time.Duration
+	OpsDone          int64
+	OpsFailed        int64
 }
 
-// ReadBW returns the observed read bandwidth in bytes/second (0 when no
-// reads completed).
+// ReadBW returns the observed *effective* read bandwidth in bytes/second
+// — raw bytes delivered per device second (0 when no reads completed).
 func (m Metrics) ReadBW() float64 {
 	if m.ReadTime <= 0 {
 		return 0
@@ -515,7 +548,7 @@ func (m Metrics) ReadBW() float64 {
 	return float64(m.BytesRead) / m.ReadTime.Seconds()
 }
 
-// WriteBW returns the observed write bandwidth in bytes/second.
+// WriteBW returns the observed effective write bandwidth in bytes/second.
 func (m Metrics) WriteBW() float64 {
 	if m.WriteTime <= 0 {
 		return 0
@@ -526,22 +559,27 @@ func (m Metrics) WriteBW() float64 {
 // Metrics returns a snapshot of the engine counters.
 func (e *Engine) Metrics() Metrics {
 	return Metrics{
-		BytesRead:    e.bytesRead.Load(),
-		BytesWritten: e.bytesWritten.Load(),
-		ReadTime:     time.Duration(e.readTimeNS.Load()),
-		WriteTime:    time.Duration(e.writeTimeNS.Load()),
-		OpsDone:      e.opsDone.Load(),
-		OpsFailed:    e.opsFailed.Load(),
+		BytesRead:        e.bytesRead.Load(),
+		BytesWritten:     e.bytesWritten.Load(),
+		WireBytesRead:    e.wireReadBytes.Load(),
+		WireBytesWritten: e.wireWritten.Load(),
+		ReadTime:         time.Duration(e.readTimeNS.Load()),
+		WriteTime:        time.Duration(e.writeTimeNS.Load()),
+		OpsDone:          e.opsDone.Load(),
+		OpsFailed:        e.opsFailed.Load(),
 	}
 }
 
 // ClassMetrics is a snapshot of one priority class's counters. Ops counts
 // successful completions; an op promoted while queued is accounted under
-// the class it was dispatched at.
+// the class it was dispatched at. WireBytes is the device-level count
+// (equal to Bytes unless the tier is codec-wrapped); Bytes/WireBytes is
+// the class's compression ratio.
 type ClassMetrics struct {
 	Ops        int64
 	Failed     int64
 	Bytes      int64
+	WireBytes  int64
 	QueueDelay time.Duration // total time ops of this class sat queued
 	Transfer   time.Duration // total device time of successful ops
 }
@@ -553,6 +591,7 @@ func (e *Engine) ClassMetrics(c Class) ClassMetrics {
 		Ops:        cell.ops.Load(),
 		Failed:     cell.failed.Load(),
 		Bytes:      cell.bytes.Load(),
+		WireBytes:  cell.wireBytes.Load(),
 		QueueDelay: time.Duration(cell.queueNS.Load()),
 		Transfer:   time.Duration(cell.xferNS.Load()),
 	}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"github.com/datastates/mlpoffload/internal/storage"
+	"github.com/datastates/mlpoffload/internal/tiercodec"
 	"github.com/datastates/mlpoffload/internal/tierlock"
 )
 
@@ -668,5 +669,62 @@ func BenchmarkAsyncWriteThroughput(b *testing.B) {
 	}
 	for _, o := range ops {
 		_ = o.Wait()
+	}
+}
+
+// TestOpWireBytes pins the wire-byte contract: over a plain tier an op's
+// wire size equals its raw size; over a codec-wrapped tier it is the
+// encoded size the decorator recorded, and both engine- and class-level
+// metrics accumulate it.
+func TestOpWireBytes(t *testing.T) {
+	// Compressible FP32-plane payload (constant words).
+	payload := bytes.Repeat([]byte{0x3f, 0x80, 0x00, 0x00}, 16_384)
+
+	plain := New(storage.NewMemTier("plain"), Config{Workers: 1})
+	defer plain.Close()
+	op, err := plain.SubmitWrite("k", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if op.WireBytes() != int64(len(payload)) {
+		t.Fatalf("plain tier wire bytes %d, want raw %d", op.WireBytes(), len(payload))
+	}
+
+	ct, err := tiercodec.New(storage.NewMemTier("enc"), tiercodec.Spec{Compression: "flate", Integrity: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := New(ct, Config{Workers: 1})
+	defer enc.Close()
+	wop, err := enc.SubmitWrite("k", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wop.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if wop.WireBytes() <= 0 || wop.WireBytes() >= int64(len(payload)) {
+		t.Fatalf("codec tier write wire bytes %d, want in (0, %d)", wop.WireBytes(), len(payload))
+	}
+	dst := make([]byte, len(payload))
+	rop, err := enc.SubmitRead("k", dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rop.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if rop.WireBytes() != wop.WireBytes() {
+		t.Fatalf("read wire bytes %d != written %d", rop.WireBytes(), wop.WireBytes())
+	}
+	m := enc.Metrics()
+	if m.WireBytesWritten != wop.WireBytes() || m.WireBytesRead != rop.WireBytes() {
+		t.Fatalf("engine wire metrics %+v do not match ops (%d/%d)", m, wop.WireBytes(), rop.WireBytes())
+	}
+	if cm := enc.ClassMetrics(Flush); cm.WireBytes != wop.WireBytes() || cm.Bytes != int64(len(payload)) {
+		t.Fatalf("flush class metrics %+v", cm)
 	}
 }

@@ -139,6 +139,10 @@ func NewWriter(tier storage.Tier, prefix string) *Writer {
 // Prefix returns the writer's key prefix.
 func (w *Writer) Prefix() string { return w.prefix }
 
+// Tier returns the checkpoint tier the writer targets (manifest codec
+// recording inspects it).
+func (w *Writer) Tier() storage.Tier { return w.engine.Tier() }
+
 // Fetcher retrieves a subgroup's serialized state for checkpointing (the
 // engine supplies host-resident bytes or reads them back from a tier).
 type Fetcher func(ctx context.Context, sg int) ([]byte, error)
@@ -279,7 +283,17 @@ type Manifest struct {
 	SkippedSteps int64              `json:"skippedSteps,omitempty"`
 	Scaler       *optim.ScalerState `json:"scaler,omitempty"`
 	Numerics     Numerics           `json:"numerics"`
-	Entries      []Entry            `json:"entries"`
+	// TierCodecs records, per tier name (training tiers and the
+	// checkpoint tier), the codec middleware active when the checkpoint
+	// was written ("" = none). Objects are self-describing, so restore
+	// works under *any* codec configuration as long as the tier is
+	// codec-wrapped at all — Restore uses this map to reject the one
+	// combination that cannot work (encoded objects behind a codec-less
+	// tier, or raw objects behind a codec tier) with a clear error
+	// instead of a size mismatch or bad-magic failure mid-restore.
+	// nil on manifests from versions without codec support (no check).
+	TierCodecs map[string]string `json:"tierCodecs,omitempty"`
+	Entries    []Entry           `json:"entries"`
 }
 
 // BuildManifest derives the subgroup→object map from a plan: flushed

@@ -2,12 +2,15 @@ package checkpoint
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"github.com/datastates/mlpoffload/internal/storage"
+	"github.com/datastates/mlpoffload/internal/tiercodec"
 )
 
 // Reader is the restore side of the checkpoint package: it discovers
@@ -68,16 +71,25 @@ func (r *Reader) LatestStep(ctx context.Context) (int, error) {
 // ReadManifest reads and validates the manifest committed at step.
 func (r *Reader) ReadManifest(ctx context.Context, step int) (Manifest, error) {
 	key := ManifestKey(r.prefix, step)
-	size, err := r.tier.Size(ctx, key)
+	buf, err := storage.ReadWholeObject(ctx, r.tier, key)
 	if err != nil {
-		return Manifest{}, fmt.Errorf("checkpoint: manifest step %d: %w", step, err)
-	}
-	buf := make([]byte, size)
-	if err := r.tier.Read(ctx, key, buf); err != nil {
+		// A raw (pre-codec) manifest behind a codec-wrapped checkpoint
+		// tier surfaces as ErrCorrupt ("no codec header"); the manifest is
+		// fine — the tier handle is wrong. Say so.
+		if errors.Is(err, tiercodec.ErrCorrupt) && tiercodec.Describe(r.tier) != "" {
+			return Manifest{}, fmt.Errorf("checkpoint: manifest step %d: %w — if this checkpoint was written without codec middleware, read it through the raw (unwrapped) checkpoint tier", step, err)
+		}
 		return Manifest{}, fmt.Errorf("checkpoint: read manifest step %d: %w", step, err)
 	}
 	var m Manifest
 	if err := json.Unmarshal(buf, &m); err != nil {
+		// The manifest itself is the bootstrap object, so the engine's
+		// manifest-driven codec check cannot protect it: reading an
+		// encoded manifest through a codec-less tier yields codec bytes
+		// where JSON was expected. Name the actual problem.
+		if len(buf) >= 4 && binary.LittleEndian.Uint32(buf) == tiercodec.Magic {
+			return Manifest{}, fmt.Errorf("checkpoint: manifest step %d is codec-encoded — the checkpoint was written through codec middleware; wrap the checkpoint tier (e.g. NewCodecTier) to read it", step)
+		}
 		return Manifest{}, fmt.Errorf("checkpoint: parse manifest step %d: %w", step, err)
 	}
 	if err := m.Validate(); err != nil {

@@ -25,6 +25,7 @@ import (
 	"github.com/datastates/mlpoffload/internal/hostcache"
 	"github.com/datastates/mlpoffload/internal/optim"
 	"github.com/datastates/mlpoffload/internal/storage"
+	"github.com/datastates/mlpoffload/internal/tiercodec"
 	"github.com/datastates/mlpoffload/internal/tierlock"
 )
 
@@ -37,6 +38,14 @@ type TierSpec struct {
 	// Persistent marks tiers that survive job teardown (a PFS); subgroups
 	// resident there are pre-staged for checkpoints (§3.3).
 	Persistent bool
+	// Codec, when enabled, wraps Tier in the transparent tiercodec
+	// middleware at engine construction: objects cross this tier
+	// compressed and/or CRC32-C-protected while the engine keeps
+	// operating on raw subgroup bytes. The nominal bandwidths stay the
+	// *device* rates — the placement estimator observes wire bytes, so
+	// compression raises effective throughput without skewing the
+	// bandwidth-proportional split.
+	Codec tiercodec.Spec
 }
 
 // MinBW returns min(read, write), the Eq. 1 placement input.
@@ -145,6 +154,15 @@ type Config struct {
 	// (0 = unthrottled). Each engine owns its link (one PCIe per GPU).
 	D2HBandwidth float64
 
+	// CorruptRetries bounds how many times an update-phase fetch that
+	// failed integrity validation (tiercodec.ErrCorrupt) is re-read
+	// before the phase fails. Corruption injected in flight (a flaky
+	// link, a torn transfer) re-reads clean; corruption at rest keeps
+	// failing and surfaces as a clean phase error instead of a silently
+	// consumed garbage update. 0 defaults to 2; negative disables
+	// retries.
+	CorruptRetries int
+
 	// LossScaling enables dynamic loss scaling: gradient overflow (FP16
 	// Inf/NaN) skips the optimizer step and halves the scale, as
 	// mixed-precision training requires. Disabled by default because the
@@ -228,6 +246,12 @@ func (c *Config) validate() error {
 	}
 	if c.MigrationWindow == 0 {
 		c.MigrationWindow = 2
+	}
+	if c.CorruptRetries == 0 {
+		c.CorruptRetries = 2
+	}
+	if c.CorruptRetries < 0 {
+		c.CorruptRetries = 0
 	}
 	if c.GradAccumSteps <= 0 {
 		c.GradAccumSteps = 1

@@ -302,7 +302,10 @@ func (e *Engine) copyState(sg, from, to int) error {
 	if err != nil {
 		return err
 	}
-	if err := rop.Wait(); err != nil {
+	// Same corrupt-retry discipline as the update phase: a transient
+	// in-flight flip must not permanently record MigrationStats.Err for
+	// a migration the next read would complete fine.
+	if rop, err = e.awaitRead(from, rop, key, buf[:size]); err != nil {
 		return err
 	}
 	wop, err := e.aios[to].SubmitWriteClass(aio.Migration, key, buf[:size])
@@ -312,9 +315,11 @@ func (e *Engine) copyState(sg, from, to int) error {
 	if err := wop.Wait(); err != nil {
 		return err
 	}
-	// Feed the replanner and the per-iteration class breakdown.
-	e.est.ObserveRead(e.names[from], float64(size), rop.TransferTime().Seconds())
-	e.est.ObserveWrite(e.names[to], float64(size), wop.TransferTime().Seconds())
+	// Feed the replanner and the per-iteration class breakdown. The
+	// estimator observes wire bytes — device bandwidth, not the
+	// codec-inflated effective rate.
+	e.est.ObserveRead(e.names[from], float64(rop.WireBytes()), rop.TransferTime().Seconds())
+	e.est.ObserveWrite(e.names[to], float64(wop.WireBytes()), wop.TransferTime().Seconds())
 	e.recordAsyncOp(rop, float64(size))
 	e.recordAsyncOp(wop, float64(size))
 	return nil

@@ -10,6 +10,7 @@ import (
 	"github.com/datastates/mlpoffload/internal/optim"
 	"github.com/datastates/mlpoffload/internal/storage"
 	"github.com/datastates/mlpoffload/internal/subgroup"
+	"github.com/datastates/mlpoffload/internal/tiercodec"
 )
 
 // Mixed-precision safety machinery (loss scaling, global gradient-norm
@@ -155,7 +156,7 @@ func (e *Engine) FetchSubgroupBytes(ctx context.Context, sgID int) ([]byte, erro
 		return e.marshalHostSubgroup(sgID)
 	}
 	buf := make([]byte, subgroup.StateBytes(e.shard.Subgroups[sgID].Len()))
-	if err := e.aios[e.loc[sgID]].ReadSync(e.key(sgID), buf); err != nil {
+	if err := e.readSyncRetry(e.loc[sgID], e.key(sgID), buf); err != nil {
 		return nil, err
 	}
 	return buf, nil
@@ -220,7 +221,8 @@ func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer)
 			buf := make([]byte, l.Bytes)
 			rop, err := e.aios[tier].SubmitReadClass(aio.Checkpoint, l.Key, buf)
 			if err == nil {
-				err = rop.Wait()
+				// Corrupt-retry, as everywhere the engine reads state.
+				_, err = e.awaitRead(tier, rop, l.Key, buf)
 			}
 			if err != nil {
 				<-sem
@@ -247,10 +249,11 @@ func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer)
 	// subgroups in front of the writer, so checkpoint writes overlap the
 	// tier reads without ever staging more than the window.
 	type staged struct {
-		sg  int
-		op  *aio.Op // nil for host-marshalled subgroups
-		buf []byte
-		err error
+		sg   int
+		op   *aio.Op // nil for host-marshalled subgroups
+		tier int     // tier op reads from (corrupt-retry target)
+		buf  []byte
+		err  error
 	}
 	stageCh := make(chan staged, len(plan.ToFlush))
 	stop := make(chan struct{})
@@ -273,13 +276,14 @@ func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer)
 				continue
 			}
 			buf := make([]byte, l.Bytes)
-			op, err := e.aios[e.loc[l.SubgroupID]].SubmitReadClass(aio.Checkpoint, l.Key, buf)
+			tier := e.loc[l.SubgroupID]
+			op, err := e.aios[tier].SubmitReadClass(aio.Checkpoint, l.Key, buf)
 			if err != nil {
 				<-sem
 				stageCh <- staged{sg: l.SubgroupID, err: err}
 				return
 			}
-			stageCh <- staged{sg: l.SubgroupID, op: op, buf: buf}
+			stageCh <- staged{sg: l.SubgroupID, op: op, tier: tier, buf: buf}
 		}
 	}()
 	fetch := func(_ context.Context, sgID int) ([]byte, error) {
@@ -291,7 +295,7 @@ func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer)
 			return nil, s.err
 		}
 		if s.op != nil {
-			if err := s.op.Wait(); err != nil {
+			if _, err := e.awaitRead(s.tier, s.op, e.key(s.sg), s.buf); err != nil {
 				<-sem // the writer never sees this buffer
 				return nil, err
 			}
@@ -325,6 +329,20 @@ func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer)
 	m.Params = e.cfg.Params
 	m.SubgroupParams = e.cfg.SubgroupParams
 	m.Numerics = e.numerics()
+	// Record the codec middleware active on every tier the manifest's
+	// objects can live on, so a restore under a mismatched (codec vs
+	// codec-less) configuration fails with a clear message up front.
+	m.TierCodecs = make(map[string]string, len(e.cfg.Tiers)+1)
+	for i, t := range e.cfg.Tiers {
+		m.TierCodecs[e.names[i]] = tiercodec.Describe(t.Tier)
+	}
+	// The checkpoint tier may share a name with a training tier (e.g. a
+	// writer handed the persistent tier's raw handle); the engine's
+	// wrapped handle is the authoritative record for Restore's check, so
+	// never overwrite it.
+	if _, taken := m.TierCodecs[w.Tier().Name()]; !taken {
+		m.TierCodecs[w.Tier().Name()] = tiercodec.Describe(w.Tier())
+	}
 	m.AdamStep = e.step
 	m.Phase = e.phase
 	m.SkippedSteps = e.skippedSteps

@@ -169,8 +169,10 @@ func (e *Engine) updatePhase(it *metrics.Iteration) error {
 	// flight land in the next iteration's fold (see asyncFlushStats).
 	e.mu.Lock()
 	it.BytesWritten += e.asyncFlushStats.bytes
+	it.WireBytesWritten += e.asyncFlushStats.wire
 	it.WriteTime += e.asyncFlushStats.secs
 	e.asyncFlushStats.bytes = 0
+	e.asyncFlushStats.wire = 0
 	e.asyncFlushStats.secs = 0
 	for k, v := range e.asyncFlushStats.class {
 		if it.ClassIO == nil {
@@ -208,6 +210,7 @@ func (e *Engine) recordAsyncOp(op *aio.Op, bytes float64) {
 	c := e.asyncFlushStats.class[k]
 	c.Ops++
 	c.Bytes += bytes
+	c.WireBytes += float64(op.WireBytes())
 	c.QueueDelay += op.QueueTime().Seconds()
 	c.Transfer += op.TransferTime().Seconds()
 	e.asyncFlushStats.class[k] = c
@@ -349,7 +352,10 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 		// speculative. Promote it past flush/checkpoint/migration traffic
 		// (a no-op if it already started executing).
 		e.aios[pf.tier].Promote(pf.stateOp, aio.DemandFetch)
-		if err := pf.stateOp.Wait(); err != nil {
+		size := subgroup.StateBytes(sg.Len())
+		stateOp, err := e.awaitRead(pf.tier, pf.stateOp, e.key(item.sgID), pf.stateBuf[:size])
+		pf.stateOp = stateOp // releaseFetch must wait the live op
+		if err != nil {
 			e.releaseFetch(pf)
 			return fmt.Errorf("engine: fetch subgroup %d: %w", item.sgID, err)
 		}
@@ -359,7 +365,6 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 			e.releaseFetch(pf)
 			return err
 		}
-		size := subgroup.StateBytes(sg.Len())
 		sg.State = optim.NewState(make([]float32, sg.Len()))
 		if err := sg.Unmarshal(pf.stateBuf[:size]); err != nil {
 			sg.State = nil
@@ -367,14 +372,22 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 			return err
 		}
 		secs := pf.stateOp.TransferTime().Seconds()
+		wire := float64(pf.stateOp.WireBytes())
 		it.BytesRead += float64(size)
+		it.WireBytesRead += wire
 		it.ReadTime += secs
-		it.RecordClassIO(pf.stateOp.Class().String(), float64(size),
+		it.RecordClassIO(pf.stateOp.Class().String(), float64(size), wire,
 			pf.stateOp.QueueTime().Seconds(), secs)
-		e.est.ObserveRead(e.names[pf.tier], float64(size), secs)
+		// The estimator tracks *device* bandwidth, so it observes wire
+		// bytes: under compression the raw count would inflate the tier's
+		// apparent speed by the (data-dependent) ratio and destabilize the
+		// bandwidth-proportional split.
+		e.est.ObserveRead(e.names[pf.tier], wire, secs)
 		e.fetchPool.Put(pf.stateBuf)
 		if pf.gradOp != nil {
-			if err := pf.gradOp.Wait(); err != nil {
+			gradOp, err := e.awaitRead(pf.gradTier, pf.gradOp, e.gradKey(item.sgID), pf.gradBuf[:4*sg.Len()])
+			pf.gradOp = gradOp
+			if err != nil {
 				e.gradPool.Put(pf.gradBuf)
 				<-e.fetchSem
 				return fmt.Errorf("engine: grad fetch subgroup %d: %w", item.sgID, err)
@@ -382,11 +395,13 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 			sg.EnsureGrads32()
 			decodeF32(sg.Grads32, pf.gradBuf[:4*sg.Len()])
 			gsecs := pf.gradOp.TransferTime().Seconds()
+			gwire := float64(pf.gradOp.WireBytes())
 			it.BytesRead += float64(4 * sg.Len())
+			it.WireBytesRead += gwire
 			it.ReadTime += gsecs
-			it.RecordClassIO(pf.gradOp.Class().String(), float64(4*sg.Len()),
+			it.RecordClassIO(pf.gradOp.Class().String(), float64(4*sg.Len()), gwire,
 				pf.gradOp.QueueTime().Seconds(), gsecs)
-			e.est.ObserveRead(e.names[pf.gradTier], float64(4*sg.Len()), gsecs)
+			e.est.ObserveRead(e.names[pf.gradTier], gwire, gsecs)
 			e.gradPool.Put(pf.gradBuf)
 		}
 		<-e.fetchSem // fetch fully consumed: free the prefetch slot
@@ -409,7 +424,7 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 			gbuf := e.gradPool.Get()
 			gop, err := e.aios[gtier].SubmitReadClass(aio.GradRead, e.gradKey(item.sgID), gbuf[:4*sg.Len()])
 			if err == nil {
-				err = gop.Wait()
+				_, err = e.awaitRead(gtier, gop, e.gradKey(item.sgID), gbuf[:4*sg.Len()])
 			}
 			if err != nil {
 				e.gradPool.Put(gbuf)
@@ -542,10 +557,12 @@ func (e *Engine) flushEvicted(v int, tk *flushTicket, stale int) error {
 			return // error surfaces via pendingFlush/ticket waiters
 		}
 		secs := op.TransferTime().Seconds()
-		e.est.ObserveWrite(name, nb, secs)
+		// Device bandwidth observes wire bytes (see processItem).
+		e.est.ObserveWrite(name, float64(op.WireBytes()), secs)
 		e.recordAsyncOp(op, nb)
 		e.mu.Lock()
 		e.asyncFlushStats.bytes += nb
+		e.asyncFlushStats.wire += float64(op.WireBytes())
 		e.asyncFlushStats.secs += secs
 		e.mu.Unlock()
 		e.flushPool.Put(buf)

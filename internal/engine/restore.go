@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"github.com/datastates/mlpoffload/internal/aio"
@@ -10,6 +11,7 @@ import (
 	"github.com/datastates/mlpoffload/internal/hostcache"
 	"github.com/datastates/mlpoffload/internal/optim"
 	"github.com/datastates/mlpoffload/internal/subgroup"
+	"github.com/datastates/mlpoffload/internal/tiercodec"
 )
 
 // Restore rebuilds the engine's training state from a checkpoint manifest:
@@ -49,6 +51,24 @@ func (e *Engine) Restore(ctx context.Context, r *checkpoint.Reader, m checkpoint
 	}
 	if len(m.Entries) != len(e.shard.Subgroups) {
 		return fmt.Errorf("engine: manifest has %d subgroups, engine holds %d", len(m.Entries), len(e.shard.Subgroups))
+	}
+	// Codec-presence check: encoded objects are self-describing, so any
+	// codec reads any codec's objects — but a codec-less tier cannot
+	// decode encoded snapshots, and a codec tier rejects raw ones. Catch
+	// the mismatch before touching any data. Manifests without the map
+	// (pre-codec versions) skip the check.
+	if m.TierCodecs != nil {
+		for i, name := range e.names {
+			want, recorded := m.TierCodecs[name]
+			if !recorded {
+				continue
+			}
+			have := tiercodec.Describe(e.cfg.Tiers[i].Tier)
+			if (want == "") != (have == "") {
+				return fmt.Errorf("engine: checkpoint step %d wrote tier %q with codec %q but the engine has %q — configure codec middleware consistently (any codec decodes any codec's objects; only presence matters)",
+					m.Step, name, want, have)
+			}
+		}
 	}
 	if err := e.drain(); err != nil {
 		return err
@@ -204,14 +224,20 @@ func (e *Engine) reclaimLiveKey(sgID, keep int) {
 
 // readEntry reads a checkpoint entry's bytes: checkpoint-tier objects via
 // the reader, pre-staged snapshots from the engine's own tier of the
-// recorded name.
+// recorded name. Both paths apply the update phase's corrupt-retry
+// discipline — a transient in-flight flip must not fail the restore.
 func (e *Engine) readEntry(ctx context.Context, r *checkpoint.Reader, ent checkpoint.Entry, dst []byte) error {
 	if ent.Tier == "" {
-		return r.ReadObject(ctx, ent.Key, dst)
+		err := r.ReadObject(ctx, ent.Key, dst)
+		for n := 0; err != nil && errors.Is(err, tiercodec.ErrCorrupt) && n < e.cfg.CorruptRetries; n++ {
+			e.corruptRetries.Add(1)
+			err = r.ReadObject(ctx, ent.Key, dst)
+		}
+		return err
 	}
 	for i, name := range e.names {
 		if name == ent.Tier {
-			return e.aios[i].ReadSync(ent.Key, dst)
+			return e.readSyncRetry(i, ent.Key, dst)
 		}
 	}
 	return fmt.Errorf("manifest references tier %q, which this engine does not have", ent.Tier)

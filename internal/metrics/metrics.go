@@ -38,11 +38,17 @@ type Iteration struct {
 	ParamsUpdated int64
 	// I/O observed while fetching and flushing offloaded subgroups during
 	// the update phase (storage tiers only; D2H is excluded, matching the
-	// paper's metric).
-	BytesRead    float64
-	BytesWritten float64
-	ReadTime     float64 // summed transfer seconds across subgroups
-	WriteTime    float64
+	// paper's metric). BytesRead/BytesWritten are raw (caller-side)
+	// bytes; WireBytesRead/WireBytesWritten are the device-level counts,
+	// which a codec-wrapped tier shrinks — their ratio is the iteration's
+	// compression win, and bandwidth math must divide wire bytes (not
+	// raw) by transfer time.
+	BytesRead        float64
+	BytesWritten     float64
+	WireBytesRead    float64
+	WireBytesWritten float64
+	ReadTime         float64 // summed transfer seconds across subgroups
+	WriteTime        float64
 	// Cache behaviour.
 	CacheHits   int
 	CacheMisses int
@@ -59,9 +65,13 @@ type Iteration struct {
 }
 
 // ClassIO aggregates one priority class's operations within an iteration.
+// WireBytes is the device-level byte count (equal to Bytes unless the
+// tier is codec-wrapped); Bytes/WireBytes is the class's compression
+// ratio.
 type ClassIO struct {
 	Ops        int
 	Bytes      float64
+	WireBytes  float64
 	QueueDelay float64 // seconds ops sat queued before dispatch
 	Transfer   float64 // seconds of device transfer time
 }
@@ -71,6 +81,7 @@ func (c ClassIO) Add(o ClassIO) ClassIO {
 	return ClassIO{
 		Ops:        c.Ops + o.Ops,
 		Bytes:      c.Bytes + o.Bytes,
+		WireBytes:  c.WireBytes + o.WireBytes,
 		QueueDelay: c.QueueDelay + o.QueueDelay,
 		Transfer:   c.Transfer + o.Transfer,
 	}
@@ -81,20 +92,32 @@ func (c ClassIO) Scale(f float64) ClassIO {
 	return ClassIO{
 		Ops:        int(float64(c.Ops) * f),
 		Bytes:      c.Bytes * f,
+		WireBytes:  c.WireBytes * f,
 		QueueDelay: c.QueueDelay * f,
 		Transfer:   c.Transfer * f,
 	}
 }
 
+// Ratio returns the class's compression ratio (raw/wire; 0 when no wire
+// bytes were recorded).
+func (c ClassIO) Ratio() float64 {
+	if c.WireBytes <= 0 {
+		return 0
+	}
+	return c.Bytes / c.WireBytes
+}
+
 // RecordClassIO accumulates one completed operation under its priority
-// class.
-func (it *Iteration) RecordClassIO(class string, bytes, queueDelay, transfer float64) {
+// class. wireBytes is the operation's device-level size (aio
+// Op.WireBytes); pass bytes again for unencoded tiers.
+func (it *Iteration) RecordClassIO(class string, bytes, wireBytes, queueDelay, transfer float64) {
 	if it.ClassIO == nil {
 		it.ClassIO = make(map[string]ClassIO)
 	}
 	c := it.ClassIO[class]
 	c.Ops++
 	c.Bytes += bytes
+	c.WireBytes += wireBytes
 	c.QueueDelay += queueDelay
 	c.Transfer += transfer
 	it.ClassIO[class] = c
@@ -109,6 +132,8 @@ func (it *Iteration) Merge(o Iteration) {
 	it.ParamsUpdated += o.ParamsUpdated
 	it.BytesRead += o.BytesRead
 	it.BytesWritten += o.BytesWritten
+	it.WireBytesRead += o.WireBytesRead
+	it.WireBytesWritten += o.WireBytesWritten
 	it.ReadTime += o.ReadTime
 	it.WriteTime += o.WriteTime
 	it.CacheHits += o.CacheHits
@@ -140,12 +165,35 @@ func (it Iteration) UpdateThroughput() float64 {
 // EffectiveIO returns the paper's effective I/O throughput in bytes/second:
 // 2*subgroup_bytes/(read_time+write_time) aggregated over all subgroups,
 // computed here as (bytes_read+bytes_written)/(read_time+write_time).
+// Raw bytes over device time: under a codec tier this exceeds the wire
+// bandwidth by the compression ratio — exactly the effective-bandwidth
+// multiplication the codec buys.
 func (it Iteration) EffectiveIO() float64 {
 	d := it.ReadTime + it.WriteTime
 	if d <= 0 {
 		return 0
 	}
 	return (it.BytesRead + it.BytesWritten) / d
+}
+
+// WireIO returns the device-level I/O throughput in bytes/second — what
+// the tiers physically sustained.
+func (it Iteration) WireIO() float64 {
+	d := it.ReadTime + it.WriteTime
+	if d <= 0 {
+		return 0
+	}
+	return (it.WireBytesRead + it.WireBytesWritten) / d
+}
+
+// CompressionRatio returns raw bytes moved per wire byte (1 when no
+// codec is active, 0 when the iteration moved nothing).
+func (it Iteration) CompressionRatio() float64 {
+	wire := it.WireBytesRead + it.WireBytesWritten
+	if wire <= 0 {
+		return 0
+	}
+	return (it.BytesRead + it.BytesWritten) / wire
 }
 
 // HitRate returns the host-cache hit fraction in [0,1].
@@ -192,6 +240,8 @@ func (s *Series) Mean() Iteration {
 		out.ParamsUpdated += it.ParamsUpdated
 		out.BytesRead += it.BytesRead
 		out.BytesWritten += it.BytesWritten
+		out.WireBytesRead += it.WireBytesRead
+		out.WireBytesWritten += it.WireBytesWritten
 		out.ReadTime += it.ReadTime
 		out.WriteTime += it.WriteTime
 		out.CacheHits += it.CacheHits
@@ -209,6 +259,8 @@ func (s *Series) Mean() Iteration {
 	out.ParamsUpdated = int64(float64(out.ParamsUpdated) * inv)
 	out.BytesRead *= inv
 	out.BytesWritten *= inv
+	out.WireBytesRead *= inv
+	out.WireBytesWritten *= inv
 	out.ReadTime *= inv
 	out.WriteTime *= inv
 	out.UpdateComputeTime *= inv

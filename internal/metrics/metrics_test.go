@@ -196,17 +196,17 @@ func TestIterationMerge(t *testing.T) {
 
 func TestClassIORecordAndMerge(t *testing.T) {
 	var a Iteration
-	a.RecordClassIO("demand-fetch", 100, 0.01, 0.2)
-	a.RecordClassIO("demand-fetch", 50, 0.02, 0.1)
-	a.RecordClassIO("flush", 30, 0.00, 0.3)
-	if c := a.ClassIO["demand-fetch"]; c.Ops != 2 || c.Bytes != 150 ||
+	a.RecordClassIO("demand-fetch", 100, 80, 0.01, 0.2)
+	a.RecordClassIO("demand-fetch", 50, 40, 0.02, 0.1)
+	a.RecordClassIO("flush", 30, 30, 0.00, 0.3)
+	if c := a.ClassIO["demand-fetch"]; c.Ops != 2 || c.Bytes != 150 || c.WireBytes != 120 ||
 		math.Abs(c.QueueDelay-0.03) > 1e-12 || math.Abs(c.Transfer-0.3) > 1e-12 {
 		t.Errorf("recorded demand-fetch = %+v", c)
 	}
 
 	var b Iteration
-	b.RecordClassIO("flush", 10, 0.05, 0.1)
-	b.RecordClassIO("migration", 500, 1.5, 2.0)
+	b.RecordClassIO("flush", 10, 10, 0.05, 0.1)
+	b.RecordClassIO("migration", 500, 500, 1.5, 2.0)
 
 	var total Iteration
 	total.Merge(a)
@@ -226,7 +226,7 @@ func TestSeriesMeanAveragesClassIO(t *testing.T) {
 	var s Series // no warmup
 	for i := 0; i < 2; i++ {
 		var it Iteration
-		it.RecordClassIO("prefetch", 100, 0.1, 0.5)
+		it.RecordClassIO("prefetch", 100, 100, 0.1, 0.5)
 		s.Append(it)
 	}
 	m := s.Mean()

@@ -165,6 +165,27 @@ func (m *MemTier) Write(ctx context.Context, key string, src []byte) error {
 	return nil
 }
 
+// ReadObject implements ObjectReader. The returned copy is always one
+// complete previously written object because MemTier never mutates a
+// stored buffer (Write publishes a fresh buffer, Read copies out — the
+// same invariant Copy's aliasing relies on); the lock only guards the
+// map lookup.
+func (m *MemTier) ReadObject(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	obj, ok := m.data[key]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, m.name, key)
+	}
+	out := make([]byte, len(obj))
+	copy(out, obj)
+	m.addRead(int64(len(out)))
+	return out, nil
+}
+
 // Copy implements Copier by aliasing the stored buffer under the new
 // key: MemTier never mutates stored buffers (Write replaces, Read copies
 // out), so sharing is safe and the copy moves no bytes.
@@ -273,6 +294,25 @@ func (f *FileTier) Read(ctx context.Context, key string, dst []byte) error {
 	}
 	f.addRead(int64(len(dst)))
 	return nil
+}
+
+// ReadObject implements ObjectReader. os.ReadFile holds one file
+// descriptor for the whole read, and Write replaces objects via rename,
+// so a concurrent writer can never make this observe a torn object: the
+// opened inode stays the complete previous version.
+func (f *FileTier) ReadObject(ctx context.Context, key string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(f.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, f.name, key)
+		}
+		return nil, err
+	}
+	f.addRead(int64(len(data)))
+	return data, nil
 }
 
 // Write implements Tier. Writes go to a uniquely named temp file and
@@ -480,6 +520,20 @@ func (t *Throttled) Read(ctx context.Context, key string, dst []byte) error {
 		return err
 	}
 	return t.inner.Read(ctx, key, dst)
+}
+
+// ReadObject implements ObjectReader. The transfer is charged after the
+// bytes are read (their count is unknown beforehand); aggregate
+// bandwidth over many operations matches the configured rate exactly.
+func (t *Throttled) ReadObject(ctx context.Context, key string) ([]byte, error) {
+	data, err := ReadWholeObject(ctx, t.inner, key)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.throttle(ctx, t.readLim, len(data)); err != nil {
+		return nil, err
+	}
+	return data, nil
 }
 
 // Write implements Tier.

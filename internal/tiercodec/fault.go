@@ -1,0 +1,222 @@
+package tiercodec
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"github.com/datastates/mlpoffload/internal/storage"
+)
+
+// ErrInjected is the default error FaultTier injects.
+var ErrInjected = errors.New("tiercodec: injected fault")
+
+// FaultConfig selects which faults a FaultTier injects. Every channel is
+// counter-based — "every Nth operation of that kind" (1-based, 0
+// disables) — so tests are deterministic regardless of goroutine
+// interleaving of *other* channels. Channels are independent: a read
+// error and a read corruption each advance their own counter.
+type FaultConfig struct {
+	// FailReadEvery / FailWriteEvery make every Nth read/write return
+	// Err without touching the inner tier.
+	FailReadEvery  int64
+	FailWriteEvery int64
+	// Err is the injected failure; nil means ErrInjected.
+	Err error
+
+	// CorruptReadEvery flips one byte of every Nth read's returned data
+	// — *transient* corruption, as if the transfer was hit in flight:
+	// the stored object stays intact, so a retry reads clean. A codec
+	// tier with integrity stacked above detects it as ErrCorrupt.
+	CorruptReadEvery int64
+	// CorruptWriteEvery flips one byte of every Nth write's stored
+	// object — *persistent* corruption (bit rot at rest): every later
+	// read of the key observes it, so retries keep failing.
+	CorruptWriteEvery int64
+	// TornWriteEvery stores only the first three quarters of every Nth
+	// write — a torn object, as if the writer crashed mid-flush on a
+	// store without atomic replace.
+	TornWriteEvery int64
+
+	// LatencyEvery adds Latency to every Nth operation (reads and
+	// writes share the counter) — tail-latency spikes for scheduler and
+	// timeout testing.
+	LatencyEvery int64
+	Latency      time.Duration
+}
+
+// FaultStats counts the faults actually injected.
+type FaultStats struct {
+	ReadErrors    int64
+	WriteErrors   int64
+	CorruptReads  int64
+	CorruptWrites int64
+	TornWrites    int64
+	LatencySpikes int64
+}
+
+// FaultTier is a storage.Tier decorator that injects faults for
+// resilience testing: read/write errors, torn and corrupted objects,
+// and latency spikes. Stack it *under* a codec tier to exercise
+// integrity detection (the codec sees corrupted encoded bytes), or
+// *over* one to fault the raw path. All other operations delegate.
+type FaultTier struct {
+	inner storage.Tier
+	cfg   FaultConfig
+
+	readOps    atomic.Int64
+	writeOps   atomic.Int64
+	readCorr   atomic.Int64
+	writeCorr  atomic.Int64
+	tornOps    atomic.Int64
+	latencyOps atomic.Int64
+
+	stats struct {
+		readErrs    atomic.Int64
+		writeErrs   atomic.Int64
+		corrReads   atomic.Int64
+		corrWrites  atomic.Int64
+		tornWrites  atomic.Int64
+		latencyHits atomic.Int64
+	}
+}
+
+// NewFaultTier wraps inner with fault injection.
+func NewFaultTier(inner storage.Tier, cfg FaultConfig) *FaultTier {
+	if cfg.Err == nil {
+		cfg.Err = ErrInjected
+	}
+	return &FaultTier{inner: inner, cfg: cfg}
+}
+
+// Unwrap returns the decorated tier.
+func (f *FaultTier) Unwrap() storage.Tier { return f.inner }
+
+// Stats implements storage.Tier (inner traffic; injected failures move
+// no bytes).
+func (f *FaultTier) Stats() storage.Stats { return f.inner.Stats() }
+
+// FaultStats returns the injected-fault counters.
+func (f *FaultTier) FaultStats() FaultStats {
+	return FaultStats{
+		ReadErrors:    f.stats.readErrs.Load(),
+		WriteErrors:   f.stats.writeErrs.Load(),
+		CorruptReads:  f.stats.corrReads.Load(),
+		CorruptWrites: f.stats.corrWrites.Load(),
+		TornWrites:    f.stats.tornWrites.Load(),
+		LatencySpikes: f.stats.latencyHits.Load(),
+	}
+}
+
+// due advances a channel counter and reports whether this operation is
+// the every'th one.
+func due(counter *atomic.Int64, every int64) bool {
+	if every <= 0 {
+		return false
+	}
+	return counter.Add(1)%every == 0
+}
+
+func (f *FaultTier) maybeDelay() {
+	if due(&f.latencyOps, f.cfg.LatencyEvery) {
+		f.stats.latencyHits.Add(1)
+		time.Sleep(f.cfg.Latency)
+	}
+}
+
+// flip corrupts one byte roughly mid-object (past any header, inside
+// the payload).
+func flip(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	b[len(b)/2] ^= 0xFF
+}
+
+// Name implements storage.Tier.
+func (f *FaultTier) Name() string { return f.inner.Name() }
+
+// Read implements storage.Tier with error and transient-corruption
+// injection.
+func (f *FaultTier) Read(ctx context.Context, key string, dst []byte) error {
+	f.maybeDelay()
+	if due(&f.readOps, f.cfg.FailReadEvery) {
+		f.stats.readErrs.Add(1)
+		return f.cfg.Err
+	}
+	if err := f.inner.Read(ctx, key, dst); err != nil {
+		return err
+	}
+	if due(&f.readCorr, f.cfg.CorruptReadEvery) {
+		f.stats.corrReads.Add(1)
+		flip(dst)
+	}
+	return nil
+}
+
+// ReadObject implements storage.ObjectReader so a codec tier stacked
+// above keeps its atomic whole-object read path; the same read faults
+// apply.
+func (f *FaultTier) ReadObject(ctx context.Context, key string) ([]byte, error) {
+	f.maybeDelay()
+	if due(&f.readOps, f.cfg.FailReadEvery) {
+		f.stats.readErrs.Add(1)
+		return nil, f.cfg.Err
+	}
+	data, err := storage.ReadWholeObject(ctx, f.inner, key)
+	if err != nil {
+		return nil, err
+	}
+	if due(&f.readCorr, f.cfg.CorruptReadEvery) {
+		f.stats.corrReads.Add(1)
+		flip(data)
+	}
+	return data, nil
+}
+
+// Write implements storage.Tier with error, persistent-corruption and
+// torn-object injection.
+func (f *FaultTier) Write(ctx context.Context, key string, src []byte) error {
+	f.maybeDelay()
+	if due(&f.writeOps, f.cfg.FailWriteEvery) {
+		f.stats.writeErrs.Add(1)
+		return f.cfg.Err
+	}
+	if due(&f.tornOps, f.cfg.TornWriteEvery) {
+		f.stats.tornWrites.Add(1)
+		return f.inner.Write(ctx, key, src[:len(src)*3/4])
+	}
+	if due(&f.writeCorr, f.cfg.CorruptWriteEvery) {
+		f.stats.corrWrites.Add(1)
+		bad := make([]byte, len(src))
+		copy(bad, src)
+		flip(bad)
+		return f.inner.Write(ctx, key, bad)
+	}
+	return f.inner.Write(ctx, key, src)
+}
+
+// Delete implements storage.Tier.
+func (f *FaultTier) Delete(ctx context.Context, key string) error {
+	return f.inner.Delete(ctx, key)
+}
+
+// Size implements storage.Tier.
+func (f *FaultTier) Size(ctx context.Context, key string) (int64, error) {
+	return f.inner.Size(ctx, key)
+}
+
+// Keys implements storage.Tier.
+func (f *FaultTier) Keys(ctx context.Context) ([]string, error) {
+	return f.inner.Keys(ctx)
+}
+
+// Copy implements storage.Copier by delegation; tiers without the
+// capability report ErrCopyUnsupported (storage.TryCopy falls back).
+func (f *FaultTier) Copy(ctx context.Context, srcKey, dstKey string) error {
+	if c, ok := f.inner.(storage.Copier); ok {
+		return c.Copy(ctx, srcKey, dstKey)
+	}
+	return storage.ErrCopyUnsupported
+}

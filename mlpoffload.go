@@ -29,7 +29,13 @@
 //     state is snapshotted under step-tagged keys, a manifest commits the
 //     checkpoint, and Engine.Restore (or the coordinated
 //     TrainNode.Resume) continues training bit-identically after a
-//     crash, including checkpoints taken mid-migration.
+//     crash, including checkpoints taken mid-migration. Tiers can carry
+//     transparent codec middleware (TierSpec.Codec / NewCodecTier):
+//     objects cross the device compressed (byte-plane transpose +
+//     DEFLATE, incompressible bypass) and CRC32-C-checked, multiplying
+//     effective tier bandwidth on every fetch/flush/checkpoint/migration
+//     path while corrupted objects surface as typed ErrCorruptObject
+//     failures (retried when transient) instead of being consumed.
 //
 //   - The paper-scale simulator (RunSim): the same offloading policies
 //     executed on a discrete-event simulator parameterized by the paper's
@@ -60,6 +66,7 @@ import (
 	"github.com/datastates/mlpoffload/internal/ratelimit"
 	"github.com/datastates/mlpoffload/internal/simrun"
 	"github.com/datastates/mlpoffload/internal/storage"
+	"github.com/datastates/mlpoffload/internal/tiercodec"
 	"github.com/datastates/mlpoffload/internal/tierlock"
 	"github.com/datastates/mlpoffload/internal/train"
 )
@@ -219,6 +226,49 @@ type ThrottleSpec struct {
 	// InterferenceAlpha degrades aggregate efficiency under n concurrent
 	// streams as 1/(1+alpha*(n-1)); 0 means an ideal device.
 	InterferenceAlpha float64
+}
+
+// ---- Tier codec middleware ----
+
+// CodecSpec selects transparent tier middleware: compression
+// ("flate", byte-plane transpose + DEFLATE with an incompressible-data
+// bypass) and/or per-object CRC32-C integrity. Set it on a TierSpec to
+// have the engine wrap that tier at construction, or wrap standalone
+// tiers with NewCodecTier. See ParseCodecSpec for the textual form.
+type CodecSpec = tiercodec.Spec
+
+// ParseCodecSpec parses a textual codec spec: "flate+crc" (recommended),
+// "flate:6", "crc", "raw"; "" or "off" disable the middleware.
+func ParseCodecSpec(text string) (CodecSpec, error) { return tiercodec.ParseSpec(text) }
+
+// CodecTier is the codec middleware around a Tier. Objects written
+// through it carry a self-describing header (codec id, raw length,
+// CRC32-C), so any codec configuration reads any other's objects —
+// checkpoints stay restorable across codec changes.
+type CodecTier = tiercodec.Tier
+
+// NewCodecTier wraps inner with codec middleware per spec.
+func NewCodecTier(inner Tier, spec CodecSpec) (*CodecTier, error) {
+	return tiercodec.New(inner, spec)
+}
+
+// ErrCorruptObject is returned by codec-tier reads that fail integrity
+// or structural validation: the engine retries transient corruption and
+// fails cleanly — never consuming garbage — when it persists.
+var ErrCorruptObject = tiercodec.ErrCorrupt
+
+// FaultConfig configures fault injection for resilience testing:
+// read/write errors, transiently corrupted reads, persistently
+// corrupted or torn writes, and latency spikes.
+type FaultConfig = tiercodec.FaultConfig
+
+// FaultTier is a fault-injecting Tier decorator. Stack it under a
+// CodecTier to exercise integrity detection end to end.
+type FaultTier = tiercodec.FaultTier
+
+// NewFaultTier wraps inner with fault injection.
+func NewFaultTier(inner Tier, cfg FaultConfig) *FaultTier {
+	return tiercodec.NewFaultTier(inner, cfg)
 }
 
 // ThrottledTier is a bandwidth-emulated tier. SetRates changes its

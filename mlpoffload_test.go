@@ -154,3 +154,51 @@ func TestFacadeGPT(t *testing.T) {
 	}
 	_ = f32
 }
+
+func TestPublicCodecTier(t *testing.T) {
+	spec, err := ParseCodecSpec("flate+crc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiers := []TierSpec{
+		{Tier: NewMemTier("nvme"), ReadBW: 2e9, WriteBW: 2e9, Codec: spec},
+		{Tier: NewMemTier("pfs"), ReadBW: 1e9, WriteBW: 1e9, Codec: spec},
+	}
+	cfg := MLPConfig(0, 50_000, 5_000, tiers, NewNodeLocks(true))
+	cfg.Hyper.LR = 0.05
+	cfg.Grad = QuadraticGradFn(2)
+	eng, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	var last Iteration
+	for i := 0; i < 4; i++ {
+		if last, err = eng.TrainIteration(i); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	if r := last.CompressionRatio(); r <= 1 {
+		t.Fatalf("compression ratio %.2f, want > 1", r)
+	}
+	params := make([]float32, 50_000)
+	if err := eng.GatherParams(params); err != nil {
+		t.Fatal(err)
+	}
+	// Adam advances ~LR per step: after 4 steps every parameter sits near
+	// 4*LR on its way to the target.
+	for i, p := range params {
+		if math.Abs(float64(p)-4*0.05) > 0.05 {
+			t.Fatalf("param %d = %v did not move toward target through the codec path", i, p)
+		}
+	}
+
+	// Standalone wrapper + typed corruption error.
+	ct, err := NewCodecTier(NewMemTier("m"), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.Describe(); !strings.Contains(got, "flate") {
+		t.Fatalf("Describe() = %q", got)
+	}
+}
