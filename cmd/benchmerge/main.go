@@ -6,7 +6,11 @@
 //
 //   - -benchtxt file: textual `go test -bench` output; every Benchmark
 //     line is parsed into {name, iterations, metrics} (ns/op, MB/s,
-//     B/op, allocs/op and any custom b.ReportMetric unit).
+//     B/op, allocs/op and any custom b.ReportMetric unit). The CI bench
+//     job runs with -benchmem, so BENCH_<run>.json tracks the
+//     allocation trajectory (B/op, allocs/op) of every benchmark
+//     alongside its timing — the steady-state-allocation regression
+//     record for the zero-copy update path.
 //   - positional args: JSON report files (e.g. `iobench -mixed -json`,
 //     `iobench -codec -json`), embedded verbatim under their
 //     "benchmark" field (falling back to the file name).

@@ -1,0 +1,46 @@
+package main
+
+import "testing"
+
+// TestParseBenchLineBenchmem pins the fields the bench trajectory
+// tracks: ns/op and MB/s, plus the -benchmem allocation metrics
+// (B/op, allocs/op) the zero-copy work is measured by, and custom
+// b.ReportMetric units.
+func TestParseBenchLineBenchmem(t *testing.T) {
+	line := "BenchmarkUpdatePhaseUnthrottled/workers=4-8   \t      20\t  39849045 ns/op\t  666333 B/op\t     251 allocs/op"
+	b, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatalf("line not parsed")
+	}
+	if b.Name != "BenchmarkUpdatePhaseUnthrottled/workers=4-8" {
+		t.Fatalf("name %q", b.Name)
+	}
+	if b.Iterations != 20 {
+		t.Fatalf("iterations %d", b.Iterations)
+	}
+	want := map[string]float64{"ns/op": 39849045, "B/op": 666333, "allocs/op": 251}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Fatalf("%s = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+
+	line = "BenchmarkUpdatePhaseMigration/window=2-8  3  201411423 ns/op  59.58 MB/s  12.33 migrations/iter  323 allocs/op"
+	b, ok = parseBenchLine(line)
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Metrics["MB/s"] != 59.58 || b.Metrics["migrations/iter"] != 12.33 || b.Metrics["allocs/op"] != 323 {
+		t.Fatalf("metrics %v", b.Metrics)
+	}
+
+	for _, bad := range []string{
+		"", "goos: linux", "PASS", "ok  \tpkg\t1.2s",
+		"BenchmarkX notanumber 1 ns/op",
+		"BenchmarkOnlyName",
+	} {
+		if _, ok := parseBenchLine(bad); ok {
+			t.Fatalf("%q should not parse", bad)
+		}
+	}
+}

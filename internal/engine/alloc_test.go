@@ -1,0 +1,77 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/datastates/mlpoffload/internal/storage"
+)
+
+// TestUpdatePhaseSteadyStateAllocs is the CI smoke gate for the
+// zero-copy steady state: after warmup, a full training iteration over
+// unthrottled in-memory tiers (the BenchmarkUpdatePhaseUnthrottled
+// configuration) must stay under fixed per-iteration allocation
+// ceilings. The ceilings are far above today's fully-warmed measurement
+// (~250 allocs, ~20 KB per iteration at 1M params; the benchmark's
+// B/op reads higher — 0.2–0.7 MB depending on -benchtime — because it
+// amortizes the lazy pool materialization of its warmup iterations)
+// but far below what any per-byte regression produces — reintroducing
+// one serialize pass or one staging copy on this workload costs
+// megabytes per iteration (the pre-zero-copy engine allocated ~20
+// MB/iteration here).
+func TestUpdatePhaseSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is inflated under -race")
+	}
+	if testing.Short() {
+		t.Skip("steady-state measurement needs full iterations")
+	}
+	tiers := []TierSpec{
+		{Tier: storage.NewMemTier("nvme"), ReadBW: 2e9, WriteBW: 2e9},
+		{Tier: storage.NewMemTier("pfs"), ReadBW: 1e9, WriteBW: 1e9},
+	}
+	cfg := MLPConfig(0, 1_000_000, 100_000, tiers, nil)
+	cfg.AdaptivePlacement = false
+	cfg.UpdateWorkers = 2
+	eng, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Warmup: materialize lazy pools, populate the host cache, settle
+	// the pipeline into its steady state.
+	iter := 0
+	for ; iter < 4; iter++ {
+		if _, err := eng.TrainIteration(iter); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const measured = 6
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for end := iter + measured; iter < end; iter++ {
+		if _, err := eng.TrainIteration(iter); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&after)
+
+	allocsPerIter := float64(after.Mallocs-before.Mallocs) / measured
+	bytesPerIter := float64(after.TotalAlloc-before.TotalAlloc) / measured
+	t.Logf("steady state: %.0f allocs/iter, %.0f B/iter", allocsPerIter, bytesPerIter)
+
+	// Fixed ceilings (see doc comment): per-op bookkeeping is allowed,
+	// per-byte staging is not.
+	const (
+		maxAllocsPerIter = 2000
+		maxBytesPerIter  = 4 << 20
+	)
+	if allocsPerIter > maxAllocsPerIter {
+		t.Errorf("steady-state allocations regressed: %.0f allocs/iter > ceiling %d", allocsPerIter, maxAllocsPerIter)
+	}
+	if bytesPerIter > maxBytesPerIter {
+		t.Errorf("steady-state allocation volume regressed: %.0f B/iter > ceiling %d", bytesPerIter, maxBytesPerIter)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"github.com/datastates/mlpoffload/internal/aio"
+	"github.com/datastates/mlpoffload/internal/f32view"
 	"github.com/datastates/mlpoffload/internal/fp16"
 	"github.com/datastates/mlpoffload/internal/hostcache"
 	"github.com/datastates/mlpoffload/internal/metrics"
@@ -178,7 +179,19 @@ func New(cfg Config) (*Engine, error) {
 	// pool holds UpdateWorkers extra buffers so a worker's synchronous
 	// gradient read can never deadlock against queued prefetches.
 	inflight := cfg.PrefetchDepth + cfg.UpdateWorkers
-	e.fetchPool = hostcache.NewBufferPool(inflight+1, stateBuf)
+	// The fetch pool also backs the zero-copy states of host-resident
+	// subgroups (a fetched buffer is adopted in place and returned only
+	// when its eviction flush lands), so its quota covers the in-flight
+	// window plus the largest possible resident set. Lazy: a buffer is
+	// materialized only when training actually cycles it, so a cache
+	// sized "whole shard fits" does not preallocate the shard. The quota
+	// replaces — not adds to — the per-fetch State allocations of the
+	// copying path: resident state used to be heap-allocated anyway.
+	resident := cfg.HostCacheSlots
+	if m < resident {
+		resident = m
+	}
+	e.fetchPool = hostcache.NewBufferPoolLazy(inflight+resident+2, stateBuf)
 	e.flushPool = hostcache.NewBufferPool(2, stateBuf)
 	e.gradPool = hostcache.NewBufferPool(inflight+cfg.UpdateWorkers+1, 4*maxLen)
 	e.fetchSem = make(chan struct{}, cfg.PrefetchDepth)
@@ -367,9 +380,24 @@ func (e *Engine) d2hTransfer(bytes int64) {
 }
 
 // flushSync serializes subgroup i's state and writes it synchronously,
-// releasing the in-memory state. Used during initialization.
+// releasing the in-memory state. Used during initialization and restore
+// evictions. A state aliasing its fetched buffer (sg.Backing) is
+// already serialized — the buffer is written as-is and returned to the
+// fetch pool, no marshal pass at all.
 func (e *Engine) flushSync(i int, sg *subgroup.Subgroup) error {
 	tier := e.plan.TierFor(i)
+	if sg.Backing != nil {
+		n := subgroup.StateBytes(sg.Len())
+		backing := sg.Backing
+		if err := e.aios[tier].WriteSync(e.key(i), backing[:n]); err != nil {
+			return err
+		}
+		sg.State = nil
+		sg.Backing = nil
+		e.fetchPool.Put(backing)
+		e.loc[i] = tier
+		return nil
+	}
 	buf := e.flushPool.Get()
 	n, err := sg.Marshal(buf, false)
 	if err != nil {
@@ -491,22 +519,10 @@ func (e *Engine) backward(iter int, accumStep int, lastAccum bool) error {
 	return nil
 }
 
-func encodeF32(dst []byte, src []float32) {
-	for i, f := range src {
-		u := math.Float32bits(f)
-		dst[4*i] = byte(u)
-		dst[4*i+1] = byte(u >> 8)
-		dst[4*i+2] = byte(u >> 16)
-		dst[4*i+3] = byte(u >> 24)
-	}
-}
-
-func decodeF32(dst []float32, src []byte) {
-	for i := range dst {
-		u := uint32(src[4*i]) | uint32(src[4*i+1])<<8 | uint32(src[4*i+2])<<16 | uint32(src[4*i+3])<<24
-		dst[i] = math.Float32frombits(u)
-	}
-}
+// encodeF32 moves an FP32 payload through the f32view bulk kernel: a
+// single memmove on aligned little-endian buffers, an 8-wide unrolled
+// conversion otherwise.
+func encodeF32(dst []byte, src []float32) { f32view.Encode(dst, src) }
 
 // TrainIteration runs one full iteration: forward and backward passes
 // (GradAccumSteps of each) followed by the update phase, recording a
@@ -582,12 +598,12 @@ func (e *Engine) GatherParams(dst []float32) error {
 			e.fetchPool.Put(buf)
 			return err
 		}
-		tmp := subgroup.New(i, sg.Len())
-		if err := tmp.Unmarshal(buf[:size]); err != nil {
+		// Header-validated bulk extraction of the Params section only —
+		// no temporary subgroup, no M/V materialization.
+		if err := sg.ReadParams(dst[off:off+int64(sg.Len())], buf[:size]); err != nil {
 			e.fetchPool.Put(buf)
 			return err
 		}
-		copy(dst[off:], tmp.State.Params)
 		e.fetchPool.Put(buf)
 	}
 	return nil

@@ -308,6 +308,14 @@ func (e *Engine) copyState(sg, from, to int) error {
 	if rop, err = e.awaitRead(from, rop, key, buf[:size]); err != nil {
 		return err
 	}
+	// Zero-copy header peek before the destination write: a wrong or
+	// malformed object must never become the subgroup's authoritative
+	// copy (the source stays authoritative on any failure here).
+	if id, n, _, err := subgroup.PeekHeader(buf[:size]); err != nil {
+		return err
+	} else if id != sg || n != e.shard.Subgroups[sg].Len() {
+		return fmt.Errorf("source object is subgroup %d with %d params", id, n)
+	}
 	wop, err := e.aios[to].SubmitWriteClass(aio.Migration, key, buf[:size])
 	if err != nil {
 		return err

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"github.com/datastates/mlpoffload/internal/aio"
+	"github.com/datastates/mlpoffload/internal/bufpool"
 	"github.com/datastates/mlpoffload/internal/checkpoint"
 	"github.com/datastates/mlpoffload/internal/fp16"
 	"github.com/datastates/mlpoffload/internal/optim"
@@ -129,15 +130,24 @@ func (e *Engine) numerics() checkpoint.Numerics {
 	}
 }
 
-// marshalHostSubgroup serializes a host-resident subgroup into a freshly
-// allocated buffer (checkpoint writers hold it across async writes).
+// marshalHostSubgroup serializes a host-resident subgroup into a pooled
+// buffer (checkpoint writers hold it across async writes; the buffer
+// returns to internal/bufpool via the caller's release path). A state
+// that aliases its fetched buffer is already serialized, so the pooled
+// copy is one memmove — never a conversion pass.
 func (e *Engine) marshalHostSubgroup(sgID int) ([]byte, error) {
 	sg := e.shard.Subgroups[sgID]
 	if sg.State == nil {
 		return nil, fmt.Errorf("engine: subgroup %d not host-resident", sgID)
 	}
-	buf := make([]byte, subgroup.StateBytes(sg.Len()))
+	size := subgroup.StateBytes(sg.Len())
+	buf := bufpool.Get(size)
+	if sg.Backing != nil {
+		copy(buf, sg.Backing[:size])
+		return buf, nil
+	}
 	if _, err := sg.Marshal(buf, false); err != nil {
+		bufpool.Put(buf)
 		return nil, err
 	}
 	return buf, nil
@@ -147,7 +157,9 @@ func (e *Engine) marshalHostSubgroup(sgID int) ([]byte, error) {
 // subgroup — marshalled from memory when host-resident, read back from its
 // tier otherwise. The caller must Drain the engine first so pending lazy
 // flushes have landed; Engine.Checkpoint drains once for its whole plan
-// instead of once per subgroup.
+// instead of once per subgroup. The returned buffer is caller-owned and
+// comes from internal/bufpool; callers that are done with it may recycle
+// it with bufpool.Put (dropping it is also fine).
 func (e *Engine) FetchSubgroupBytes(ctx context.Context, sgID int) ([]byte, error) {
 	if sgID < 0 || sgID >= len(e.shard.Subgroups) {
 		return nil, fmt.Errorf("engine: subgroup %d out of range", sgID)
@@ -155,8 +167,9 @@ func (e *Engine) FetchSubgroupBytes(ctx context.Context, sgID int) ([]byte, erro
 	if e.loc[sgID] == locHost {
 		return e.marshalHostSubgroup(sgID)
 	}
-	buf := make([]byte, subgroup.StateBytes(e.shard.Subgroups[sgID].Len()))
+	buf := bufpool.Get(subgroup.StateBytes(e.shard.Subgroups[sgID].Len()))
 	if err := e.readSyncRetry(e.loc[sgID], e.key(sgID), buf); err != nil {
+		bufpool.Put(buf)
 		return nil, err
 	}
 	return buf, nil
@@ -218,25 +231,27 @@ func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer)
 				continue
 			}
 			sem <- struct{}{}
-			buf := make([]byte, l.Bytes)
+			buf := bufpool.Get(int(l.Bytes))
 			rop, err := e.aios[tier].SubmitReadClass(aio.Checkpoint, l.Key, buf)
 			if err == nil {
 				// Corrupt-retry, as everywhere the engine reads state.
 				_, err = e.awaitRead(tier, rop, l.Key, buf)
 			}
 			if err != nil {
+				bufpool.Put(buf)
 				<-sem
 				snapErr = fmt.Errorf("engine: checkpoint snapshot read subgroup %d: %w", l.SubgroupID, err)
 				break // fall through: already-submitted writes must be waited
 			}
 			wop, err := e.aios[tier].SubmitWriteClass(aio.Checkpoint, snapKey, buf)
 			if err != nil {
+				bufpool.Put(buf)
 				<-sem
 				snapErr = fmt.Errorf("engine: checkpoint snapshot write subgroup %d: %w", l.SubgroupID, err)
 				break
 			}
 			writes = append(writes, wop)
-			go func(op *aio.Op) { _ = op.Wait(); <-sem }(wop)
+			go func(op *aio.Op, buf []byte) { _ = op.Wait(); bufpool.Put(buf); <-sem }(wop, buf)
 		}
 		for _, op := range writes {
 			if err := op.Wait(); err != nil && snapErr == nil {
@@ -275,10 +290,11 @@ func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer)
 				stageCh <- staged{sg: l.SubgroupID, buf: buf}
 				continue
 			}
-			buf := make([]byte, l.Bytes)
+			buf := bufpool.Get(int(l.Bytes))
 			tier := e.loc[l.SubgroupID]
 			op, err := e.aios[tier].SubmitReadClass(aio.Checkpoint, l.Key, buf)
 			if err != nil {
+				bufpool.Put(buf)
 				<-sem
 				stageCh <- staged{sg: l.SubgroupID, err: err}
 				return
@@ -296,13 +312,14 @@ func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer)
 		}
 		if s.op != nil {
 			if _, err := e.awaitRead(s.tier, s.op, e.key(s.sg), s.buf); err != nil {
+				bufpool.Put(s.buf)
 				<-sem // the writer never sees this buffer
 				return nil, err
 			}
 		}
 		return s.buf, nil
 	}
-	release := func([]byte) { <-sem }
+	release := func(buf []byte) { bufpool.Put(buf); <-sem }
 
 	_, werr := w.Write(ctx, step, plan, fetch, release)
 	// Abandon staging the writer never consumed (its loop stops at the
@@ -313,6 +330,7 @@ func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer)
 			_ = s.op.Wait()
 		}
 		if s.err == nil {
+			bufpool.Put(s.buf)
 			<-sem
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"github.com/datastates/mlpoffload/internal/aio"
+	"github.com/datastates/mlpoffload/internal/f32view"
 	"github.com/datastates/mlpoffload/internal/fp16"
 	"github.com/datastates/mlpoffload/internal/hostcache"
 	"github.com/datastates/mlpoffload/internal/metrics"
@@ -326,6 +327,62 @@ func (e *Engine) updateWorker(run *phaseRun, workCh chan *updateItem) {
 	}
 }
 
+// dropState releases a subgroup's in-memory state: an adopted backing
+// buffer returns to the fetch pool (nothing references its bytes once
+// State drops), an owned state is left to the garbage collector.
+func (e *Engine) dropState(sg *subgroup.Subgroup) {
+	sg.State = nil
+	if sg.Backing != nil {
+		e.fetchPool.Put(sg.Backing)
+		sg.Backing = nil
+	}
+}
+
+// adoptState hands a fetched serialized state object (in the fetch-pool
+// buffer buf, object length size) to the subgroup: zero-copy aliasing
+// via MapState where the platform allows — buf is then retained as
+// sg.Backing until the state is flushed or dropped — and the copying
+// Unmarshal fallback otherwise. adoptState consumes buf on every path
+// (kept, or returned to the fetch pool on fallback and on error), and
+// releases any stale adopted state a previously failed phase left
+// behind, so callers never touch the buffer again.
+func (e *Engine) adoptState(sg *subgroup.Subgroup, buf []byte, size int) error {
+	e.dropState(sg)
+	aliased, err := sg.MapState(buf[:size])
+	if err != nil {
+		e.fetchPool.Put(buf)
+		return err
+	}
+	if aliased {
+		sg.Backing = buf
+		return nil
+	}
+	err = sg.Unmarshal(buf[:size])
+	e.fetchPool.Put(buf)
+	if err != nil {
+		sg.State = nil
+		return err
+	}
+	return nil
+}
+
+// adoptGrads hands a fetched FP32 gradient object to the subgroup: on
+// viewable buffers Grads32 aliases the bytes in place and the pooled
+// buffer is returned for the caller to release *after* the update
+// kernel; otherwise the gradients are bulk-decoded into an owned
+// Grads32, the buffer recycles immediately, and nil is returned.
+func (e *Engine) adoptGrads(sg *subgroup.Subgroup, gbuf []byte) []byte {
+	n := sg.Len()
+	if v, ok := f32view.View(gbuf[:4*n]); ok {
+		sg.Grads32 = v[0:n:n]
+		return gbuf
+	}
+	sg.EnsureGrads32()
+	f32view.Decode(sg.Grads32, gbuf[:4*n])
+	e.gradPool.Put(gbuf)
+	return nil
+}
+
 // releaseFetch abandons an item's fetch: it returns the staging buffers to
 // their pools, waiting for the ops first (a pooled buffer must never have
 // a transfer in flight), and frees the fetch slot. Waiting an op that
@@ -340,13 +397,27 @@ func (e *Engine) releaseFetch(pf *pendingFetch) {
 	<-e.fetchSem
 }
 
-// processItem performs one subgroup's fetch-completion, unmarshal, clip,
-// Adam step and FP16 re-encode. All engine state it mutates is private to
-// the subgroup (pinning keeps eviction away); shared structures (estimator,
-// rate limiters, pools) are concurrency-safe.
+// processItem performs one subgroup's fetch-completion, state adoption,
+// clip, Adam step and FP16 re-encode. All engine state it mutates is
+// private to the subgroup (pinning keeps eviction away); shared
+// structures (estimator, rate limiters, pools) are concurrency-safe.
+//
+// Zero-copy steady state: a fetched state object is not deserialized —
+// MapState validates its header and points optim.State's Params/M/V
+// directly at the fetched bytes, the Adam kernel runs in place, and the
+// very same buffer is later flushed back by the committer's eviction
+// path (flushEvicted), eliminating Marshal/Unmarshal and both staging
+// copies from the hot path. The buffer's ownership follows the state:
+// it is recorded in sg.Backing and returns to the fetch pool only after
+// the flush lands. FP32 gradient objects get the same treatment: the
+// fetched buffer is viewed in place as sg.Grads32 for the duration of
+// the kernel. Platforms where viewing is impossible (big-endian,
+// misaligned buffer) fall back to the copying path with bulk
+// conversion kernels — bit-identical either way.
 func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 	sg := e.shard.Subgroups[item.sgID]
 	it := &item.m
+	var gradBacking []byte // pooled buffer Grads32 aliases, if any
 	if pf := item.pf; pf != nil {
 		// This worker is now blocked on the fetch: it stops being
 		// speculative. Promote it past flush/checkpoint/migration traffic
@@ -365,10 +436,16 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 			e.releaseFetch(pf)
 			return err
 		}
-		sg.State = optim.NewState(make([]float32, sg.Len()))
-		if err := sg.Unmarshal(pf.stateBuf[:size]); err != nil {
-			sg.State = nil
-			e.releaseFetch(pf)
+		// Adopt the fetched object in place; the copying fallback keeps
+		// unaligned/big-endian hosts correct with one bulk conversion.
+		// adoptState consumes the state buffer, so this and every later
+		// error path release only the grad fetch and the prefetch slot.
+		if err := e.adoptState(sg, pf.stateBuf, size); err != nil {
+			if pf.gradOp != nil {
+				_ = pf.gradOp.Wait()
+				e.gradPool.Put(pf.gradBuf)
+			}
+			<-e.fetchSem
 			return err
 		}
 		secs := pf.stateOp.TransferTime().Seconds()
@@ -383,17 +460,20 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 		// apparent speed by the (data-dependent) ratio and destabilize the
 		// bandwidth-proportional split.
 		e.est.ObserveRead(e.names[pf.tier], wire, secs)
-		e.fetchPool.Put(pf.stateBuf)
 		if pf.gradOp != nil {
 			gradOp, err := e.awaitRead(pf.gradTier, pf.gradOp, e.gradKey(item.sgID), pf.gradBuf[:4*sg.Len()])
 			pf.gradOp = gradOp
 			if err != nil {
+				// The item fails: release the just-adopted state too, so
+				// its backing buffer returns to the fetch pool promptly
+				// (the adoption prelude would also reclaim it, but only
+				// at the next refetch).
 				e.gradPool.Put(pf.gradBuf)
+				e.dropState(sg)
 				<-e.fetchSem
 				return fmt.Errorf("engine: grad fetch subgroup %d: %w", item.sgID, err)
 			}
-			sg.EnsureGrads32()
-			decodeF32(sg.Grads32, pf.gradBuf[:4*sg.Len()])
+			gradBacking = e.adoptGrads(sg, pf.gradBuf)
 			gsecs := pf.gradOp.TransferTime().Seconds()
 			gwire := float64(pf.gradOp.WireBytes())
 			it.BytesRead += float64(4 * sg.Len())
@@ -402,7 +482,6 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 			it.RecordClassIO(pf.gradOp.Class().String(), float64(4*sg.Len()), gwire,
 				pf.gradOp.QueueTime().Seconds(), gsecs)
 			e.est.ObserveRead(e.names[pf.gradTier], gwire, gsecs)
-			e.gradPool.Put(pf.gradBuf)
 		}
 		<-e.fetchSem // fetch fully consumed: free the prefetch slot
 		it.CacheMisses++
@@ -420,7 +499,6 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 				gtier = e.plan.TierFor(item.sgID)
 				e.cacheMu.Unlock()
 			}
-			sg.EnsureGrads32()
 			gbuf := e.gradPool.Get()
 			gop, err := e.aios[gtier].SubmitReadClass(aio.GradRead, e.gradKey(item.sgID), gbuf[:4*sg.Len()])
 			if err == nil {
@@ -430,12 +508,12 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 				e.gradPool.Put(gbuf)
 				return err
 			}
-			decodeF32(sg.Grads32, gbuf[:4*sg.Len()])
-			e.gradPool.Put(gbuf)
+			gradBacking = e.adoptGrads(sg, gbuf)
 		}
 	}
 
-	// Update kernel: delayed in-place conversion vs pre-upscaled.
+	// Update kernel: delayed in-place conversion vs pre-upscaled. With an
+	// adopted state the kernel writes straight into the serialized bytes.
 	var sw metrics.Stopwatch
 	sw.Start()
 	applyClip(sg, run.clip, e.cfg.SkipGradFlush)
@@ -444,6 +522,12 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 	} else {
 		optim.StepFP32Parallel(sg.State, sg.Grads32, e.cfg.Hyper, e.step, e.cfg.CPUWorkers)
 		sg.Grads32 = nil // discarded after the update, as in ZeRO-3
+	}
+	if gradBacking != nil {
+		// The kernel is done with the viewed gradient bytes; the buffer
+		// may recycle now (Grads32 no longer references it).
+		sg.Grads32 = nil
+		e.gradPool.Put(gradBacking)
 	}
 	it.UpdateComputeTime += sw.Lap()
 
@@ -507,13 +591,18 @@ func (e *Engine) commitItems(run *phaseRun, it *metrics.Iteration, window chan s
 	}
 }
 
-// flushEvicted serializes and asynchronously flushes an evicted subgroup to
-// the tier already recorded in loc, fulfilling its ticket so a same-phase
-// refetch orders after the write. The subgroup's state is freed immediately
-// (the bytes live in the staging buffer until the write completes). stale,
-// when >= 0 and different from the destination, is a tier still holding
-// the subgroup's pre-update object; it is reclaimed so the object lives on
-// exactly one tier (a failed delete only orphans bytes, never corrupts).
+// flushEvicted asynchronously flushes an evicted subgroup to the tier
+// already recorded in loc, fulfilling its ticket so a same-phase refetch
+// orders after the write. A state adopted over its fetched buffer
+// (sg.Backing) is *already* serialized — the in-place update kept the
+// buffer the live serialized form — so the very same buffer is submitted
+// with no marshal pass and no staging copy; it returns to the fetch pool
+// when the write lands. The copying fallback marshals into a flush-pool
+// buffer as before. Either way the subgroup's state is freed immediately.
+// stale, when >= 0 and different from the destination, is a tier still
+// holding the subgroup's pre-update object; it is reclaimed so the object
+// lives on exactly one tier (a failed delete only orphans bytes, never
+// corrupts).
 func (e *Engine) flushEvicted(v int, tk *flushTicket, stale int) error {
 	sg := e.shard.Subgroups[v]
 	tier := e.loc[v]
@@ -521,20 +610,38 @@ func (e *Engine) flushEvicted(v int, tk *flushTicket, stale int) error {
 		close(tk.done)
 		return fmt.Errorf("engine: flush of non-resident subgroup %d", v)
 	}
-	buf := e.flushPool.Get() // backpressure: at most 2 concurrent flushes
-	n, err := sg.Marshal(buf, false)
-	if err != nil {
-		e.flushPool.Put(buf)
-		close(tk.done)
-		return err
+	var buf []byte
+	var n int
+	aliased := sg.Backing != nil
+	if aliased {
+		buf = sg.Backing
+		n = subgroup.StateBytes(sg.Len())
+	} else {
+		buf = e.flushPool.Get() // backpressure: at most 2 concurrent copy-flushes
+		var err error
+		n, err = sg.Marshal(buf, false)
+		if err != nil {
+			e.flushPool.Put(buf)
+			e.dropState(sg)
+			close(tk.done)
+			return err
+		}
 	}
 	op, err := e.aios[tier].SubmitWriteClass(aio.Flush, e.key(v), buf[:n])
 	if err != nil {
-		e.flushPool.Put(buf)
+		// The phase fails and the in-memory update is lost either way
+		// (the ticket carries no op, so a refetch fails too); drop the
+		// state so an adopted backing buffer returns to the fetch pool
+		// promptly instead of waiting for a later re-adoption.
+		if !aliased {
+			e.flushPool.Put(buf)
+		}
+		e.dropState(sg)
 		close(tk.done)
 		return err
 	}
 	sg.State = nil
+	sg.Backing = nil
 	tk.op = op
 	close(tk.done)
 	if stale >= 0 && stale != tier {
@@ -549,11 +656,18 @@ func (e *Engine) flushEvicted(v int, tk *flushTicket, stale int) error {
 	}
 	name := e.names[tier]
 	nb := float64(n)
+	putBuf := func() {
+		if aliased {
+			e.fetchPool.Put(buf)
+		} else {
+			e.flushPool.Put(buf)
+		}
+	}
 	e.flushWG.Add(1)
 	go func() {
 		defer e.flushWG.Done()
 		if op.Wait() != nil {
-			e.flushPool.Put(buf)
+			putBuf()
 			return // error surfaces via pendingFlush/ticket waiters
 		}
 		secs := op.TransferTime().Seconds()
@@ -565,7 +679,7 @@ func (e *Engine) flushEvicted(v int, tk *flushTicket, stale int) error {
 		e.asyncFlushStats.wire += float64(op.WireBytes())
 		e.asyncFlushStats.secs += secs
 		e.mu.Unlock()
-		e.flushPool.Put(buf)
+		putBuf()
 	}()
 	e.mu.Lock()
 	e.pendingFlush = append(e.pendingFlush, op)

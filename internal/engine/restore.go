@@ -9,7 +9,6 @@ import (
 	"github.com/datastates/mlpoffload/internal/checkpoint"
 	"github.com/datastates/mlpoffload/internal/fp16"
 	"github.com/datastates/mlpoffload/internal/hostcache"
-	"github.com/datastates/mlpoffload/internal/optim"
 	"github.com/datastates/mlpoffload/internal/subgroup"
 	"github.com/datastates/mlpoffload/internal/tiercodec"
 )
@@ -76,10 +75,12 @@ func (e *Engine) Restore(ctx context.Context, r *checkpoint.Reader, m checkpoint
 
 	// Discard pre-restore residency; everything is rebuilt below. Live
 	// keys surviving on tiers the rebuilt placement will not use are
-	// reclaimed per subgroup in restoreSubgroup.
+	// reclaimed per subgroup in restoreSubgroup. States that aliased a
+	// pooled fetch buffer return it — nothing references the bytes once
+	// State drops.
 	e.lru = hostcache.NewLRU(e.cfg.HostCacheSlots)
 	for i, sg := range e.shard.Subgroups {
-		sg.State = nil
+		e.dropState(sg)
 		e.gradLoc[i] = -1
 		e.staleTier[i] = -1
 	}
@@ -165,10 +166,12 @@ func (e *Engine) restoreSubgroup(ctx context.Context, r *checkpoint.Reader, ent 
 	}
 
 	if ent.Origin == "host" {
-		defer e.fetchPool.Put(buf)
-		sg.State = optim.NewState(make([]float32, sg.Len()))
-		if err := sg.Unmarshal(buf[:size]); err != nil {
-			sg.State = nil
+		// Adopt the checkpoint bytes zero-copy where possible: the
+		// restored state aliases the fetched buffer exactly as a
+		// training-time fetch would (adoptState consumes buf), so the
+		// resumed run re-enters the allocation-free steady state
+		// immediately.
+		if err := e.adoptState(sg, buf, size); err != nil {
 			return nil, fmt.Errorf("engine: restore subgroup %d: %w", sgID, err)
 		}
 		off := e.sgOffset[sgID]
@@ -183,11 +186,15 @@ func (e *Engine) restoreSubgroup(ctx context.Context, r *checkpoint.Reader, ent 
 		return nil, nil
 	}
 
-	// Offloaded at checkpoint time: decode the master parameters for the
-	// FP16 working copy straight from the serialized layout, then rewrite
-	// the object under its live key on the currently planned tier.
+	// Offloaded at checkpoint time: extract the master parameters for the
+	// FP16 working copy straight from the serialized layout (bulk,
+	// header-validated), then rewrite the object under its live key on
+	// the currently planned tier.
 	p32 := e.grad32[:sg.Len()]
-	decodeF32(p32, buf[subgroup.HeaderSize:subgroup.HeaderSize+4*sg.Len()])
+	if err := sg.ReadParams(p32, buf[:size]); err != nil {
+		e.fetchPool.Put(buf)
+		return nil, fmt.Errorf("engine: restore subgroup %d: %w", sgID, err)
+	}
 	off := e.sgOffset[sgID]
 	fp16.Encode(e.params16[off:off+int64(sg.Len())], p32)
 	tier := e.plan.TierFor(sgID)

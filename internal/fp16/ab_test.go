@@ -1,0 +1,62 @@
+package fp16
+
+import "testing"
+
+// decodeScalarRef is the pre-unroll element-at-a-time loop, kept for
+// A/B benchmarking of the bulk kernel.
+func decodeScalarRef(dst []float32, src []Bits) {
+	n := min(len(dst), len(src))
+	for i := 0; i < n; i++ {
+		dst[i] = ToFloat32(src[i])
+	}
+}
+
+func encodeScalarRef(dst []Bits, src []float32) {
+	n := min(len(dst), len(src))
+	for i := 0; i < n; i++ {
+		dst[i] = FromFloat32(src[i])
+	}
+}
+
+func abData() ([]Bits, []float32) {
+	src := make([]Bits, 1<<16)
+	for i := range src {
+		src[i] = Bits(i)
+	}
+	dst := make([]float32, len(src))
+	return src, dst
+}
+
+func BenchmarkABDecodeScalar(b *testing.B) {
+	src, dst := abData()
+	b.SetBytes(int64(len(src) * 2))
+	for i := 0; i < b.N; i++ {
+		decodeScalarRef(dst, src)
+	}
+}
+
+func BenchmarkABDecodeBulk(b *testing.B) {
+	src, dst := abData()
+	b.SetBytes(int64(len(src) * 2))
+	for i := 0; i < b.N; i++ {
+		Decode(dst, src)
+	}
+}
+
+func BenchmarkABEncodeScalar(b *testing.B) {
+	src, dst := abData()
+	b.SetBytes(int64(len(dst) * 4))
+	Decode(dst, src)
+	for i := 0; i < b.N; i++ {
+		encodeScalarRef(src, dst)
+	}
+}
+
+func BenchmarkABEncodeBulk(b *testing.B) {
+	src, dst := abData()
+	b.SetBytes(int64(len(dst) * 4))
+	Decode(dst, src)
+	for i := 0; i < b.N; i++ {
+		Encode(src, dst)
+	}
+}

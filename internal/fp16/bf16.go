@@ -41,10 +41,28 @@ func BF16IsInf(h BF16) bool {
 	return h&0x7FFF == 0x7F80
 }
 
+// The BF16 bulk kernels are 8-wide unrolled like their binary16
+// counterparts (see fp16.go): one bounds check per block, eight
+// independent scalar conversions, results bit-identical to the plain
+// loop by construction.
+
 // EncodeBF16 converts src into dst; returns elements converted.
 func EncodeBF16(dst []BF16, src []float32) int {
 	n := min(len(dst), len(src))
-	for i := 0; i < n; i++ {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := dst[i : i+8 : i+8]
+		s := src[i : i+8 : i+8]
+		d[0] = BF16FromFloat32(s[0])
+		d[1] = BF16FromFloat32(s[1])
+		d[2] = BF16FromFloat32(s[2])
+		d[3] = BF16FromFloat32(s[3])
+		d[4] = BF16FromFloat32(s[4])
+		d[5] = BF16FromFloat32(s[5])
+		d[6] = BF16FromFloat32(s[6])
+		d[7] = BF16FromFloat32(s[7])
+	}
+	for ; i < n; i++ {
 		dst[i] = BF16FromFloat32(src[i])
 	}
 	return n
@@ -53,7 +71,20 @@ func EncodeBF16(dst []BF16, src []float32) int {
 // DecodeBF16 converts src into dst; returns elements converted.
 func DecodeBF16(dst []float32, src []BF16) int {
 	n := min(len(dst), len(src))
-	for i := 0; i < n; i++ {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := dst[i : i+8 : i+8]
+		s := src[i : i+8 : i+8]
+		d[0] = BF16ToFloat32(s[0])
+		d[1] = BF16ToFloat32(s[1])
+		d[2] = BF16ToFloat32(s[2])
+		d[3] = BF16ToFloat32(s[3])
+		d[4] = BF16ToFloat32(s[4])
+		d[5] = BF16ToFloat32(s[5])
+		d[6] = BF16ToFloat32(s[6])
+		d[7] = BF16ToFloat32(s[7])
+	}
+	for ; i < n; i++ {
 		dst[i] = BF16ToFloat32(src[i])
 	}
 	return n
@@ -62,7 +93,20 @@ func DecodeBF16(dst []float32, src []BF16) int {
 // DecodeAccumulateBF16 adds the widened values of src into dst.
 func DecodeAccumulateBF16(dst []float32, src []BF16) int {
 	n := min(len(dst), len(src))
-	for i := 0; i < n; i++ {
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := dst[i : i+8 : i+8]
+		s := src[i : i+8 : i+8]
+		d[0] += BF16ToFloat32(s[0])
+		d[1] += BF16ToFloat32(s[1])
+		d[2] += BF16ToFloat32(s[2])
+		d[3] += BF16ToFloat32(s[3])
+		d[4] += BF16ToFloat32(s[4])
+		d[5] += BF16ToFloat32(s[5])
+		d[6] += BF16ToFloat32(s[6])
+		d[7] += BF16ToFloat32(s[7])
+	}
+	for ; i < n; i++ {
 		dst[i] += BF16ToFloat32(src[i])
 	}
 	return n

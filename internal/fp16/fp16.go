@@ -149,24 +149,114 @@ func IsInf(h Bits) bool {
 // MaxFinite returns the largest finite half value as a float32.
 func MaxFinite() float32 { return maxFinite16 }
 
+// The bulk kernels below run over every gradient element every
+// iteration (the H2D re-encode of refreshed parameters, the delayed
+// gradient widening), so they are built from two pieces:
+//
+//   - an *inlinable* fast path (toFloat32Fast / fromFloat32Fast) for the
+//     dominant case — normal halves — because the full scalar
+//     conversions exceed the compiler's inlining budget and would cost a
+//     function call per element;
+//   - 8-wide unrolling with full-slice re-slicing, so the bounds check
+//     is paid once per block and the eight conversions are independent.
+//
+// Values outside the fast range (zeros, subnormals, infinities, NaNs)
+// fall back to the scalar functions, keeping every kernel bit-identical
+// to the element-at-a-time loop — the parity tests pin that across
+// random bit patterns.
+
+// toFloat32Fast widens a *normal* half (exponent in [1,30]) with the
+// contiguous-field rebias: exp/frac sit adjacent in both formats, so
+// (h&0x7FFF)<<13 + (112<<23) re-biases the exponent (15→127) and
+// places the fraction in one add. ok=false for zero/subnormal/Inf/NaN.
+func toFloat32Fast(h Bits) (float32, bool) {
+	u := uint32(h)
+	if e := u & expMask16; e == 0 || e == expMask16 {
+		return 0, false
+	}
+	return math.Float32frombits((u&signMask16)<<16 | ((u&0x7FFF)<<13 + 0x38000000)), true
+}
+
+// fromFloat32Fast narrows an FP32 value whose magnitude lies in the
+// normal-half range [2^-14, 2^16): the adjacent exp/frac fields make
+// rounding one add — 0xFFF plus the round-to-odd bit implements exact
+// round-to-nearest-even on the 13 discarded bits, with the carry
+// propagating into the exponent (and into infinity at the top, which is
+// the correct overflow result). ok=false outside the range — including
+// values just below 2^-14 that might round *up* into it, which the
+// scalar slow path handles identically.
+func fromFloat32Fast(f float32) (Bits, bool) {
+	b := math.Float32bits(f)
+	abs := b & 0x7FFFFFFF
+	if abs-0x38800000 >= 0x47800000-0x38800000 {
+		return 0, false
+	}
+	h := (abs + 0xFFF + (abs>>13)&1 - 0x38000000) >> 13
+	return Bits(uint16(b>>16)&signMask16 | uint16(h)), true
+}
+
 // Encode converts src into dst as binary16. dst must be at least len(src)
 // long; the number of converted elements is returned.
 func Encode(dst []Bits, src []float32) int {
 	n := min(len(dst), len(src))
-	for i := 0; i < n; i++ {
-		dst[i] = FromFloat32(src[i])
-	}
+	encodeRange(dst, src, 0, n)
 	return n
+}
+
+// encodeRange is the 8-wide unrolled encode kernel over [lo,hi).
+func encodeRange(dst []Bits, src []float32, lo, hi int) {
+	i := lo
+	for ; i+8 <= hi; i += 8 {
+		d := dst[i : i+8 : i+8]
+		s := src[i : i+8 : i+8]
+		for j, f := range s {
+			if h, ok := fromFloat32Fast(f); ok {
+				d[j] = h
+			} else {
+				d[j] = FromFloat32(f)
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		if h, ok := fromFloat32Fast(src[i]); ok {
+			dst[i] = h
+		} else {
+			dst[i] = FromFloat32(src[i])
+		}
+	}
 }
 
 // Decode converts src into dst as float32. dst must be at least len(src)
 // long; the number of converted elements is returned.
 func Decode(dst []float32, src []Bits) int {
 	n := min(len(dst), len(src))
-	for i := 0; i < n; i++ {
-		dst[i] = ToFloat32(src[i])
-	}
+	decodeRange(dst, src, 0, n)
 	return n
+}
+
+// decodeRange is the 8-wide unrolled decode kernel over [lo,hi).
+func decodeRange(dst []float32, src []Bits, lo, hi int) {
+	i := lo
+	for ; i+8 <= hi; i += 8 {
+		s := src[i : i+8 : i+8]
+		d := dst[i : i+8 : i+8]
+		_ = d[7]
+		for j := 0; j < 8; j++ {
+			h := s[j]
+			if f, ok := toFloat32Fast(h); ok {
+				d[j] = f
+			} else {
+				d[j] = ToFloat32(h)
+			}
+		}
+	}
+	for ; i < hi; i++ {
+		if f, ok := toFloat32Fast(src[i]); ok {
+			dst[i] = f
+		} else {
+			dst[i] = ToFloat32(src[i])
+		}
+	}
 }
 
 // DecodeAccumulate adds the FP32 widening of src element-wise into dst,
@@ -174,8 +264,24 @@ func Decode(dst []float32, src []Bits) int {
 // are accumulated into an FP32 buffer without a temporary).
 func DecodeAccumulate(dst []float32, src []Bits) int {
 	n := min(len(dst), len(src))
-	for i := 0; i < n; i++ {
-		dst[i] += ToFloat32(src[i])
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := dst[i : i+8 : i+8]
+		s := src[i : i+8 : i+8]
+		for j, h := range s {
+			if f, ok := toFloat32Fast(h); ok {
+				d[j] += f
+			} else {
+				d[j] += ToFloat32(h)
+			}
+		}
+	}
+	for ; i < n; i++ {
+		if f, ok := toFloat32Fast(src[i]); ok {
+			dst[i] += f
+		} else {
+			dst[i] += ToFloat32(src[i])
+		}
 	}
 	return n
 }
@@ -213,9 +319,7 @@ func parallelChunks(n, workers int, fn func(lo, hi int)) {
 func EncodeParallel(dst []Bits, src []float32, workers int) int {
 	n := min(len(dst), len(src))
 	parallelChunks(n, workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = FromFloat32(src[i])
-		}
+		encodeRange(dst, src, lo, hi)
 	})
 	return n
 }
@@ -225,9 +329,7 @@ func EncodeParallel(dst []Bits, src []float32, workers int) int {
 func DecodeParallel(dst []float32, src []Bits, workers int) int {
 	n := min(len(dst), len(src))
 	parallelChunks(n, workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			dst[i] = ToFloat32(src[i])
-		}
+		decodeRange(dst, src, lo, hi)
 	})
 	return n
 }

@@ -195,22 +195,46 @@ func NextUseIndex(order []int) map[int]int {
 type BufferPool struct {
 	bufSize int
 	ch      chan []byte
+	mu      sync.Mutex
+	spare   int // buffers the lazy pool may still create on demand
 }
 
-// NewBufferPool creates a pool of n buffers of bufSize bytes each.
+// NewBufferPool creates a pool of n buffers of bufSize bytes each,
+// allocated eagerly (the DeepNVMe-style pre-pinned staging set).
 func NewBufferPool(n, bufSize int) *BufferPool {
-	if n <= 0 || bufSize <= 0 {
-		panic("hostcache: pool dimensions must be positive")
-	}
-	p := &BufferPool{bufSize: bufSize, ch: make(chan []byte, n)}
+	p := newPool(n, bufSize)
 	for i := 0; i < n; i++ {
 		p.ch <- make([]byte, bufSize)
 	}
 	return p
 }
 
-// Get blocks until a buffer is available.
-func (p *BufferPool) Get() []byte { return <-p.ch }
+// NewBufferPoolLazy creates a pool with the same blocking quota of n
+// buffers, but allocates each buffer on first demand. Use it when the
+// quota covers a worst case (e.g. a host cache large enough to hold the
+// whole shard) that a given run may never reach — the pool then only
+// ever materializes the buffers actually cycled through it.
+func NewBufferPoolLazy(n, bufSize int) *BufferPool {
+	p := newPool(n, bufSize)
+	p.spare = n
+	return p
+}
+
+func newPool(n, bufSize int) *BufferPool {
+	if n <= 0 || bufSize <= 0 {
+		panic("hostcache: pool dimensions must be positive")
+	}
+	return &BufferPool{bufSize: bufSize, ch: make(chan []byte, n)}
+}
+
+// Get blocks until a buffer is available (creating one when the lazy
+// allowance permits).
+func (p *BufferPool) Get() []byte {
+	if b := p.TryGet(); b != nil {
+		return b
+	}
+	return <-p.ch
+}
 
 // TryGet returns a buffer or nil without blocking.
 func (p *BufferPool) TryGet() []byte {
@@ -218,8 +242,20 @@ func (p *BufferPool) TryGet() []byte {
 	case b := <-p.ch:
 		return b
 	default:
+		return p.takeSpare()
+	}
+}
+
+// takeSpare consumes one unit of the lazy allowance, returning a fresh
+// buffer, or nil when the pool is fully materialized.
+func (p *BufferPool) takeSpare() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.spare == 0 {
 		return nil
 	}
+	p.spare--
+	return make([]byte, p.bufSize)
 }
 
 // Put returns a buffer to the pool. Buffers of the wrong size panic —
@@ -235,8 +271,14 @@ func (p *BufferPool) Put(b []byte) {
 	}
 }
 
-// Free returns the number of currently available buffers.
-func (p *BufferPool) Free() int { return len(p.ch) }
+// Free returns the number of currently available buffers (counting the
+// lazy pool's not-yet-created allowance).
+func (p *BufferPool) Free() int {
+	p.mu.Lock()
+	s := p.spare
+	p.mu.Unlock()
+	return len(p.ch) + s
+}
 
 // BufSize returns the size of each pooled buffer.
 func (p *BufferPool) BufSize() int { return p.bufSize }

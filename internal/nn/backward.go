@@ -5,16 +5,21 @@ import "math"
 // backward propagates dLoss through the tape, accumulating parameter
 // gradients into grads. All formulas are the standard closed forms;
 // correctness is pinned by the finite-difference gradient check in the
-// tests.
+// tests. Gradient temporaries come from the instance scratch: the
+// residual-stream gradient ping-pongs between two buffers (dxA holds it
+// at every layer boundary), accumulating buffers are zeroed at their
+// point of use, and layerNormBackwardInto fully overwrites its output.
 func (g *GPT) backward(params []float32, tokens []int, grads []float32, tp *tape) {
 	T := tp.T
 	d := g.Cfg.Dim
 	V := g.Cfg.Vocab
 	L := g.Cfg.Layers
+	sc := &g.sc
 
 	// ---- head: softmax cross-entropy + tied embedding ----
 	// dlogits[t,v] = (probs[t,v] - 1{v=target}) / (T-1)
-	dlnf := make([]float32, T*d)
+	dlnf := sc.dlnf
+	clear(dlnf)
 	invN := float32(1 / float64(T-1))
 	for t := 0; t < T-1; t++ {
 		row := tp.probs[t*V : (t+1)*V]
@@ -44,7 +49,8 @@ func (g *GPT) backward(params []float32, tokens []int, grads []float32, tp *tape
 	if L > 0 {
 		xIn = tp.res2[L-1]
 	}
-	dx := layerNormBackward(dlnf, xIn, params[g.gf:g.gf+d], tp.lnfMean, tp.lnfRstd,
+	dx := sc.dxA
+	layerNormBackwardInto(dx, dlnf, xIn, params[g.gf:g.gf+d], tp.lnfMean, tp.lnfRstd,
 		grads[g.gf:g.gf+d], grads[g.bf:g.bf+d], T, d)
 
 	// ---- blocks in reverse ----
@@ -56,7 +62,8 @@ func (g *GPT) backward(params []float32, tokens []int, grads []float32, tp *tape
 
 		// MLP down: mout = act @ W2 + b2m.
 		act := tp.mlpAct[l]
-		dact := make([]float32, T*4*d)
+		dact := sc.dact
+		clear(dact)
 		linearBackward(dmlpOut, act, params[lo.w2:lo.w2+4*d*d],
 			grads[lo.w2:lo.w2+4*d*d], grads[lo.b2m:lo.b2m+d], dact, T, 4*d, d)
 		// GELU.
@@ -67,11 +74,14 @@ func (g *GPT) backward(params []float32, tokens []int, grads []float32, tp *tape
 		}
 		// MLP up: hidden = ln2 @ W1 + b1m.
 		ln2 := tp.ln2Out[l]
-		dln2 := make([]float32, T*d)
+		dln2 := sc.dln2
+		clear(dln2)
 		linearBackward(dhidden, ln2, params[lo.w1:lo.w1+d*4*d],
 			grads[lo.w1:lo.w1+d*4*d], grads[lo.b1m:lo.b1m+4*d], dln2, T, d, 4*d)
-		// LayerNorm 2 over res1.
-		dres1 := layerNormBackward(dln2, tp.res1[l], params[lo.g2:lo.g2+d],
+		// LayerNorm 2 over res1. dres1 lands in the buffer dx does not
+		// occupy (dx is still read for the residual add below).
+		dres1 := sc.other(dx)
+		layerNormBackwardInto(dres1, dln2, tp.res1[l], params[lo.g2:lo.g2+d],
 			tp.ln2Mean[l], tp.ln2Rstd[l], grads[lo.g2:lo.g2+d], grads[lo.b2:lo.b2+d], T, d)
 		// Add the straight-through residual gradient.
 		for i := range dres1 {
@@ -83,17 +93,20 @@ func (g *GPT) backward(params []float32, tokens []int, grads []float32, tp *tape
 		dattOut := dx
 		// Output projection: att = ctx @ Wo + bo.
 		ctx := tp.attOut[l]
-		dctx := make([]float32, T*d)
+		dctx := sc.dctx
+		clear(dctx)
 		linearBackward(dattOut, ctx, params[lo.wo:lo.wo+d*d],
 			grads[lo.wo:lo.wo+d*d], grads[lo.bo:lo.bo+d], dctx, T, d, d)
 		// Attention core.
-		dq := make([]float32, T*d)
-		dk := make([]float32, T*d)
-		dv := make([]float32, T*d)
+		dq, dk, dv := sc.dq, sc.dk, sc.dv
+		clear(dq)
+		clear(dk)
+		clear(dv)
 		g.attentionBackward(dctx, tp.q[l], tp.k[l], tp.v[l], tp.attProb[l], dq, dk, dv, T)
 		// QKV projections over ln1.
 		ln1 := tp.ln1Out[l]
-		dln1 := make([]float32, T*d)
+		dln1 := sc.dln1
+		clear(dln1)
 		linearBackward(dq, ln1, params[lo.wq:lo.wq+d*d],
 			grads[lo.wq:lo.wq+d*d], grads[lo.bq:lo.bq+d], dln1, T, d, d)
 		linearBackward(dk, ln1, params[lo.wk:lo.wk+d*d],
@@ -105,7 +118,8 @@ func (g *GPT) backward(params []float32, tokens []int, grads []float32, tp *tape
 		if l > 0 {
 			blockIn = tp.res2[l-1]
 		}
-		dblockIn := layerNormBackward(dln1, blockIn, params[lo.g1:lo.g1+d],
+		dblockIn := sc.other(dx)
+		layerNormBackwardInto(dblockIn, dln1, blockIn, params[lo.g1:lo.g1+d],
 			tp.ln1Mean[l], tp.ln1Rstd[l], grads[lo.g1:lo.g1+d], grads[lo.b1:lo.b1+d], T, d)
 		for i := range dblockIn {
 			dblockIn[i] += dx[i]
@@ -125,6 +139,15 @@ func (g *GPT) backward(params []float32, tokens []int, grads []float32, tp *tape
 	}
 }
 
+// other returns the residual-gradient ping-pong buffer dx does not
+// currently occupy.
+func (sc *scratch) other(dx []float32) []float32 {
+	if &dx[0] == &sc.dxA[0] {
+		return sc.dxB
+	}
+	return sc.dxA
+}
+
 // attentionBackward inverts the causal multi-head attention:
 // ctx[t] = sum_s prob[t,s] v[s], prob = softmax(q.k/sqrt(hd)).
 func (g *GPT) attentionBackward(dctx, q, k, v, prob []float32, dq, dk, dv []float32, T int) {
@@ -132,8 +155,8 @@ func (g *GPT) attentionBackward(dctx, q, k, v, prob []float32, dq, dk, dv []floa
 	H := g.Cfg.Heads
 	hd := d / H
 	scale := float32(1 / math.Sqrt(float64(hd)))
-	dprob := make([]float32, T)
-	dscore := make([]float32, T)
+	dprob := g.sc.dprob
+	dscore := g.sc.dscore
 	for h := 0; h < H; h++ {
 		off := h * hd
 		for t := 0; t < T; t++ {
@@ -202,10 +225,9 @@ func linearBackward(dy, x, w, dw, db, dx []float32, T, in, out int) {
 	}
 }
 
-// layerNormBackward inverts y = g*(x-mean)*rstd + b, returning dx and
-// accumulating dg, db.
-func layerNormBackward(dy, x, gain []float32, mean, rstd []float32, dg, db []float32, T, d int) []float32 {
-	dx := make([]float32, T*d)
+// layerNormBackwardInto inverts y = g*(x-mean)*rstd + b, writing dx into
+// the caller's buffer (fully overwritten) and accumulating dg, db.
+func layerNormBackwardInto(dx, dy, x, gain []float32, mean, rstd []float32, dg, db []float32, T, d int) {
 	for t := 0; t < T; t++ {
 		m := float64(mean[t])
 		r := float64(rstd[t])
@@ -230,5 +252,4 @@ func layerNormBackward(dy, x, gain []float32, mean, rstd []float32, dg, db []flo
 			dxr[i] = float32(r * (dxh - s1 - xh*s2))
 		}
 	}
-	return dx
 }

@@ -5,6 +5,9 @@ import "math"
 const lnEps = 1e-5
 
 // forward runs the model and returns the tape and mean cross-entropy.
+// All working buffers come from the instance scratch (see GPT doc):
+// nothing is allocated per call, and every buffer is either fully
+// overwritten here or zeroed at its point of use.
 func (g *GPT) forward(params []float32, tokens []int) (*tape, float64, error) {
 	T, err := g.checkTokens(tokens)
 	if err != nil {
@@ -12,75 +15,68 @@ func (g *GPT) forward(params []float32, tokens []int) (*tape, float64, error) {
 	}
 	d := g.Cfg.Dim
 	L := g.Cfg.Layers
-	tp := &tape{T: T}
+	tp := g.ensure(T)
 
 	// Embedding.
-	tp.x = make([]float32, T*d)
 	for t := 0; t < T; t++ {
 		we := g.wte + tokens[t]*d
 		pe := g.wpe + t*d
+		row := tp.x[t*d : (t+1)*d]
 		for i := 0; i < d; i++ {
-			tp.x[t*d+i] = params[we+i] + params[pe+i]
+			row[i] = params[we+i] + params[pe+i]
 		}
 	}
 
-	x := append([]float32(nil), tp.x...)
+	x := g.sc.xwork
+	copy(x, tp.x)
 	for l := 0; l < L; l++ {
 		lo := g.layers[l]
 
-		ln1, m1, r1 := layerNorm(x, params[lo.g1:lo.g1+d], params[lo.b1:lo.b1+d], T, d)
-		tp.ln1Out = append(tp.ln1Out, ln1)
-		tp.ln1Mean = append(tp.ln1Mean, m1)
-		tp.ln1Rstd = append(tp.ln1Rstd, r1)
+		layerNormInto(tp.ln1Out[l], tp.ln1Mean[l], tp.ln1Rstd[l],
+			x, params[lo.g1:lo.g1+d], params[lo.b1:lo.b1+d], T, d)
+		ln1 := tp.ln1Out[l]
 
-		q := linear(ln1, params[lo.wq:lo.wq+d*d], params[lo.bq:lo.bq+d], T, d, d)
-		k := linear(ln1, params[lo.wk:lo.wk+d*d], params[lo.bk:lo.bk+d], T, d, d)
-		v := linear(ln1, params[lo.wv:lo.wv+d*d], params[lo.bv:lo.bv+d], T, d, d)
-		tp.q = append(tp.q, q)
-		tp.k = append(tp.k, k)
-		tp.v = append(tp.v, v)
+		linearInto(tp.q[l], ln1, params[lo.wq:lo.wq+d*d], params[lo.bq:lo.bq+d], T, d, d)
+		linearInto(tp.k[l], ln1, params[lo.wk:lo.wk+d*d], params[lo.bk:lo.bk+d], T, d, d)
+		linearInto(tp.v[l], ln1, params[lo.wv:lo.wv+d*d], params[lo.bv:lo.bv+d], T, d, d)
 
-		ctx, prob := g.attention(q, k, v, T)
-		tp.attProb = append(tp.attProb, prob)
+		// attOut stores the attention *context* (pre-projection), which
+		// is what the backward pass needs.
+		g.attentionInto(tp.attOut[l], tp.attProb[l], tp.q[l], tp.k[l], tp.v[l], T)
 
-		att := linear(ctx, params[lo.wo:lo.wo+d*d], params[lo.bo:lo.bo+d], T, d, d)
-		tp.attOut = append(tp.attOut, ctx)
-
+		// The projected attention output is only ever added into the
+		// residual stream, so it stages through a transient branch
+		// buffer rather than the tape.
+		att := g.sc.branch
+		linearInto(att, tp.attOut[l], params[lo.wo:lo.wo+d*d], params[lo.bo:lo.bo+d], T, d, d)
 		for i := range x {
 			x[i] += att[i]
 		}
-		res1 := append([]float32(nil), x...)
-		tp.res1 = append(tp.res1, res1)
+		copy(tp.res1[l], x)
 
-		ln2, m2, r2 := layerNorm(x, params[lo.g2:lo.g2+d], params[lo.b2:lo.b2+d], T, d)
-		tp.ln2Out = append(tp.ln2Out, ln2)
-		tp.ln2Mean = append(tp.ln2Mean, m2)
-		tp.ln2Rstd = append(tp.ln2Rstd, r2)
+		layerNormInto(tp.ln2Out[l], tp.ln2Mean[l], tp.ln2Rstd[l],
+			x, params[lo.g2:lo.g2+d], params[lo.b2:lo.b2+d], T, d)
 
-		hidden := linear(ln2, params[lo.w1:lo.w1+d*4*d], params[lo.b1m:lo.b1m+4*d], T, d, 4*d)
-		tp.mlpHidden = append(tp.mlpHidden, hidden)
-		act := make([]float32, len(hidden))
+		linearInto(tp.mlpHidden[l], tp.ln2Out[l], params[lo.w1:lo.w1+d*4*d], params[lo.b1m:lo.b1m+4*d], T, d, 4*d)
+		hidden := tp.mlpHidden[l]
+		act := tp.mlpAct[l]
 		for i, h := range hidden {
 			act[i] = gelu(h)
 		}
-		tp.mlpAct = append(tp.mlpAct, act)
-		mout := linear(act, params[lo.w2:lo.w2+4*d*d], params[lo.b2m:lo.b2m+d], T, 4*d, d)
-
+		mout := g.sc.branch
+		linearInto(mout, act, params[lo.w2:lo.w2+4*d*d], params[lo.b2m:lo.b2m+d], T, 4*d, d)
 		for i := range x {
 			x[i] += mout[i]
 		}
-		res2 := append([]float32(nil), x...)
-		tp.res2 = append(tp.res2, res2)
+		copy(tp.res2[l], x)
 	}
 
-	lnf, mf, rf := layerNorm(x, params[g.gf:g.gf+d], params[g.bf:g.bf+d], T, d)
-	tp.lnfOut = lnf
-	tp.lnfMean = mf
-	tp.lnfRstd = rf
+	layerNormInto(tp.lnfOut, tp.lnfMean, tp.lnfRstd,
+		x, params[g.gf:g.gf+d], params[g.bf:g.bf+d], T, d)
+	lnf := tp.lnfOut
 
 	// Tied output head + softmax cross-entropy on next-token targets.
 	V := g.Cfg.Vocab
-	tp.probs = make([]float32, T*V)
 	loss := 0.0
 	n := 0
 	for t := 0; t < T-1; t++ {
@@ -109,16 +105,17 @@ func (g *GPT) forward(params []float32, tokens []int) (*tape, float64, error) {
 	return tp, loss / float64(n), nil
 }
 
-// attention computes causal multi-head attention. Returns the context
-// (T*D) and the attention probabilities (heads*T*T) for the tape.
-func (g *GPT) attention(q, k, v []float32, T int) (ctx, prob []float32) {
+// attentionInto computes causal multi-head attention into ctx (T*D) and
+// the attention probabilities into prob (heads*T*T), both scratch
+// buffers: ctx accumulates and is zeroed here; prob rows are written
+// for exactly the causal range the backward pass reads.
+func (g *GPT) attentionInto(ctx, prob, q, k, v []float32, T int) {
 	d := g.Cfg.Dim
 	H := g.Cfg.Heads
 	hd := d / H
 	scale := float32(1 / math.Sqrt(float64(hd)))
-	ctx = make([]float32, T*d)
-	prob = make([]float32, H*T*T)
-	scores := make([]float64, T)
+	clear(ctx)
+	scores := g.sc.scores
 	for h := 0; h < H; h++ {
 		off := h * hd
 		for t := 0; t < T; t++ {
@@ -149,15 +146,12 @@ func (g *GPT) attention(q, k, v []float32, T int) (ctx, prob []float32) {
 			}
 		}
 	}
-	return ctx, prob
 }
 
-// layerNorm normalizes each row of x (T rows of width d) and applies
-// gain/bias. Returns output, per-row means and reciprocal stddevs.
-func layerNorm(x, g, b []float32, T, d int) (out, mean, rstd []float32) {
-	out = make([]float32, T*d)
-	mean = make([]float32, T)
-	rstd = make([]float32, T)
+// layerNormInto normalizes each row of x (T rows of width d) and applies
+// gain/bias, writing output, per-row means and reciprocal stddevs into
+// the caller's buffers (fully overwritten).
+func layerNormInto(out, mean, rstd, x, g, b []float32, T, d int) {
 	for t := 0; t < T; t++ {
 		row := x[t*d : (t+1)*d]
 		var m float64
@@ -180,12 +174,11 @@ func layerNorm(x, g, b []float32, T, d int) (out, mean, rstd []float32) {
 			o[i] = float32(xh)*g[i] + b[i]
 		}
 	}
-	return out, mean, rstd
 }
 
-// linear computes y = x@W + b with x (T*in), W (in*out, row-major), b (out).
-func linear(x, w, b []float32, T, in, out int) []float32 {
-	y := make([]float32, T*out)
+// linearInto computes y = x@W + b with x (T*in), W (in*out, row-major),
+// b (out), writing into y (fully overwritten).
+func linearInto(y, x, w, b []float32, T, in, out int) {
 	for t := 0; t < T; t++ {
 		xr := x[t*in : (t+1)*in]
 		yr := y[t*out : (t+1)*out]
@@ -201,7 +194,6 @@ func linear(x, w, b []float32, T, in, out int) []float32 {
 			}
 		}
 	}
-	return y
 }
 
 func dot(a, b []float32) float32 {

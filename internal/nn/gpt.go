@@ -49,6 +49,13 @@ type layerOffsets struct {
 
 // GPT is the model: configuration plus the parameter layout. Parameters
 // themselves live in a caller-owned flat slice.
+//
+// Each instance owns one set of forward/backward scratch buffers
+// (activations, tape, gradient temporaries), lazily sized on first use
+// and reused across steps — a training loop allocates nothing per
+// iteration. A GPT is therefore NOT safe for concurrent Loss/Backward
+// calls; give each goroutine its own instance (the layout computation
+// is cheap and parameters are caller-owned either way).
 type GPT struct {
 	Cfg    GPTConfig
 	wte    int // vocab embedding (V*D); also the tied output head
@@ -56,6 +63,8 @@ type GPT struct {
 	layers []layerOffsets
 	gf, bf int // final layernorm
 	total  int
+
+	sc scratch // reused forward/backward working set
 }
 
 // NewGPT computes the parameter layout.
@@ -152,7 +161,8 @@ func (g *GPT) Init(params []float32, seed int64) error {
 
 // ---- forward/backward working set ----
 
-// tape stores the activations one forward pass needs for backward.
+// tape stores the activations one forward pass needs for backward. Its
+// buffers live in the GPT's scratch and are reused across steps.
 type tape struct {
 	T int       // sequence length used
 	x []float32 // embedded input (T*D), pre-block
@@ -165,6 +175,138 @@ type tape struct {
 	res2                     []([]float32) // x after MLP residual
 	lnfOut, lnfMean, lnfRstd []float32
 	probs                    []float32 // softmax over logits (T*V)
+}
+
+// scratch is the per-instance working set: the forward tape plus every
+// temporary the passes previously allocated per call. ensure sizes it
+// for a sequence length; buffers that accumulate are zeroed at their
+// point of use, full-overwrite buffers are reused as-is.
+type scratch struct {
+	T  int // sequence length the buffers are sized for
+	tp tape
+
+	xwork  []float32 // forward residual-stream working copy (T*D)
+	branch []float32 // forward branch output staging (T*D)
+	scores []float64 // attention softmax row (T)
+
+	// Backward temporaries. dxA/dxB ping-pong as the residual-stream
+	// gradient: at every layer boundary the live dx sits in dxA.
+	dlnf          []float32 // T*D
+	dxA, dxB      []float32 // T*D
+	dact          []float32 // T*4D (doubles as dhidden)
+	dln2          []float32 // T*D
+	dctx          []float32 // T*D
+	dq, dk, dv    []float32 // T*D
+	dln1          []float32 // T*D
+	dprob, dscore []float32 // T
+}
+
+// ensure (re)sizes the scratch for sequence length T. Growth is
+// monotone: a shorter sequence reuses the larger buffers, re-sliced.
+func (g *GPT) ensure(T int) *tape {
+	sc := &g.sc
+	d := g.Cfg.Dim
+	L := g.Cfg.Layers
+	V := g.Cfg.Vocab
+	H := g.Cfg.Heads
+	if sc.T >= T {
+		sc.reslice(T, d, L, V, H)
+		return &sc.tp
+	}
+	sc.T = T
+	tp := &sc.tp
+	tp.x = make([]float32, T*d)
+	alloc2 := func(dst *[][]float32, per int) {
+		s := make([][]float32, L)
+		for l := range s {
+			s[l] = make([]float32, per)
+		}
+		*dst = s
+	}
+	alloc2(&tp.ln1Out, T*d)
+	alloc2(&tp.ln1Mean, T)
+	alloc2(&tp.ln1Rstd, T)
+	alloc2(&tp.q, T*d)
+	alloc2(&tp.k, T*d)
+	alloc2(&tp.v, T*d)
+	alloc2(&tp.attOut, T*d)
+	alloc2(&tp.attProb, H*T*T)
+	alloc2(&tp.res1, T*d)
+	alloc2(&tp.ln2Out, T*d)
+	alloc2(&tp.ln2Mean, T)
+	alloc2(&tp.ln2Rstd, T)
+	alloc2(&tp.mlpHidden, T*4*d)
+	alloc2(&tp.mlpAct, T*4*d)
+	alloc2(&tp.res2, T*d)
+	tp.lnfOut = make([]float32, T*d)
+	tp.lnfMean = make([]float32, T)
+	tp.lnfRstd = make([]float32, T)
+	tp.probs = make([]float32, T*V)
+
+	sc.xwork = make([]float32, T*d)
+	sc.branch = make([]float32, T*d)
+	sc.scores = make([]float64, T)
+	sc.dlnf = make([]float32, T*d)
+	sc.dxA = make([]float32, T*d)
+	sc.dxB = make([]float32, T*d)
+	sc.dact = make([]float32, T*4*d)
+	sc.dln2 = make([]float32, T*d)
+	sc.dctx = make([]float32, T*d)
+	sc.dq = make([]float32, T*d)
+	sc.dk = make([]float32, T*d)
+	sc.dv = make([]float32, T*d)
+	sc.dln1 = make([]float32, T*d)
+	sc.dprob = make([]float32, T)
+	sc.dscore = make([]float32, T)
+	sc.reslice(T, d, L, V, H)
+	return tp
+}
+
+// reslice trims every buffer to the lengths sequence length T needs
+// (capacity may be larger after a longer earlier sequence).
+func (sc *scratch) reslice(T, d, L, V, H int) {
+	tp := &sc.tp
+	tp.T = T
+	tp.x = tp.x[:T*d]
+	cut := func(s [][]float32, per int) {
+		for l := range s {
+			s[l] = s[l][:per]
+		}
+	}
+	cut(tp.ln1Out, T*d)
+	cut(tp.ln1Mean, T)
+	cut(tp.ln1Rstd, T)
+	cut(tp.q, T*d)
+	cut(tp.k, T*d)
+	cut(tp.v, T*d)
+	cut(tp.attOut, T*d)
+	cut(tp.attProb, H*T*T)
+	cut(tp.res1, T*d)
+	cut(tp.ln2Out, T*d)
+	cut(tp.ln2Mean, T)
+	cut(tp.ln2Rstd, T)
+	cut(tp.mlpHidden, T*4*d)
+	cut(tp.mlpAct, T*4*d)
+	cut(tp.res2, T*d)
+	tp.lnfOut = tp.lnfOut[:T*d]
+	tp.lnfMean = tp.lnfMean[:T]
+	tp.lnfRstd = tp.lnfRstd[:T]
+	tp.probs = tp.probs[:T*V]
+	sc.xwork = sc.xwork[:T*d]
+	sc.branch = sc.branch[:T*d]
+	sc.scores = sc.scores[:T]
+	sc.dlnf = sc.dlnf[:T*d]
+	sc.dxA = sc.dxA[:T*d]
+	sc.dxB = sc.dxB[:T*d]
+	sc.dact = sc.dact[:T*4*d]
+	sc.dln2 = sc.dln2[:T*d]
+	sc.dctx = sc.dctx[:T*d]
+	sc.dq = sc.dq[:T*d]
+	sc.dk = sc.dk[:T*d]
+	sc.dv = sc.dv[:T*d]
+	sc.dln1 = sc.dln1[:T*d]
+	sc.dprob = sc.dprob[:T]
+	sc.dscore = sc.dscore[:T]
 }
 
 // Loss runs the forward pass and returns the mean next-token

@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScratchReuseMatchesFresh runs the same sequence through one
+// reused instance and through fresh instances, with an interleaved
+// shorter sequence to dirty the scratch: losses and gradients must be
+// bit-identical (scratch reuse may not leak state between steps).
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	cfg := GPTConfig{Vocab: 11, Seq: 9, Dim: 12, Heads: 3, Layers: 2}
+	reused, err := NewGPT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float32, reused.ParamCount())
+	if err := reused.Init(params, 7); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	mkTokens := func(n int) []int {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = rng.Intn(cfg.Vocab)
+		}
+		return out
+	}
+
+	seqs := [][]int{mkTokens(9), mkTokens(4), mkTokens(9), mkTokens(2), mkTokens(7)}
+	for step, tokens := range seqs {
+		fresh, err := NewGPT(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr := make([]float32, len(params))
+		gf := make([]float32, len(params))
+		lr, err := reused.Backward(params, tokens, gr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lf, err := fresh.Backward(params, tokens, gf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lr != lf {
+			t.Fatalf("step %d: loss %v (reused) != %v (fresh)", step, lr, lf)
+		}
+		for i := range gr {
+			if gr[i] != gf[i] {
+				t.Fatalf("step %d: grad[%d] %v != %v", step, i, gr[i], gf[i])
+			}
+		}
+	}
+}
+
+// TestBackwardSteadyStateAllocs pins the satellite claim: after warmup,
+// a forward+backward step allocates nothing.
+func TestBackwardSteadyStateAllocs(t *testing.T) {
+	g, err := NewGPT(GPTConfig{Vocab: 11, Seq: 8, Dim: 12, Heads: 3, Layers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float32, g.ParamCount())
+	if err := g.Init(params, 3); err != nil {
+		t.Fatal(err)
+	}
+	grads := make([]float32, len(params))
+	tokens := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := g.Backward(params, tokens, grads); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := g.Backward(params, tokens, grads); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Backward allocates %v objects/step, want 0", allocs)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -21,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/datastates/mlpoffload/internal/bufpool"
 	"github.com/datastates/mlpoffload/internal/ratelimit"
 )
 
@@ -117,78 +119,106 @@ func (s *statsCell) snapshot() Stats {
 }
 
 // MemTier is an in-memory Tier.
+//
+// Allocation discipline: stored buffers come from internal/bufpool and
+// are recycled when a Write replaces them or a Delete removes them, so a
+// steady-state training loop over a MemTier allocates nothing per
+// operation. Two rules make that safe: all copies in and out of stored
+// buffers happen *under the lock* (the lock, not buffer freshness, is
+// what makes concurrent same-key operations atomic), and a buffer that
+// Copy has aliased under a second key is marked shared and never
+// recycled — it is released to the garbage collector instead.
 type MemTier struct {
 	name string
 	mu   sync.RWMutex
-	data map[string][]byte
+	data map[string]memObj
 	statsCell
+}
+
+// memObj is one stored object. shared marks buffers aliased under more
+// than one key by Copy; they are never returned to the buffer pool.
+type memObj struct {
+	data   []byte
+	shared bool
 }
 
 // NewMemTier creates an empty in-memory tier.
 func NewMemTier(name string) *MemTier {
-	return &MemTier{name: name, data: make(map[string][]byte)}
+	return &MemTier{name: name, data: make(map[string]memObj)}
 }
 
 // Name implements Tier.
 func (m *MemTier) Name() string { return m.name }
 
-// Read implements Tier.
+// Read implements Tier. The copy-out happens under the read lock:
+// concurrent reads proceed in parallel while a same-key Write (which
+// replaces and may recycle the buffer under the write lock) is excluded
+// until the copy completes — the atomicity the Tier contract requires.
 func (m *MemTier) Read(ctx context.Context, key string, dst []byte) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	m.mu.RLock()
 	obj, ok := m.data[key]
-	m.mu.RUnlock()
 	if !ok {
+		m.mu.RUnlock()
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, m.name, key)
 	}
-	if len(obj) != len(dst) {
-		return fmt.Errorf("storage: %s/%s size %d != dst %d", m.name, key, len(obj), len(dst))
+	if len(obj.data) != len(dst) {
+		m.mu.RUnlock()
+		return fmt.Errorf("storage: %s/%s size %d != dst %d", m.name, key, len(obj.data), len(dst))
 	}
-	copy(dst, obj)
+	copy(dst, obj.data)
+	m.mu.RUnlock()
 	m.addRead(int64(len(dst)))
 	return nil
 }
 
-// Write implements Tier.
+// Write implements Tier. The buffer a Write replaces is recycled into
+// the shared pool unless Copy aliased it under another key.
 func (m *MemTier) Write(ctx context.Context, key string, src []byte) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	buf := make([]byte, len(src))
+	buf := bufpool.Get(len(src))
 	copy(buf, src)
 	m.mu.Lock()
-	m.data[key] = buf
+	if old, ok := m.data[key]; ok && !old.shared {
+		bufpool.Put(old.data)
+	}
+	m.data[key] = memObj{data: buf}
 	m.mu.Unlock()
 	m.addWrite(int64(len(src)))
 	return nil
 }
 
-// ReadObject implements ObjectReader. The returned copy is always one
-// complete previously written object because MemTier never mutates a
-// stored buffer (Write publishes a fresh buffer, Read copies out — the
-// same invariant Copy's aliasing relies on); the lock only guards the
-// map lookup.
+// ReadObject implements ObjectReader: the returned buffer is one
+// complete previously written object, copied out under the read lock
+// (see Read). It is caller-owned pooled memory — recycling it with
+// bufpool.Put when done closes the allocation loop, dropping it is
+// equally correct.
 func (m *MemTier) ReadObject(ctx context.Context, key string) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	m.mu.RLock()
 	obj, ok := m.data[key]
-	m.mu.RUnlock()
 	if !ok {
+		m.mu.RUnlock()
 		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, m.name, key)
 	}
-	out := make([]byte, len(obj))
-	copy(out, obj)
+	out := bufpool.Get(len(obj.data))
+	copy(out, obj.data)
+	m.mu.RUnlock()
 	m.addRead(int64(len(out)))
 	return out, nil
 }
 
 // Copy implements Copier by aliasing the stored buffer under the new
-// key: MemTier never mutates stored buffers (Write replaces, Read copies
-// out), so sharing is safe and the copy moves no bytes.
+// key: MemTier never mutates stored buffers in place (Write replaces),
+// so sharing is safe and the copy moves no bytes. Both entries are
+// marked shared, which permanently exempts the buffer from pool
+// recycling (the object graph, not the pool, then owns it).
 func (m *MemTier) Copy(ctx context.Context, srcKey, dstKey string) error {
 	if err := ctx.Err(); err != nil {
 		return err
@@ -199,7 +229,12 @@ func (m *MemTier) Copy(ctx context.Context, srcKey, dstKey string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s/%s", ErrNotFound, m.name, srcKey)
 	}
-	m.data[dstKey] = obj
+	obj.shared = true
+	m.data[srcKey] = obj
+	if old, ok := m.data[dstKey]; ok && !old.shared {
+		bufpool.Put(old.data)
+	}
+	m.data[dstKey] = memObj{data: obj.data, shared: true}
 	return nil
 }
 
@@ -209,6 +244,9 @@ func (m *MemTier) Delete(ctx context.Context, key string) error {
 		return err
 	}
 	m.mu.Lock()
+	if old, ok := m.data[key]; ok && !old.shared {
+		bufpool.Put(old.data)
+	}
 	delete(m.data, key)
 	m.mu.Unlock()
 	return nil
@@ -225,7 +263,7 @@ func (m *MemTier) Size(ctx context.Context, key string) (int64, error) {
 	if !ok {
 		return 0, fmt.Errorf("%w: %s/%s", ErrNotFound, m.name, key)
 	}
-	return int64(len(obj)), nil
+	return int64(len(obj.data)), nil
 }
 
 // Keys implements Tier.
@@ -296,20 +334,31 @@ func (f *FileTier) Read(ctx context.Context, key string, dst []byte) error {
 	return nil
 }
 
-// ReadObject implements ObjectReader. os.ReadFile holds one file
-// descriptor for the whole read, and Write replaces objects via rename,
+// ReadObject implements ObjectReader. One file descriptor serves the
+// size probe and the whole read, and Write replaces objects via rename,
 // so a concurrent writer can never make this observe a torn object: the
-// opened inode stays the complete previous version.
+// opened inode stays the complete previous version. The returned buffer
+// is caller-owned pooled memory (see MemTier.ReadObject).
 func (f *FileTier) ReadObject(ctx context.Context, key string) ([]byte, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(f.path(key))
+	fh, err := os.Open(f.path(key))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, f.name, key)
 		}
 		return nil, err
+	}
+	defer fh.Close()
+	st, err := fh.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data := bufpool.Get(int(st.Size()))
+	if _, err := io.ReadFull(fh, data); err != nil {
+		bufpool.Put(data)
+		return nil, fmt.Errorf("storage: read %s/%s: %w", f.name, key, err)
 	}
 	f.addRead(int64(len(data)))
 	return data, nil

@@ -3,6 +3,8 @@ package storage
 import (
 	"context"
 	"sync/atomic"
+
+	"github.com/datastates/mlpoffload/internal/bufpool"
 )
 
 // Wire-byte accounting.
@@ -72,7 +74,8 @@ type ObjectReader interface {
 // the tier supports it, otherwise via Size followed by Read. The
 // fallback is not atomic against concurrent same-key writes; callers
 // needing that ordering must provide it themselves (the engine always
-// orders a refetch after its flush).
+// orders a refetch after its flush). The returned buffer is caller-owned
+// pooled memory — recycle with bufpool.Put when done, or drop it.
 func ReadWholeObject(ctx context.Context, t Tier, key string) ([]byte, error) {
 	if or, ok := t.(ObjectReader); ok {
 		return or.ReadObject(ctx, key)
@@ -81,8 +84,9 @@ func ReadWholeObject(ctx context.Context, t Tier, key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	buf := make([]byte, size)
+	buf := bufpool.Get(int(size))
 	if err := t.Read(ctx, key, buf); err != nil {
+		bufpool.Put(buf)
 		return nil, err
 	}
 	return buf, nil

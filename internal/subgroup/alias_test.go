@@ -1,0 +1,249 @@
+package subgroup
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+	"unsafe"
+
+	"github.com/datastates/mlpoffload/internal/f32view"
+)
+
+// fillState writes a deterministic, bit-diverse pattern into a
+// subgroup's state.
+func fillState(sg *Subgroup, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range sg.State.Params {
+		sg.State.Params[i] = float32(rng.NormFloat64())
+		sg.State.M[i] = float32(rng.NormFloat64()) * 1e-3
+		sg.State.V[i] = float32(rng.Float64()) * 1e-6
+	}
+}
+
+func marshaled(t *testing.T, n int, seed int64) (*Subgroup, []byte) {
+	t.Helper()
+	sg := New(3, n)
+	fillState(sg, seed)
+	buf := make([]byte, StateBytes(n))
+	if _, err := sg.Marshal(buf, false); err != nil {
+		t.Fatal(err)
+	}
+	return sg, buf
+}
+
+// TestMapStateAliases proves the zero-copy contract: the mapped State
+// reads the serialized values, writes through it land in the buffer,
+// and every slice stays inside the object bounds.
+func TestMapStateAliases(t *testing.T) {
+	if !f32view.NativeLittleEndian() {
+		t.Skip("zero-copy views disabled on big-endian hosts")
+	}
+	const n = 137
+	src, buf := marshaled(t, n, 7)
+	if !f32view.Aligned(buf) {
+		t.Skip("allocator returned unaligned buffer")
+	}
+
+	sg := New(3, n)
+	aliased, err := sg.MapState(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aliased {
+		t.Fatal("aligned little-endian buffer should alias")
+	}
+	for i := 0; i < n; i++ {
+		if sg.State.Params[i] != src.State.Params[i] ||
+			sg.State.M[i] != src.State.M[i] ||
+			sg.State.V[i] != src.State.V[i] {
+			t.Fatalf("mapped state differs at %d", i)
+		}
+	}
+
+	// In-place write must be visible in the serialized bytes.
+	sg.State.V[n-1] = 123.5
+	off := HeaderSize + 4*(2*n) + 4*(n-1)
+	if got := math.Float32frombits(binary.LittleEndian.Uint32(buf[off:])); got != 123.5 {
+		t.Fatalf("write through mapped state not in buffer: %v", got)
+	}
+
+	// Bounds: all three sections inside buf.
+	lo := uintptr(unsafe.Pointer(&buf[0]))
+	hi := lo + uintptr(len(buf))
+	for _, s := range [][]float32{sg.State.Params, sg.State.M, sg.State.V} {
+		slo := uintptr(unsafe.Pointer(&s[0]))
+		shi := slo + uintptr(len(s))*4
+		if slo < lo || shi > hi {
+			t.Fatalf("aliased slice [%x,%x) escapes buffer [%x,%x)", slo, shi, lo, hi)
+		}
+		if cap(s) != n {
+			t.Fatalf("aliased slice cap %d > n %d: append could cross sections", cap(s), n)
+		}
+	}
+
+	// The buffer must still Unmarshal identically after in-place edits
+	// (the aliasing invariant: buf IS the serialized form).
+	chk := New(3, n)
+	if err := chk.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	if chk.State.V[n-1] != 123.5 {
+		t.Fatal("serialized form did not track in-place update")
+	}
+}
+
+// TestMapStateFallback: a misaligned buffer must refuse to alias and
+// the Unmarshal fallback must produce identical values — the
+// alignment-fallback parity the engine relies on.
+func TestMapStateFallback(t *testing.T) {
+	const n = 64
+	src, buf := marshaled(t, n, 8)
+
+	raw := make([]byte, len(buf)+1)
+	shifted := raw[1:]
+	if f32view.Aligned(shifted[HeaderSize:]) {
+		shifted = raw[:len(buf)]
+	}
+	copy(shifted, buf)
+
+	sg := New(3, n)
+	sg.State = nil // offloaded, as in the engine's fetch path
+	aliased, err := sg.MapState(shifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aliased && f32view.NativeLittleEndian() {
+		t.Fatal("misaligned payload must not alias")
+	}
+	if sg.State != nil {
+		t.Fatal("failed MapState must leave the subgroup untouched")
+	}
+	if err := sg.Unmarshal(shifted); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if sg.State.Params[i] != src.State.Params[i] ||
+			sg.State.M[i] != src.State.M[i] ||
+			sg.State.V[i] != src.State.V[i] {
+			t.Fatalf("fallback state differs at %d", i)
+		}
+	}
+}
+
+// TestMapStateRejectsGrads: objects carrying FP32 gradients fall back
+// (the in-place layout maps only Params/M/V).
+func TestMapStateRejectsGrads(t *testing.T) {
+	const n = 16
+	sg := New(3, n)
+	fillState(sg, 9)
+	sg.EnsureGrads32()
+	buf := make([]byte, StateGradBytes(n))
+	if _, err := sg.Marshal(buf, true); err != nil {
+		t.Fatal(err)
+	}
+	m := New(3, n)
+	aliased, err := m.MapState(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aliased {
+		t.Fatal("grads object must not alias")
+	}
+}
+
+func TestReadParams(t *testing.T) {
+	const n = 97
+	src, buf := marshaled(t, n, 10)
+	sg := New(3, n)
+	dst := make([]float32, n)
+	if err := sg.ReadParams(dst, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if dst[i] != src.State.Params[i] {
+			t.Fatalf("params differ at %d", i)
+		}
+	}
+	if err := sg.ReadParams(dst[:n-1], buf); err == nil {
+		t.Fatal("short dst must error")
+	}
+	bad := append([]byte(nil), buf...)
+	bad[0] ^= 0xFF
+	if err := sg.ReadParams(dst, bad); err == nil {
+		t.Fatal("corrupt magic must error")
+	}
+}
+
+func TestUnmarshalAllocatesNilState(t *testing.T) {
+	const n = 33
+	src, buf := marshaled(t, n, 11)
+	sg := New(3, n)
+	sg.State = nil
+	if err := sg.Unmarshal(buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if sg.State.Params[i] != src.State.Params[i] {
+			t.Fatalf("params differ at %d", i)
+		}
+	}
+}
+
+// FuzzMapState feeds arbitrary (mostly corrupted) serialized objects to
+// MapState and Unmarshal. The property under test: a corrupt header
+// must surface as an error or a clean fallback — never a panic, and
+// never aliased slices that extend beyond the input buffer.
+func FuzzMapState(f *testing.F) {
+	const n = 24
+	sg := New(3, n)
+	fillState(sg, 12)
+	valid := make([]byte, StateBytes(n))
+	if _, err := sg.Marshal(valid, false); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:HeaderSize])
+	f.Add([]byte{})
+	// Seeds with a corrupted count, ID and flags field.
+	for _, off := range []int{0, 4, 6, 8, 12} {
+		c := append([]byte(nil), valid...)
+		c[off] ^= 0xFF
+		f.Add(c)
+	}
+	// Oversized count with truncated body.
+	big := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(big[12:], 1<<30)
+	f.Add(big)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sg := New(3, n)
+		sg.State = nil // offloaded, as in the engine's fetch path
+		aliased, err := sg.MapState(data)
+		if err != nil {
+			if sg.State != nil {
+				t.Fatal("error must leave subgroup untouched")
+			}
+			return
+		}
+		if !aliased {
+			// Clean fallback; Unmarshal must agree the object is
+			// structurally valid (grads flag) or reject it.
+			_ = sg.Unmarshal(data)
+			return
+		}
+		// Aliased: every slice must lie inside data.
+		lo := uintptr(unsafe.Pointer(&data[0]))
+		hi := lo + uintptr(len(data))
+		for _, s := range [][]float32{sg.State.Params, sg.State.M, sg.State.V} {
+			if len(s) != n {
+				t.Fatalf("aliased slice len %d != %d", len(s), n)
+			}
+			slo := uintptr(unsafe.Pointer(&s[0]))
+			shi := slo + uintptr(len(s))*4
+			if slo < lo || shi > hi {
+				t.Fatalf("aliased slice [%x,%x) escapes input [%x,%x)", slo, shi, lo, hi)
+			}
+		}
+	})
+}

@@ -15,8 +15,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"math"
 
+	"github.com/datastates/mlpoffload/internal/f32view"
 	"github.com/datastates/mlpoffload/internal/fp16"
 	"github.com/datastates/mlpoffload/internal/optim"
 )
@@ -52,6 +52,15 @@ type Subgroup struct {
 	// Grads32 is the upscaled FP32 gradient buffer used by the baseline
 	// path (populated during backward, serialized to storage).
 	Grads32 []float32
+	// Backing, when non-nil, is the pooled serialized buffer that
+	// State's slices currently alias: MapState adopted a fetched object
+	// zero-copy, so Backing[:StateBytes(Len())] *is* the live serialized
+	// form of the state at all times (the header is untouched and the
+	// payload sections are the State slices themselves). The engine owns
+	// the lifecycle — it sets Backing on adoption and returns the buffer
+	// to its pool only after the state has been flushed back or
+	// discarded; other packages must treat the field as opaque.
+	Backing []byte
 }
 
 // New creates a subgroup with n zero-initialized parameters.
@@ -126,35 +135,61 @@ func (s *Subgroup) Marshal(dst []byte, withGrads32 bool) (int, error) {
 	return off, nil
 }
 
-// Unmarshal restores the subgroup state from src. The subgroup's buffers
-// must already be sized; ID and length are validated against the header.
-func (s *Subgroup) Unmarshal(src []byte) error {
+// validateHeader checks src's serialized header against this subgroup
+// and returns whether the object carries FP32 gradients. It guarantees
+// len(src) covers the full object the header describes, so callers may
+// index the payload sections without further bounds checks — the
+// property MapState's aliasing safety rests on.
+func (s *Subgroup) validateHeader(src []byte) (hasGrads bool, err error) {
 	if len(src) < HeaderSize {
-		return fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(src))
+		return false, fmt.Errorf("%w: short header (%d bytes)", ErrCorrupt, len(src))
 	}
 	le := binary.LittleEndian
 	if le.Uint32(src[0:]) != Magic {
-		return fmt.Errorf("%w: bad magic %#x", ErrCorrupt, le.Uint32(src[0:]))
+		return false, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, le.Uint32(src[0:]))
 	}
 	if v := le.Uint16(src[4:]); v != Version {
-		return fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+		return false, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
 	}
 	flags := le.Uint16(src[6:])
+	if flags&^FlagHasGrads32 != 0 {
+		return false, fmt.Errorf("%w: unknown flags %#x", ErrCorrupt, flags)
+	}
 	id := int(le.Uint32(src[8:]))
 	n := int(le.Uint32(src[12:]))
 	if id != s.ID {
-		return fmt.Errorf("%w: object is subgroup %d, expected %d", ErrCorrupt, id, s.ID)
+		return false, fmt.Errorf("%w: object is subgroup %d, expected %d", ErrCorrupt, id, s.ID)
 	}
 	if n != s.Len() {
-		return fmt.Errorf("%w: object has %d params, subgroup holds %d", ErrCorrupt, n, s.Len())
+		return false, fmt.Errorf("%w: object has %d params, subgroup holds %d", ErrCorrupt, n, s.Len())
 	}
 	want := StateBytes(n)
-	hasGrads := flags&FlagHasGrads32 != 0
+	hasGrads = flags&FlagHasGrads32 != 0
 	if hasGrads {
 		want = StateGradBytes(n)
 	}
 	if len(src) < want {
-		return fmt.Errorf("%w: body %d < needed %d", ErrCorrupt, len(src), want)
+		return false, fmt.Errorf("%w: body %d < needed %d", ErrCorrupt, len(src), want)
+	}
+	return hasGrads, nil
+}
+
+// Unmarshal restores the subgroup state from src by copying (bulk
+// little-endian conversion; on little-endian hosts a straight memmove).
+// A nil State is allocated; otherwise its buffers must already be
+// sized. ID and length are validated against the header.
+func (s *Subgroup) Unmarshal(src []byte) error {
+	hasGrads, err := s.validateHeader(src)
+	if err != nil {
+		return err
+	}
+	n := s.Len()
+	if s.State == nil {
+		s.State = &optim.State{
+			Params: make([]float32, n),
+			M:      make([]float32, n),
+			V:      make([]float32, n),
+		}
 	}
 	off := HeaderSize
 	off = getF32(src, off, s.State.Params)
@@ -164,6 +199,60 @@ func (s *Subgroup) Unmarshal(src []byte) error {
 		s.EnsureGrads32()
 		getF32(src, off, s.Grads32)
 	}
+	return nil
+}
+
+// MapState adopts a serialized gradient-less object zero-copy: after
+// validating the header it points State's Params/M/V slices directly at
+// src's payload sections, so the Adam update then runs *in place* over
+// the fetched bytes and src[:StateBytes(Len())] remains the live
+// serialized form throughout (the header bytes are never touched).
+//
+// It returns aliased=false — with the subgroup untouched and no error —
+// when the zero-copy contract cannot hold: the platform is big-endian,
+// the payload is misaligned, or the object carries FP32 gradients
+// (whose trailing section the in-place layout does not map). Callers
+// then fall back to Unmarshal. On err != nil the subgroup is untouched;
+// the validated header guarantees the aliased slices never extend past
+// the object bounds, corrupt headers included.
+//
+// The caller owns the aliasing discipline: src must stay live, pinned
+// and unrecycled until the state is flushed or discarded (the engine
+// records it in Backing and returns it to the fetch pool only after the
+// flush lands).
+func (s *Subgroup) MapState(src []byte) (aliased bool, err error) {
+	hasGrads, err := s.validateHeader(src)
+	if err != nil {
+		return false, err
+	}
+	if hasGrads {
+		return false, nil
+	}
+	n := s.Len()
+	v, ok := f32view.View(src[HeaderSize : HeaderSize+12*n])
+	if !ok {
+		return false, nil
+	}
+	s.State = &optim.State{
+		Params: v[0:n:n],
+		M:      v[n : 2*n : 2*n],
+		V:      v[2*n : 3*n : 3*n],
+	}
+	return true, nil
+}
+
+// ReadParams extracts only the master parameters of a serialized object
+// into dst (len dst == Len()) without materializing the rest of the
+// state — the zero-copy read path of GatherParams and restore. The
+// header is validated exactly like Unmarshal's.
+func (s *Subgroup) ReadParams(dst []float32, src []byte) error {
+	if _, err := s.validateHeader(src); err != nil {
+		return err
+	}
+	if len(dst) != s.Len() {
+		return fmt.Errorf("subgroup %d: params dst %d != %d", s.ID, len(dst), s.Len())
+	}
+	f32view.Decode(dst, src[HeaderSize:HeaderSize+4*s.Len()])
 	return nil
 }
 
@@ -180,22 +269,17 @@ func PeekHeader(src []byte) (id, n int, hasGrads32 bool, err error) {
 		le.Uint16(src[6:])&FlagHasGrads32 != 0, nil
 }
 
+// putF32/getF32 move one payload section through the f32view bulk
+// kernels: a single memmove on aligned little-endian buffers, an 8-wide
+// unrolled conversion otherwise — never an element-at-a-time loop.
 func putF32(dst []byte, off int, src []float32) int {
-	le := binary.LittleEndian
-	for _, f := range src {
-		le.PutUint32(dst[off:], math.Float32bits(f))
-		off += 4
-	}
-	return off
+	f32view.Encode(dst[off:off+4*len(src)], src)
+	return off + 4*len(src)
 }
 
 func getF32(src []byte, off int, dst []float32) int {
-	le := binary.LittleEndian
-	for i := range dst {
-		dst[i] = math.Float32frombits(le.Uint32(src[off:]))
-		off += 4
-	}
-	return off
+	f32view.Decode(dst, src[off:off+4*len(dst)])
+	return off + 4*len(dst)
 }
 
 // Shard is a rank's full set of subgroups.

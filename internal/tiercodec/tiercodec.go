@@ -67,6 +67,7 @@ import (
 	"strings"
 	"sync/atomic"
 
+	"github.com/datastates/mlpoffload/internal/bufpool"
 	"github.com/datastates/mlpoffload/internal/storage"
 )
 
@@ -336,12 +337,15 @@ func (t *Tier) putHeader(buf []byte, id, stride uint8, rawLen uint64) {
 
 // Read implements storage.Tier: fetch the encoded object, validate it,
 // and decode into dst (whose length must equal the raw object length,
-// per the Tier contract).
+// per the Tier contract). The encoded staging buffer is recycled through
+// internal/bufpool — a steady-state fetch stream decodes with zero
+// per-read allocation.
 func (t *Tier) Read(ctx context.Context, key string, dst []byte) error {
 	obj, err := t.readInner(ctx, key)
 	if err != nil {
 		return err
 	}
+	defer bufpool.Put(obj)
 	hdr, err := t.parseHeader(key, obj)
 	if err != nil {
 		return err
@@ -462,12 +466,14 @@ func (t *Tier) ReadObject(ctx context.Context, key string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer bufpool.Put(obj)
 	hdr, err := t.parseHeader(key, obj)
 	if err != nil {
 		return nil, err
 	}
-	dst := make([]byte, hdr.rawLen)
+	dst := bufpool.Get(int(hdr.rawLen))
 	if err := t.decodePayload(key, hdr, obj[HeaderSize:], dst); err != nil {
+		bufpool.Put(dst)
 		return nil, err
 	}
 	t.reads.Add(1)
@@ -491,6 +497,7 @@ func (t *Tier) Size(ctx context.Context, key string) (int64, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer bufpool.Put(obj)
 	hdr, err := t.parseHeader(key, obj)
 	if err != nil {
 		return 0, err
