@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMixedVirtualSLO runs the checkpoint-storm-vs-demand-fetch scenario
+// on a virtual clock and asserts the scheduler SLO: with priority classes
+// the p95 demand-fetch latency stays bounded near the device transfer
+// time, while FIFO head-of-line blocking pushes it past the classed
+// figure. On simulated time the whole contended scenario — previously a
+// multi-second wall-clock soak — completes in milliseconds.
+func TestMixedVirtualSLO(t *testing.T) {
+	const (
+		fetches = 32
+		size    = 256 << 10
+		bw      = 200e6
+		depth   = 16
+	)
+	start := time.Now()
+	fifo := mixedMode("fifo", fetches, size, bw, depth, true)
+	classed := mixedMode("classed", fetches, size, bw, depth, true)
+	real := time.Since(start)
+
+	if classed.DemandP95MS <= 0 || fifo.DemandP95MS <= 0 {
+		t.Fatalf("degenerate latencies: fifo p95 %.3fms, classed p95 %.3fms",
+			fifo.DemandP95MS, classed.DemandP95MS)
+	}
+	// The SLO: classes must beat FIFO at the tail. Head-of-line blocking
+	// behind up to `depth` queued checkpoint writes dominates the FIFO
+	// tail; a classed demand fetch only ever waits for the ops already on
+	// the workers.
+	if classed.DemandP95MS >= fifo.DemandP95MS {
+		t.Errorf("classed p95 %.2fms not below fifo p95 %.2fms",
+			classed.DemandP95MS, fifo.DemandP95MS)
+	}
+	// Absolute bound: one object is 1.31ms of device time at this rate;
+	// a classed fetch waits at most for the in-flight ops plus its own
+	// transfer, with virtual-time inflation from concurrent checkpoint
+	// pacing. 25ms of simulated time is an order of magnitude below the
+	// FIFO worst case (depth x transfer and up).
+	if classed.DemandP95MS > 25 {
+		t.Errorf("classed p95 = %.2fms simulated, want <= 25ms", classed.DemandP95MS)
+	}
+	// The point of -virtual: bandwidth-bound contention in real
+	// milliseconds. Generous bound so loaded CI machines do not flake.
+	if real > 30*time.Second {
+		t.Errorf("virtual scenario took %v of real time", real)
+	}
+	// The checkpoint stream must still make progress in classed mode —
+	// priority must not mean starvation (the aging threshold guarantees
+	// it).
+	if classed.CheckpointOps == 0 {
+		t.Error("classed mode starved the checkpoint stream completely")
+	}
+}

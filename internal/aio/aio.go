@@ -53,6 +53,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/datastates/mlpoffload/internal/clock"
 	"github.com/datastates/mlpoffload/internal/storage"
 	"github.com/datastates/mlpoffload/internal/tierlock"
 )
@@ -190,6 +191,7 @@ func (o *Op) TransferTime() time.Duration { return o.finished.Sub(o.started) }
 type Engine struct {
 	tier  storage.Tier
 	locks *tierlock.Manager
+	clk   clock.Clock
 
 	mu     sync.Mutex
 	cond   *sync.Cond // enqueue/dequeue/close events
@@ -253,6 +255,10 @@ type Config struct {
 	AgingThreshold time.Duration
 	// Locks, when non-nil, provides node-level exclusive access control.
 	Locks *tierlock.Manager
+	// Clock is the time source for op stamps (queuedAt/started/finished)
+	// and the aging pick. nil means the wall clock; a virtual clock makes
+	// queue-delay and aging assertions exact (see internal/clock).
+	Clock clock.Clock
 }
 
 // New creates an engine for the given tier.
@@ -270,6 +276,7 @@ func New(tier storage.Tier, cfg Config) *Engine {
 	e := &Engine{
 		tier:   tier,
 		locks:  cfg.Locks,
+		clk:    clock.Or(cfg.Clock),
 		depth:  cfg.QueueDepth,
 		aging:  cfg.AgingThreshold,
 		ctx:    ctx,
@@ -310,7 +317,7 @@ func (e *Engine) next() *task {
 		}
 		e.cond.Wait()
 	}
-	t := e.pick(time.Now())
+	t := e.pick(e.clk.Now())
 	e.queued--
 	e.executing.Add(1)
 	e.cond.Broadcast() // free a Submit slot, wake Drain pollers
@@ -349,9 +356,16 @@ func (e *Engine) pick(now time.Time) *task {
 }
 
 func (e *Engine) execute(t *task) {
-	defer e.executing.Add(-1) // raised in next(), under the queue lock
+	// The counter was raised in next(), under the queue lock; lower it
+	// under the same lock and wake Drain waiters blocked on idleness.
+	defer func() {
+		e.mu.Lock()
+		e.executing.Add(-1)
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}()
 	op := t.op
-	op.started = time.Now()
+	op.started = e.clk.Now()
 
 	var rel tierlock.Release
 	if e.locks != nil {
@@ -391,7 +405,7 @@ func (e *Engine) execute(t *task) {
 }
 
 func (e *Engine) finish(op *Op, wire int64, err error) {
-	op.finished = time.Now()
+	op.finished = e.clk.Now()
 	op.err = err
 	op.wire = wire
 	d := op.finished.Sub(op.started).Nanoseconds()
@@ -436,7 +450,7 @@ func (e *Engine) submit(c Class, kind OpKind, key string, buf []byte) (*Op, erro
 		e.mu.Unlock()
 		return nil, ErrEngineClosed
 	}
-	op.queuedAt = time.Now()
+	op.queuedAt = e.clk.Now()
 	e.queues[c] = append(e.queues[c], &task{op: op, buf: buf})
 	e.queued++
 	e.cond.Broadcast()
@@ -620,17 +634,17 @@ func (e *Engine) QueuedByClass() [NumClasses]int {
 
 // Drain waits for all currently queued and executing operations to finish.
 // It is the barrier the engine uses at phase boundaries ("wait for all
-// lazy flushes before starting the next backward pass"). Drain polls; it is
-// a phase-boundary call, not a hot path.
+// lazy flushes before starting the next backward pass"). It blocks on the
+// engine condition variable — no polling — and is woken by the same
+// broadcasts that pace Submit: dequeue in next() and completion in
+// execute(). The executing counter moves only under mu (raised in next,
+// lowered in execute's defer), so "queued == 0 && executing == 0" is an
+// atomic idleness observation, never a racy in-between.
 func (e *Engine) Drain() {
-	for {
-		e.mu.Lock()
-		idle := e.queued == 0
-		e.mu.Unlock()
-		if idle && e.executing.Load() == 0 {
-			return
-		}
-		time.Sleep(200 * time.Microsecond)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.queued > 0 || e.executing.Load() > 0 {
+		e.cond.Wait()
 	}
 }
 

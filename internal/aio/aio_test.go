@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/datastates/mlpoffload/internal/clock"
 	"github.com/datastates/mlpoffload/internal/storage"
 	"github.com/datastates/mlpoffload/internal/tiercodec"
 	"github.com/datastates/mlpoffload/internal/tierlock"
@@ -159,21 +160,25 @@ func TestDrainBarrier(t *testing.T) {
 }
 
 func TestWaitCtx(t *testing.T) {
-	// A slow tier lets us observe WaitCtx cancellation while the op runs.
-	slow := storage.NewThrottled(storage.NewMemTier("m"), storage.ThrottleConfig{
-		ReadBW: 1e9, WriteBW: 64 * 1024, // ~0.75s for a 64KiB write
-	})
-	e := New(slow, Config{Workers: 1})
-	defer e.Close()
-	op, err := e.SubmitWrite("k", make([]byte, 64*1024))
+	// A gate parks the op mid-execution so WaitCtx cancellation is
+	// observed while the op genuinely runs — no real-time throttle needed.
+	g := newGateTier()
+	e := New(g, Config{Workers: 1})
+	op, err := e.SubmitWrite("k", make([]byte, 16))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
-	defer cancel()
-	if err := op.WaitCtx(ctx); err == nil {
-		t.Fatal("WaitCtx should time out")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := op.WaitCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("WaitCtx = %v, want context.Canceled", err)
 	}
+	// The abandoned op keeps running: release it and verify it completes.
+	close(g.gate)
+	if err := op.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
 }
 
 func TestExclusiveLockSerializesTierAccess(t *testing.T) {
@@ -366,7 +371,8 @@ func workerParked(e *Engine) bool {
 
 func TestAgingPreventsMigrationStarvation(t *testing.T) {
 	g := newGateTier()
-	e := New(g, Config{Workers: 1, QueueDepth: 64, AgingThreshold: 10 * time.Millisecond})
+	clk := clock.NewVirtual()
+	e := New(g, Config{Workers: 1, QueueDepth: 64, AgingThreshold: 10 * time.Millisecond, Clock: clk})
 	defer e.Close()
 
 	blocker, err := e.SubmitWriteClass(DemandFetch, "blocker", []byte{0})
@@ -380,10 +386,12 @@ func TestAgingPreventsMigrationStarvation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Let the migration op age past the threshold, then bury it under a
-	// stream of demand fetches. Strict priority would run all of them
-	// first; aging must dispatch the older migration op ahead of them.
-	time.Sleep(20 * time.Millisecond)
+	// Age the migration op to *exactly* the threshold — the aging rule is
+	// inclusive (age >= threshold), so this pins the boundary — then bury
+	// it under a stream of zero-age demand fetches. Strict priority would
+	// run all of them first; aging must dispatch the older migration op
+	// ahead of them.
+	clk.Advance(10 * time.Millisecond)
 	var demands []*Op
 	for i := 0; i < 16; i++ {
 		op, err := e.SubmitWriteClass(DemandFetch, fmt.Sprintf("demand-%02d", i), []byte{1})
@@ -401,6 +409,56 @@ func TestAgingPreventsMigrationStarvation(t *testing.T) {
 	order := g.executed()
 	if len(order) < 2 || order[1] != "migration" {
 		t.Fatalf("aged migration op not served first: %v", order)
+	}
+	// Virtual time stood still after the advance, so the stamps are exact:
+	// the migration op waited precisely the aging threshold.
+	if got := mig.QueueTime(); got != 10*time.Millisecond {
+		t.Errorf("aged op queue time = %v, want exactly 10ms", got)
+	}
+}
+
+// TestExactQueueDelayMetrics pins the op-stamp math on a virtual clock:
+// with the worker parked, a queued op's delay is exactly the virtual time
+// advanced while it waited, and the per-class accumulator matches.
+func TestExactQueueDelayMetrics(t *testing.T) {
+	g := newGateTier()
+	clk := clock.NewVirtual()
+	e := New(g, Config{Workers: 1, QueueDepth: 8, Clock: clk})
+	defer e.Close()
+
+	blocker, err := e.SubmitWriteClass(DemandFetch, "blocker", []byte{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !workerParked(e) {
+		time.Sleep(time.Millisecond)
+	}
+	op, err := e.SubmitWriteClass(Flush, "queued", []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(5 * time.Millisecond)
+	close(g.gate)
+	_ = blocker.Wait()
+	if err := op.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := op.QueueTime(); got != 5*time.Millisecond {
+		t.Errorf("QueueTime = %v, want exactly 5ms", got)
+	}
+	if got := op.TransferTime(); got != 0 {
+		t.Errorf("TransferTime = %v, want exactly 0 (no virtual time passed in transfer)", got)
+	}
+	// The blocker spent the same 5ms inside its transfer (the advance
+	// happened while it was gated mid-execution) and zero time queued.
+	if got := blocker.QueueTime(); got != 0 {
+		t.Errorf("blocker QueueTime = %v, want 0", got)
+	}
+	if got := blocker.TransferTime(); got != 5*time.Millisecond {
+		t.Errorf("blocker TransferTime = %v, want exactly 5ms", got)
+	}
+	if m := e.ClassMetrics(Flush); m.QueueDelay != 5*time.Millisecond || m.Transfer != 0 {
+		t.Errorf("flush class delay/transfer = %v/%v, want 5ms/0", m.QueueDelay, m.Transfer)
 	}
 }
 

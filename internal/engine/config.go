@@ -21,6 +21,7 @@ package engine
 import (
 	"fmt"
 
+	"github.com/datastates/mlpoffload/internal/clock"
 	"github.com/datastates/mlpoffload/internal/fp16"
 	"github.com/datastates/mlpoffload/internal/hostcache"
 	"github.com/datastates/mlpoffload/internal/optim"
@@ -173,6 +174,14 @@ type Config struct {
 	// computed per subgroup during the backward pass; the global factor
 	// is applied inside the update kernel's gradient view.
 	ClipNorm float64
+
+	// Clock is the engine-wide time source: it reaches the aio engines'
+	// op stamps and aging pick, the D2H limiter's pacing, and the phase
+	// stopwatches. nil means the wall clock (production); a virtual clock
+	// (internal/clock) runs the whole engine on simulated time, which is
+	// how the timing test suites and `iobench -virtual` finish bandwidth
+	// scenarios in milliseconds.
+	Clock clock.Clock
 }
 
 // BaselineConfig returns a DeepSpeed-ZeRO-3-shaped configuration over the

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"github.com/datastates/mlpoffload/internal/aio"
+	"github.com/datastates/mlpoffload/internal/clock"
 	"github.com/datastates/mlpoffload/internal/f32view"
 	"github.com/datastates/mlpoffload/internal/fp16"
 	"github.com/datastates/mlpoffload/internal/hostcache"
@@ -27,6 +28,7 @@ const locHost = -1
 // Engine is one worker's offloading runtime.
 type Engine struct {
 	cfg   Config
+	clk   clock.Clock
 	shard *subgroup.Shard
 	aios  []*aio.Engine
 	names []string
@@ -169,7 +171,7 @@ func New(cfg Config) (*Engine, error) {
 		// tier's objects are uniformly encoded.
 		cfg.Tiers[i].Tier = ct
 	}
-	e := &Engine{cfg: cfg}
+	e := &Engine{cfg: cfg, clk: clock.Or(cfg.Clock)}
 	e.shard = subgroup.NewShard(cfg.Rank, cfg.Params, cfg.SubgroupParams, cfg.InitParams)
 	m := len(e.shard.Subgroups)
 
@@ -207,6 +209,7 @@ func New(cfg Config) (*Engine, error) {
 			Workers:    cfg.IOWorkers,
 			QueueDepth: 4 * cfg.PrefetchDepth,
 			Locks:      cfg.Locks,
+			Clock:      e.clk,
 		}))
 	}
 	e.plan = placement.NewPlan(m, e.bandwidths())
@@ -242,7 +245,7 @@ func New(cfg Config) (*Engine, error) {
 		off += int64(sg.Len())
 	}
 	if cfg.D2HBandwidth > 0 {
-		e.d2h = ratelimit.NewLimiter(cfg.D2HBandwidth, cfg.D2HBandwidth/4, nil)
+		e.d2h = ratelimit.NewLimiter(cfg.D2HBandwidth, cfg.D2HBandwidth/4, e.clk)
 	}
 	if cfg.LossScaling {
 		e.scaler = optim.NewLossScaler()
@@ -534,7 +537,7 @@ func (e *Engine) TrainIteration(iter int) (metrics.Iteration, error) {
 	var it metrics.Iteration
 	var sw metrics.Stopwatch
 
-	sw.Start()
+	sw.StartOn(e.clk)
 	for a := 0; a < e.cfg.GradAccumSteps; a++ {
 		e.forward()
 	}

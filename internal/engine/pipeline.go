@@ -515,7 +515,7 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 	// Update kernel: delayed in-place conversion vs pre-upscaled. With an
 	// adopted state the kernel writes straight into the serialized bytes.
 	var sw metrics.Stopwatch
-	sw.Start()
+	sw.StartOn(e.clk)
 	applyClip(sg, run.clip, e.cfg.SkipGradFlush)
 	if e.cfg.SkipGradFlush {
 		optim.StepFP16Parallel(sg.State, sg.Grads16, e.cfg.Hyper, e.step, e.cfg.CPUWorkers)

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"github.com/datastates/mlpoffload/internal/clock"
 )
 
 // Phases is the forward/backward/update breakdown of one iteration.
@@ -285,15 +287,28 @@ func (s *Series) Iterations() []Iteration {
 	return append([]Iteration(nil), s.iters...)
 }
 
-// Stopwatch measures wall-clock phase durations for the real engine.
-type Stopwatch struct{ t0 time.Time }
+// Stopwatch measures phase durations for the real engine. By default it
+// reads the wall clock; StartOn binds it to any engine clock so phase
+// breakdowns follow virtual time in deterministic runs.
+type Stopwatch struct {
+	t0  time.Time
+	clk clock.Clock
+}
 
-// Start begins timing.
-func (s *Stopwatch) Start() { s.t0 = time.Now() }
+// Start begins timing on the previously bound clock (wall, if none).
+func (s *Stopwatch) Start() { s.StartOn(s.clk) }
+
+// StartOn binds the stopwatch to clk (nil = wall clock) and begins
+// timing.
+func (s *Stopwatch) StartOn(clk clock.Clock) {
+	s.clk = clock.Or(clk)
+	s.t0 = s.clk.Now()
+}
 
 // Lap returns seconds since Start/last Lap and restarts.
 func (s *Stopwatch) Lap() float64 {
-	now := time.Now()
+	s.clk = clock.Or(s.clk)
+	now := s.clk.Now()
 	d := now.Sub(s.t0).Seconds()
 	s.t0 = now
 	return d

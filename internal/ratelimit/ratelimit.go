@@ -11,26 +11,21 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	clockpkg "github.com/datastates/mlpoffload/internal/clock"
 )
 
 // ErrBurstExceeded is returned when a single request exceeds the burst
 // capacity of a limiter and therefore can never be satisfied.
 var ErrBurstExceeded = errors.New("ratelimit: request exceeds burst capacity")
 
-// Clock abstracts time so the limiter can be driven by a virtual clock in
-// tests and by the wall clock in production.
-type Clock interface {
-	Now() time.Time
-	Sleep(d time.Duration)
-}
-
-type wallClock struct{}
-
-func (wallClock) Now() time.Time        { return time.Now() }
-func (wallClock) Sleep(d time.Duration) { time.Sleep(d) }
+// Clock is the engine-wide time source (see internal/clock): the limiter
+// is driven by a virtual clock in tests and by the wall clock in
+// production.
+type Clock = clockpkg.Clock
 
 // WallClock returns a Clock backed by the real time package.
-func WallClock() Clock { return wallClock{} }
+func WallClock() Clock { return clockpkg.Wall() }
 
 // Limiter is a token-bucket rate limiter measured in bytes per second.
 // It is safe for concurrent use. A zero-rate limiter blocks forever and is
@@ -55,9 +50,7 @@ func NewLimiter(rate float64, burst float64, clock Clock) *Limiter {
 	if burst <= 0 {
 		burst = rate
 	}
-	if clock == nil {
-		clock = wallClock{}
-	}
+	clock = clockpkg.Or(clock)
 	now := clock.Now()
 	return &Limiter{
 		rate:     rate,
@@ -145,7 +138,7 @@ func (l *Limiter) WaitN(ctx context.Context, n int64) error {
 }
 
 func sleepCtx(ctx context.Context, clock Clock, d time.Duration) error {
-	if _, isWall := clock.(wallClock); !isWall {
+	if !clockpkg.IsWall(clock) {
 		// Virtual clocks cannot be interrupted by a context deadline in a
 		// meaningful way; check cancellation before and after.
 		if err := ctx.Err(); err != nil {

@@ -3,32 +3,18 @@ package ratelimit
 import (
 	"context"
 	"math"
-	"sync"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"github.com/datastates/mlpoffload/internal/clock"
 )
 
-// fakeClock is a manually advanced clock for deterministic limiter tests.
-type fakeClock struct {
-	mu  sync.Mutex
-	now time.Time
-}
-
-func newFakeClock() *fakeClock {
-	return &fakeClock{now: time.Unix(1000, 0)}
-}
-
-func (c *fakeClock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
-}
-
-func (c *fakeClock) Sleep(d time.Duration) {
-	c.mu.Lock()
-	c.now = c.now.Add(d)
-	c.mu.Unlock()
+// newFakeClock returns a self-advancing virtual clock: the limiter's
+// sleeps advance time instantly, so pacing assertions are exact with no
+// real waiting.
+func newFakeClock() *clock.VirtualClock {
+	return clock.NewVirtualAuto()
 }
 
 func TestLimiterImmediateWithinBurst(t *testing.T) {

@@ -13,6 +13,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"github.com/datastates/mlpoffload/internal/clock"
 	"github.com/datastates/mlpoffload/internal/ratelimit"
 )
 
@@ -151,25 +152,8 @@ func TestContextCancellation(t *testing.T) {
 	}
 }
 
-// fakeClock shared with ratelimit tests.
-type fakeClock struct {
-	mu  sync.Mutex
-	now time.Time
-}
-
-func (c *fakeClock) Now() time.Time {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
-}
-func (c *fakeClock) Sleep(d time.Duration) {
-	c.mu.Lock()
-	c.now = c.now.Add(d)
-	c.mu.Unlock()
-}
-
 func TestThrottledEnforcesBandwidth(t *testing.T) {
-	clk := &fakeClock{now: time.Unix(0, 0)}
+	clk := clock.NewVirtualAuto()
 	tt := NewThrottled(NewMemTier("m"), ThrottleConfig{
 		ReadBW: 1000, WriteBW: 500, Clock: clk,
 	})
@@ -179,18 +163,19 @@ func TestThrottledEnforcesBandwidth(t *testing.T) {
 	if err := tt.Write(ctx, "k", payload); err != nil {
 		t.Fatal(err)
 	}
-	wElapsed := clk.Now().Sub(start).Seconds()
-	// 2000 B at 500 B/s with 125 B initial burst: ~3.75-4s.
-	if wElapsed < 3.0 || wElapsed > 4.2 {
-		t.Errorf("write of 2000B at 500B/s took %.2fs", wElapsed)
+	// 2000 B at 500 B/s with the default 125 B burst credit: exactly
+	// (2000-125)/500 = 3.75s of virtual time. All quantities are dyadic
+	// rationals, so the token math is exact down to the nanosecond.
+	if got, want := clk.Now().Sub(start), 3750*time.Millisecond; got != want {
+		t.Errorf("write of 2000B at 500B/s took %v, want exactly %v", got, want)
 	}
 	start = clk.Now()
 	if err := tt.Read(ctx, "k", payload); err != nil {
 		t.Fatal(err)
 	}
-	rElapsed := clk.Now().Sub(start).Seconds()
-	if rElapsed < 1.4 || rElapsed > 2.2 {
-		t.Errorf("read of 2000B at 1000B/s took %.2fs", rElapsed)
+	// (2000-250)/1000 = 1.75s.
+	if got, want := clk.Now().Sub(start), 1750*time.Millisecond; got != want {
+		t.Errorf("read of 2000B at 1000B/s took %v, want exactly %v", got, want)
 	}
 }
 
@@ -214,31 +199,71 @@ func TestThrottledPanicsOnBadConfig(t *testing.T) {
 }
 
 func TestThrottledContentionSlowsConcurrent(t *testing.T) {
-	// With an interference curve, two concurrent writers should take
-	// longer in aggregate than sequential total/bandwidth.
+	// With an interference curve, a second concurrent writer pays the
+	// efficiency penalty. On a manual virtual clock the entry order is
+	// orchestrated, so the total is an exact closed-form figure instead of
+	// a wall-time range: writer A enters alone (charged 32KiB at eff(1)=1),
+	// writer B enters while A is parked in the limiter (charged
+	// 32KiB/eff(2) = 48KiB), and the shared 64KiB/s bucket opens with
+	// 16KiB of burst credit — (32KiB+48KiB-16KiB)/64KiB/s = exactly 1s.
+	clk := clock.NewVirtual()
 	tt := NewThrottled(NewMemTier("m"), ThrottleConfig{
 		ReadBW: 1e9, WriteBW: 64 * 1024, Curve: ratelimit.InterferenceCurve(0.5),
+		Clock: clk,
 	})
 	ctx := context.Background()
 	payload := make([]byte, 32*1024)
-	start := time.Now()
+	start := clk.Now()
 	var wg sync.WaitGroup
-	for i := 0; i < 2; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if err := tt.Write(ctx, fmt.Sprintf("k%d", i), payload); err != nil {
-				t.Error(err)
-			}
-		}(i)
+	write := func(i int) {
+		defer wg.Done()
+		if err := tt.Write(ctx, fmt.Sprintf("k%d", i), payload); err != nil {
+			t.Error(err)
+		}
 	}
+	wg.Add(2)
+	go write(0)
+	clk.BlockUntil(1) // A holds the gate, parked on the limiter
+	go write(1)
+	clk.BlockUntil(2) // B charged at eff(2), parked behind A
+	stop := make(chan struct{})
+	go clk.Drive(stop)
 	wg.Wait()
-	elapsed := time.Since(start).Seconds()
-	// Ideal sequential: 64KiB at 64KiB/s minus 16KiB burst ≈ 0.75s.
-	// With eff(2)=2/3 the device cost inflates to ~1.1s. Allow slack but
-	// require clear degradation beyond the ideal.
-	if elapsed < 0.8 {
-		t.Errorf("contended writes finished in %.2fs — contention not applied", elapsed)
+	close(stop)
+	if got, want := clk.Now().Sub(start), time.Second; got != want {
+		t.Errorf("contended writes took %v of virtual time, want exactly %v", got, want)
+	}
+}
+
+// TestThrottledWallVirtualParity drives the same workload through a
+// wall-clock and a virtual-clock throttled tier and checks the byte
+// accounting is identical: the clock changes how time passes, never what
+// the tier observes moving.
+func TestThrottledWallVirtualParity(t *testing.T) {
+	run := func(clk ratelimit.Clock) Stats {
+		// High bandwidth so the wall-clock run completes at memory speed.
+		tt := NewThrottled(NewMemTier("m"), ThrottleConfig{
+			ReadBW: 1 << 30, WriteBW: 1 << 30, Clock: clk,
+		})
+		ctx := context.Background()
+		payload := make([]byte, 8192)
+		for i := 0; i < 4; i++ {
+			key := fmt.Sprintf("k%d", i)
+			if err := tt.Write(ctx, key, payload); err != nil {
+				t.Fatal(err)
+			}
+			if err := tt.Read(ctx, key, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tt.Unwrap().Delete(ctx, "k0"); err != nil {
+			t.Fatal(err)
+		}
+		return tt.Stats()
+	}
+	wall, virt := run(nil), run(clock.NewVirtualAuto())
+	if wall != virt {
+		t.Errorf("byte accounting diverged:\nwall    %+v\nvirtual %+v", wall, virt)
 	}
 }
 

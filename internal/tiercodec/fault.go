@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/datastates/mlpoffload/internal/clock"
 	"github.com/datastates/mlpoffload/internal/storage"
 )
 
@@ -44,6 +45,11 @@ type FaultConfig struct {
 	// timeout testing.
 	LatencyEvery int64
 	Latency      time.Duration
+
+	// Clock is the time source latency spikes sleep on (nil = wall
+	// clock). On a virtual clock a spike advances exactly Latency of
+	// virtual time and costs no real waiting.
+	Clock clock.Clock
 }
 
 // FaultStats counts the faults actually injected.
@@ -87,6 +93,7 @@ func NewFaultTier(inner storage.Tier, cfg FaultConfig) *FaultTier {
 	if cfg.Err == nil {
 		cfg.Err = ErrInjected
 	}
+	cfg.Clock = clock.Or(cfg.Clock)
 	return &FaultTier{inner: inner, cfg: cfg}
 }
 
@@ -121,7 +128,7 @@ func due(counter *atomic.Int64, every int64) bool {
 func (f *FaultTier) maybeDelay() {
 	if due(&f.latencyOps, f.cfg.LatencyEvery) {
 		f.stats.latencyHits.Add(1)
-		time.Sleep(f.cfg.Latency)
+		f.cfg.Clock.Sleep(f.cfg.Latency)
 	}
 }
 

@@ -12,7 +12,9 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
+	"github.com/datastates/mlpoffload/internal/clock"
 	"github.com/datastates/mlpoffload/internal/storage"
 )
 
@@ -625,4 +627,36 @@ func TestCodecTierConcurrency(t *testing.T) {
 		}(g)
 	}
 	wg.Wait()
+}
+
+// TestFaultLatencyExactOnVirtualClock pins the latency-spike channel to
+// virtual time: every Nth operation advances the clock by exactly the
+// configured spike, the rest advance it not at all, and no real waiting
+// happens anywhere.
+func TestFaultLatencyExactOnVirtualClock(t *testing.T) {
+	clk := clock.NewVirtualAuto()
+	ft := NewFaultTier(storage.NewMemTier("mem"), FaultConfig{
+		LatencyEvery: 2,
+		Latency:      3 * time.Millisecond,
+		Clock:        clk,
+	})
+	ctx := context.Background()
+	start := clk.Now()
+	payload := []byte{1, 2, 3, 4}
+	for i := 0; i < 3; i++ {
+		if err := ft.Write(ctx, "k", payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := make([]byte, len(payload))
+	if err := ft.Read(ctx, "k", dst); err != nil {
+		t.Fatal(err)
+	}
+	// Reads and writes share the latency counter: ops 2 and 4 spiked.
+	if got, want := clk.Now().Sub(start), 6*time.Millisecond; got != want {
+		t.Errorf("virtual time advanced %v, want exactly %v (2 spikes x 3ms)", got, want)
+	}
+	if got := ft.FaultStats().LatencySpikes; got != 2 {
+		t.Errorf("LatencySpikes = %d, want 2", got)
+	}
 }

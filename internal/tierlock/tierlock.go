@@ -16,21 +16,32 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"github.com/datastates/mlpoffload/internal/clock"
 )
 
 // Manager is a node-scoped table of named FIFO locks, one per storage path.
 type Manager struct {
 	mu    sync.Mutex
 	locks map[string]*fifoLock
+	clk   clock.Clock
 	// Disabled turns every Acquire into a no-op (the DeepSpeed baseline:
 	// uncoordinated concurrent access).
 	disabled bool
 }
 
-// NewManager creates an empty lock table. If exclusive is false the manager
-// is disabled and Acquire returns immediately (baseline behaviour).
+// NewManager creates an empty lock table on the wall clock. If exclusive
+// is false the manager is disabled and Acquire returns immediately
+// (baseline behaviour).
 func NewManager(exclusive bool) *Manager {
-	return &Manager{locks: make(map[string]*fifoLock), disabled: !exclusive}
+	return NewManagerOn(exclusive, nil)
+}
+
+// NewManagerOn creates a lock table whose wait accounting reads the given
+// clock (nil = wall clock) — virtual time makes Stats.WaitTotal exact in
+// tests.
+func NewManagerOn(exclusive bool, clk clock.Clock) *Manager {
+	return &Manager{locks: make(map[string]*fifoLock), clk: clock.Or(clk), disabled: !exclusive}
 }
 
 // Exclusive reports whether the manager enforces exclusive access.
@@ -70,7 +81,7 @@ func (m *Manager) Acquire(ctx context.Context, tier string) (Release, error) {
 		return noop, nil
 	}
 	l := m.lock(tier)
-	start := time.Now()
+	start := m.clk.Now()
 
 	l.mu.Lock()
 	if !l.held && len(l.waiters) == 0 {
@@ -87,7 +98,7 @@ func (m *Manager) Acquire(ctx context.Context, tier string) (Release, error) {
 	case <-ticket:
 		l.mu.Lock()
 		l.grants++
-		l.waitTotal += time.Since(start)
+		l.waitTotal += m.clk.Since(start)
 		l.mu.Unlock()
 		return m.releaser(l), nil
 	case <-ctx.Done():

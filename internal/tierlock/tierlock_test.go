@@ -2,17 +2,35 @@ package tierlock
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/datastates/mlpoffload/internal/clock"
 )
+
+// waitQueued spins until the tier's lock has n goroutines queued — the
+// deterministic replacement for "sleep and hope they queued".
+func waitQueued(t *testing.T, m *Manager, tier string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Stats(tier).Queued < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d waiters queued on %s, want %d", m.Stats(tier).Queued, tier, n)
+		}
+		runtime.Gosched()
+	}
+}
 
 func TestExclusion(t *testing.T) {
 	m := NewManager(true)
 	ctx := context.Background()
 	var inside, peak int32
 	var wg sync.WaitGroup
+	var first atomic.Bool
+	first.Store(true)
 	for i := 0; i < 8; i++ {
 		wg.Add(1)
 		go func() {
@@ -29,7 +47,12 @@ func TestExclusion(t *testing.T) {
 					break
 				}
 			}
-			time.Sleep(time.Millisecond)
+			// The first holder keeps the lock until every other goroutine
+			// is provably queued behind it — maximum contention with no
+			// timing guesswork.
+			if first.CompareAndSwap(true, false) {
+				waitQueued(t, m, "nvme", 7)
+			}
 			atomic.AddInt32(&inside, -1)
 			rel()
 		}()
@@ -105,7 +128,7 @@ func TestContextCancelWhileQueued(t *testing.T) {
 		_, err := m.Acquire(ctx, "x")
 		errCh <- err
 	}()
-	time.Sleep(10 * time.Millisecond) // let it queue
+	waitQueued(t, m, "x", 1)
 	cancel()
 	select {
 	case err := <-errCh:
@@ -157,7 +180,8 @@ func TestTryAcquire(t *testing.T) {
 }
 
 func TestFIFOOrder(t *testing.T) {
-	m := NewManager(true)
+	clk := clock.NewVirtual()
+	m := NewManagerOn(true, clk)
 	ctx := context.Background()
 	hold, err := m.Acquire(ctx, "x")
 	if err != nil {
@@ -181,8 +205,11 @@ func TestFIFOOrder(t *testing.T) {
 			mu.Unlock()
 			rel()
 		}()
-		time.Sleep(20 * time.Millisecond) // establish queue order
+		waitQueued(t, m, "x", i+1) // establish queue order
 	}
+	// All five queued at virtual t0; advance once, then release. Every
+	// grant lands at t0+7ms, so the accumulated wait is exactly 5 x 7ms.
+	clk.Advance(7 * time.Millisecond)
 	hold()
 	wg.Wait()
 	for i := range order {
@@ -190,8 +217,8 @@ func TestFIFOOrder(t *testing.T) {
 			t.Fatalf("FIFO violated: %v", order)
 		}
 	}
-	if s := m.Stats("x"); s.WaitTotal == 0 {
-		t.Error("wait time not recorded")
+	if s := m.Stats("x"); s.WaitTotal != 35*time.Millisecond {
+		t.Errorf("WaitTotal = %v, want exactly 35ms", s.WaitTotal)
 	}
 }
 
