@@ -67,6 +67,7 @@ func main() {
 		os.Exit(1)
 	}
 
+	//mlpvet:allow clockcheck report generation timestamp: real wall time is the point
 	doc := document{Schema: 1, Run: *run, GeneratedUnix: time.Now().Unix()}
 
 	if *benchtxt != "" {

@@ -138,6 +138,7 @@ func run(tier mlpoffload.Tier, procs, size, ops int, read bool) float64 {
 		}
 	}
 	var wg sync.WaitGroup
+	//mlpvet:allow clockcheck raw-throughput scenario measures real devices on real time
 	start := time.Now()
 	for p := 0; p < procs; p++ {
 		wg.Add(1)
@@ -160,6 +161,7 @@ func run(tier mlpoffload.Tier, procs, size, ops int, read bool) float64 {
 		}(p)
 	}
 	wg.Wait()
+	//mlpvet:allow clockcheck raw-throughput scenario measures real devices on real time
 	elapsed := time.Since(start).Seconds()
 	return float64(procs*ops*size) / elapsed
 }
@@ -299,6 +301,7 @@ func mixedMode(mode string, fetches, size int, bw float64, depth int, virtual bo
 			select {
 			case <-stop:
 				for _, op := range pending {
+					//mlpvet:allow aioop drain on shutdown; write errors would already have surfaced on the next submit
 					_ = op.Wait()
 				}
 				return
@@ -313,25 +316,24 @@ func mixedMode(mode string, fetches, size int, bw float64, depth int, virtual bo
 			ckptOps.Add(1)
 			i++
 			if len(pending) >= depth {
+				//mlpvet:allow aioop backpressure only: the stream waits for queue room, a failed write is measured not handled
 				_ = pending[0].Wait()
 				pending = pending[1:]
 			}
 		}
 	}()
 
-	// saturated waits (in real time — coordination, not measurement) until
-	// the background stream has the storm queued up again, so every fetch
-	// contends with a full checkpoint queue. Without this the virtual-clock
-	// run would finish the foreground before the background goroutine ever
-	// got scheduled, and there would be nothing to measure.
+	// saturated waits until the background stream has the storm queued up
+	// again, so every fetch contends with a full checkpoint queue. Without
+	// this the virtual-clock run would finish the foreground before the
+	// background goroutine ever got scheduled, and there would be nothing
+	// to measure.
 	// The stream keeps `depth` writes pending; two of those run on the
 	// workers and one may sit popped-but-unrefilled, so the queue hovers
 	// just under depth-2 — wait for depth-4 to be robustly behind it.
 	saturated := func() {
-		deadline := time.Now().Add(500 * time.Millisecond)
-		for eng.QueuedByClass()[ckptClass] < depth-4 && time.Now().Before(deadline) {
-			runtime.Gosched()
-		}
+		waitBacklog(clk, func() int { return eng.QueuedByClass()[ckptClass] },
+			depth-4, 500*time.Millisecond)
 	}
 
 	// Foreground: sequential demand fetches, each latency measured from
@@ -370,6 +372,33 @@ func mixedMode(mode string, fetches, size int, bw float64, depth int, virtual bo
 		CheckpointMBps: float64(ckptBytes.Load()) / elapsed / 1e6,
 		CheckpointOps:  ckptOps.Load(),
 	}
+}
+
+// gateTick is waitBacklog's poll interval on a virtual clock: each probe
+// of the backlog advances the deadline by one tick of simulated time, so
+// the gate's timeout is measured on the scenario's own clock.
+const gateTick = 100 * time.Microsecond
+
+// waitBacklog polls backlog until it reaches want or timeout elapses on
+// clk, reporting whether the backlog arrived. On the wall clock it spins
+// with Gosched exactly as before — coordination, not measurement. On a
+// virtual clock it sleeps gateTick per probe: the deadline then counts
+// simulated time, so the gate is deterministic under any machine load,
+// and the sleep parks the goroutine so the clock driver can advance past
+// a stream that never builds the backlog instead of deadlocking the run.
+func waitBacklog(clk clock.Clock, backlog func() int, want int, timeout time.Duration) bool {
+	deadline := clk.Now().Add(timeout)
+	for backlog() < want {
+		if !clk.Now().Before(deadline) {
+			return false
+		}
+		if clock.IsWall(clk) {
+			runtime.Gosched()
+		} else {
+			clk.Sleep(gateTick)
+		}
+	}
+	return true
 }
 
 // codecResult is one mode's measurements in the codec scenario.
@@ -443,6 +472,7 @@ func runCodec(spec string, size, ops int, bw float64, jsonOut bool) {
 			tier = ct
 			res.Mode = parsed.String()
 		}
+		//mlpvet:allow clockcheck codec scenario measures real codec CPU against real throttle time
 		t0 := time.Now()
 		for i := 0; i < ops; i++ {
 			if err := tier.Write(ctx, fmt.Sprintf("obj-%d", i), payload); err != nil {
@@ -450,8 +480,10 @@ func runCodec(spec string, size, ops int, bw float64, jsonOut bool) {
 				os.Exit(1)
 			}
 		}
+		//mlpvet:allow clockcheck codec scenario measures real codec CPU against real throttle time
 		res.WriteMBps = float64(ops*size) / time.Since(t0).Seconds() / 1e6
 		dst := make([]byte, size)
+		//mlpvet:allow clockcheck codec scenario measures real codec CPU against real throttle time
 		t0 = time.Now()
 		for i := 0; i < ops; i++ {
 			if err := tier.Read(ctx, fmt.Sprintf("obj-%d", i), dst); err != nil {
@@ -459,6 +491,7 @@ func runCodec(spec string, size, ops int, bw float64, jsonOut bool) {
 				os.Exit(1)
 			}
 		}
+		//mlpvet:allow clockcheck codec scenario measures real codec CPU against real throttle time
 		res.ReadMBps = float64(ops*size) / time.Since(t0).Seconds() / 1e6
 		res.Ratio = 1
 		if ct != nil {

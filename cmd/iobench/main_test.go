@@ -1,8 +1,12 @@
 package main
 
+//mlpvet:allowfile clockcheck the real-time bound on the virtual scenario is itself the assertion
+
 import (
 	"testing"
 	"time"
+
+	"github.com/datastates/mlpoffload/internal/clock"
 )
 
 // TestMixedVirtualSLO runs the checkpoint-storm-vs-demand-fetch scenario
@@ -54,4 +58,64 @@ func TestMixedVirtualSLO(t *testing.T) {
 	if classed.CheckpointOps == 0 {
 		t.Error("classed mode starved the checkpoint stream completely")
 	}
+}
+
+// TestWaitBacklogVirtualDeterminism pins down the saturation gate's
+// virtual-clock behavior: its timeout is measured in simulated time, in
+// exact gateTick steps, so the gate burns the same simulated duration on
+// any machine under any load — the wall-clock deadline it replaced could
+// expire before a loaded CI box ever scheduled the background stream.
+func TestWaitBacklogVirtualDeterminism(t *testing.T) {
+	newClk := func() (clock.Clock, func()) {
+		v := clock.NewVirtual()
+		stop := make(chan struct{})
+		go v.Drive(stop)
+		return v, func() { close(stop) }
+	}
+
+	t.Run("timeout elapses in exact simulated time", func(t *testing.T) {
+		clk, stop := newClk()
+		defer stop()
+		// 10ms of simulated timeout is 100 exact gateTick probes; the
+		// production 500ms would be 5000 probes of the same arithmetic.
+		start := clk.Now()
+		if waitBacklog(clk, func() int { return 0 }, 4, 10*time.Millisecond) {
+			t.Fatal("backlog never arrived but waitBacklog reported success")
+		}
+		if got := clk.Since(start); got != 10*time.Millisecond {
+			t.Fatalf("gate burned %v of simulated time, want exactly 10ms", got)
+		}
+	})
+
+	t.Run("present backlog costs no simulated time", func(t *testing.T) {
+		clk, stop := newClk()
+		defer stop()
+		start := clk.Now()
+		if !waitBacklog(clk, func() int { return 9 }, 4, 500*time.Millisecond) {
+			t.Fatal("backlog present but waitBacklog reported timeout")
+		}
+		if got := clk.Since(start); got != 0 {
+			t.Fatalf("gate burned %v of simulated time, want 0", got)
+		}
+	})
+
+	t.Run("late backlog costs exactly the probes it took", func(t *testing.T) {
+		clk, stop := newClk()
+		defer stop()
+		start := clk.Now()
+		calls := 0
+		arrives := func() int {
+			calls++
+			if calls > 10 {
+				return 4
+			}
+			return 0
+		}
+		if !waitBacklog(clk, arrives, 4, 500*time.Millisecond) {
+			t.Fatal("backlog arrived within the timeout but waitBacklog reported timeout")
+		}
+		if got, want := clk.Since(start), 10*gateTick; got != want {
+			t.Fatalf("gate burned %v of simulated time, want exactly %v (10 probes)", got, want)
+		}
+	})
 }

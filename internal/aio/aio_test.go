@@ -1,5 +1,7 @@
 package aio
 
+//mlpvet:allowfile clockcheck real sleeps and timeout guards exercise genuine goroutine interleaving
+
 import (
 	"bytes"
 	"context"

@@ -192,6 +192,7 @@ func (w *Writer) Write(ctx context.Context, step int, plan Plan, fetch Fetcher, 
 		}
 		if release != nil {
 			go func(op *aio.Op, buf []byte) {
+				//mlpvet:allow aioop completion only gates the buffer release; the op is on q and its error is collected below
 				_ = op.Wait()
 				release(buf)
 			}(op, data)

@@ -1,5 +1,7 @@
 package checkpoint
 
+//mlpvet:allowfile clockcheck the test paces a slow tier with real sleeps and stamps with real time
+
 import (
 	"context"
 	"errors"

@@ -329,6 +329,7 @@ func (e *Engine) waitDeletes() {
 	e.pendingDeletes = nil
 	e.mu.Unlock()
 	for _, op := range dels {
+		//mlpvet:allow aioop a failed reclamation delete only orphans bytes; see the function comment
 		_ = op.Wait()
 	}
 	e.mu.Lock()
@@ -367,7 +368,7 @@ func (e *Engine) awaitRead(tier int, op *aio.Op, key string, dst []byte) (*aio.O
 // synchronous read path every cold-path reader (gather, checkpoint
 // staging fetch, restore) shares.
 func (e *Engine) readSyncRetry(tier int, key string, dst []byte) error {
-	op, err := e.aios[tier].SubmitRead(key, dst)
+	op, err := e.aios[tier].SubmitReadClass(aio.DemandFetch, key, dst)
 	if err != nil {
 		return err
 	}
@@ -514,6 +515,7 @@ func (e *Engine) backward(iter int, accumStep int, lastAccum bool) error {
 			e.flushWG.Add(1)
 			go func() {
 				defer e.flushWG.Done()
+				//mlpvet:allow aioop completion only gates the buffer return; the op sits on pendingGrads and its error is collected at the phase barrier
 				_ = op.Wait()
 				e.gradPool.Put(buf)
 			}()

@@ -291,6 +291,7 @@ func (e *Engine) copyState(sg, from, to int) error {
 	dt := e.deleteTickets[sg]
 	e.mu.Unlock()
 	if dt != nil {
+		//mlpvet:allow aioop ordering barrier only: the migration must not write under an in-flight delete; the delete's outcome is irrelevant
 		_ = dt.Wait()
 	}
 

@@ -251,6 +251,7 @@ func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer)
 				break
 			}
 			writes = append(writes, wop)
+			//mlpvet:allow aioop completion only gates the buffer return; the op is on writes and its error is collected below
 			go func(op *aio.Op, buf []byte) { _ = op.Wait(); bufpool.Put(buf); <-sem }(wop, buf)
 		}
 		for _, op := range writes {
@@ -327,6 +328,7 @@ func (e *Engine) Checkpoint(ctx context.Context, step int, w *checkpoint.Writer)
 	close(stop)
 	for s := range stageCh {
 		if s.op != nil {
+			//mlpvet:allow aioop abandoned staging read; waiting only quiesces the buffer before pooling
 			_ = s.op.Wait()
 		}
 		if s.err == nil {

@@ -244,6 +244,7 @@ func (e *Engine) issueItems(run *phaseRun, order []int, window chan struct{}, wo
 			<-mt.done
 			e.cacheMu.Lock()
 		}
+		//mlpvet:allow pinpair pinned for the whole fetch-update-commit pipeline; the committer unpins after flushEvicted
 		e.lru.Pin(sgID)
 		tier := e.loc[sgID]
 		e.cacheMu.Unlock()
@@ -388,9 +389,11 @@ func (e *Engine) adoptGrads(sg *subgroup.Subgroup, gbuf []byte) []byte {
 // a transfer in flight), and frees the fetch slot. Waiting an op that
 // already completed — or was already waited — returns immediately.
 func (e *Engine) releaseFetch(pf *pendingFetch) {
+	//mlpvet:allow aioop the fetch is being abandoned; waiting only quiesces the buffer before pooling
 	_ = pf.stateOp.Wait()
 	e.fetchPool.Put(pf.stateBuf)
 	if pf.gradOp != nil {
+		//mlpvet:allow aioop the fetch is being abandoned; waiting only quiesces the buffer before pooling
 		_ = pf.gradOp.Wait()
 		e.gradPool.Put(pf.gradBuf)
 	}
@@ -442,6 +445,7 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 		// error path release only the grad fetch and the prefetch slot.
 		if err := e.adoptState(sg, pf.stateBuf, size); err != nil {
 			if pf.gradOp != nil {
+				//mlpvet:allow aioop adoption failed and the grad fetch is abandoned; waiting only quiesces the buffer before pooling
 				_ = pf.gradOp.Wait()
 				e.gradPool.Put(pf.gradBuf)
 			}

@@ -147,6 +147,7 @@ func sleepCtx(ctx context.Context, clock Clock, d time.Duration) error {
 		clock.Sleep(d)
 		return ctx.Err()
 	}
+	//mlpvet:allow clockcheck wall-clock branch: IsWall guarded above, a real timer is the only way to race ctx.Done
 	t := time.NewTimer(d)
 	defer t.Stop()
 	select {

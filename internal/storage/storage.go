@@ -635,6 +635,14 @@ type FaultTier struct {
 	FailWrites bool
 }
 
+// SetFailEvery rearms (or disarms, with 0) the injector. Unlike writing
+// the field directly, it is safe while operations are in flight.
+func (f *FaultTier) SetFailEvery(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.FailEvery = n
+}
+
 // shouldFail advances the op counter and reports whether to inject.
 func (f *FaultTier) shouldFail() bool {
 	f.mu.Lock()

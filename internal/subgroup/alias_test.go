@@ -1,5 +1,7 @@
 package subgroup
 
+//mlpvet:allowfile unsafeconfine the test asserts the exact alias layout f32view's contract depends on
+
 import (
 	"encoding/binary"
 	"math"

@@ -1,5 +1,7 @@
 package tierlock
 
+//mlpvet:allowfile clockcheck lease expiry is wall-clock by design; the test measures it for real
+
 import (
 	"context"
 	"runtime"

@@ -1,0 +1,61 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API: an Analyzer is a named check with a
+// Run function over one type-checked package, and a Pass carries the
+// syntax, type information and diagnostic sink for one (analyzer,
+// package) pair.
+//
+// The repository's main module is deliberately zero-dependency and this
+// tools module keeps the same discipline (the build environment has no
+// module proxy), so instead of importing x/tools we vendor the small
+// slice of its surface the mlpvet analyzers need. The shapes are kept
+// API-compatible on purpose: if the toolchain ever grows a vendored
+// x/tools, each analyzer ports by swapping this import for
+// golang.org/x/tools/go/analysis and deleting nothing else.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //mlpvet:allow directives. By convention it is the package name.
+	Name string
+
+	// Doc is the analyzer's documentation: first line is a summary, the
+	// rest explains the invariant it enforces.
+	Doc string
+
+	// Run applies the analyzer to one package. It reports findings via
+	// Pass.Report and returns an optional result (unused by mlpvet) and
+	// an error for analysis failures (not findings).
+	Run func(*Pass) (any, error)
+}
+
+// Pass is the interface between the driver and one analyzer run over one
+// package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,216 @@
+// Package analysistest runs an analyzer over fixture packages under
+// testdata/src and checks its diagnostics against // want comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures resolve imports GOPATH-style: import "a/b" loads
+// testdata/src/a/b. The harness is hermetic — stdlib packages a fixture
+// mentions (time, …) are stub packages in testdata too, so suites run
+// without a module proxy, a GOROOT source tree, or the go command. Only
+// "unsafe" is built in. Stub functions may be bodiless; the type checker
+// does not mind.
+//
+// Expectations attach to the line of the comment:
+//
+//	time.Now() // want `direct time\.Now`
+//
+// Multiple expectations: // want `re1` `re2`. An expectation may also sit
+// inside another comment (a //mlpvet:allow directive under test appends
+// `// want ...` to its text; package directive strips it from the
+// reason).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/datastates/mlpoffload/tools/analyzers/analysis"
+)
+
+// Run loads each fixture package and applies a, failing t on any
+// mismatch between reported diagnostics and // want expectations in that
+// package's files.
+func Run(t *testing.T, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	testdata, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range pkgpaths {
+		t.Run(path, func(t *testing.T) {
+			runOne(t, testdata, a, path)
+		})
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	ld := &loader{testdata: testdata, fset: fset, pkgs: map[string]*types.Package{}}
+
+	files, info, pkg, err := ld.load(pkgpath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgpath, err)
+	}
+
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	sort.Slice(got, func(i, j int) bool { return got[i].Pos < got[j].Pos })
+	for _, d := range got {
+		p := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		if !wants.match(key, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	wants.reportUnmatched(t)
+}
+
+// loader resolves fixture packages from testdata/src, caching by import
+// path so mutually-importing fixtures type-check once.
+type loader struct {
+	testdata string
+	fset     *token.FileSet
+	pkgs     map[string]*types.Package
+	// infoFor captures the last loaded package's syntax and info for the
+	// package under test; dependency loads discard theirs.
+}
+
+func (l *loader) load(path string) ([]*ast.File, *types.Info, *types.Package, error) {
+	dir := filepath.Join(l.testdata, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil, nil, fmt.Errorf("no .go files under %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: (*fixtureImporter)(l)}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	l.pkgs[path] = pkg
+	return files, info, pkg, nil
+}
+
+type fixtureImporter loader
+
+func (f *fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	l := (*loader)(f)
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	_, _, pkg, err := l.load(path)
+	if err != nil {
+		return nil, fmt.Errorf("fixture import %q (add a stub under testdata/src/%s): %w", path, path, err)
+	}
+	return pkg, nil
+}
+
+// wantSet maps "file:line" to pending expectations.
+type wantSet struct {
+	fset    *token.FileSet
+	pending map[string][]*wantExp
+}
+
+type wantExp struct {
+	re      *regexp.Regexp
+	raw     string
+	pos     token.Position
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)")
+var tokenRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) *wantSet {
+	t.Helper()
+	ws := &wantSet{fset: fset, pending: map[string][]*wantExp{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, tok := range tokenRE.FindAllString(m[1], -1) {
+					raw := tok[1 : len(tok)-1]
+					if tok[0] == '"' {
+						raw = strings.NewReplacer(`\"`, `"`, `\\`, `\`).Replace(raw)
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+					}
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					ws.pending[key] = append(ws.pending[key], &wantExp{re: re, raw: raw, pos: pos})
+				}
+			}
+		}
+	}
+	return ws
+}
+
+func (w *wantSet) match(key, message string) bool {
+	for _, exp := range w.pending[key] {
+		if !exp.matched && exp.re.MatchString(message) {
+			exp.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (w *wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	for _, exps := range w.pending {
+		for _, exp := range exps {
+			if !exp.matched {
+				t.Errorf("%s: no diagnostic matched want %q", exp.pos, exp.raw)
+			}
+		}
+	}
+}

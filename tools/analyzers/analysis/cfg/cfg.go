@@ -1,0 +1,423 @@
+// Package cfg builds intra-procedural control-flow graphs over Go
+// function bodies, in the spirit of golang.org/x/tools/go/cfg. The
+// path-sensitive mlpvet analyzers (bufown's buffer-ownership tracking,
+// pinpair's Pin/Unpin pairing) walk these graphs instead of the raw AST
+// so that "on every path to a return" means exactly that.
+//
+// A Block holds the atomic nodes executed in order when control enters
+// it: simple statements, and the evaluated sub-parts of composite
+// statements (an if condition, a for post statement, a range operand).
+// Composite statements never appear whole in a block — their bodies live
+// in successor blocks — so an analyzer may ast.Inspect every node of a
+// block without double-visiting controlled code. Function literals are
+// not inlined: a FuncLit appears inside the statement that mentions it,
+// and its body is a separate function for analysis purposes.
+//
+// Terminator calls (panic, os.Exit) end a path without an edge to Exit:
+// an obligation still pending on a panicking path is not a "leaks before
+// return" finding, the process is unwinding.
+package cfg
+
+import (
+	"go/ast"
+)
+
+// Block is one basic block: nodes executed in order, then a transfer to
+// one of Succs (an empty Succs on a non-Exit block means the path ends —
+// a terminator call or unreachable code).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// CFG is the control-flow graph of one function body.
+type CFG struct {
+	// Blocks[0] is Entry, Blocks[1] is Exit. Exit has no nodes; every
+	// return statement and the fall-off-the-end path edge into it.
+	Blocks []*Block
+
+	// Defers are the defer statements seen anywhere in the body. They
+	// run at every exit from the function, so analyzers treat an
+	// obligation discharged in a defer as discharged on all paths.
+	Defers []*ast.DeferStmt
+}
+
+// Entry is the block control enters first.
+func (c *CFG) Entry() *Block { return c.Blocks[0] }
+
+// Exit is the synthetic block every return reaches.
+func (c *CFG) Exit() *Block { return c.Blocks[1] }
+
+// New builds the CFG of one function body. isTerminator reports whether
+// a call expression ends the path without returning (panic, os.Exit);
+// pass nil for the default (panic and os.Exit only — the decision uses
+// syntax, not types, so "os" must be the package name in source).
+func New(body *ast.BlockStmt, isTerminator func(*ast.CallExpr) bool) *CFG {
+	if isTerminator == nil {
+		isTerminator = defaultTerminator
+	}
+	b := &builder{
+		cfg:          &CFG{},
+		labelBlocks:  map[string]*Block{},
+		isTerminator: isTerminator,
+	}
+	entry := b.newBlock()
+	exit := b.newBlock()
+	b.exit = exit
+	b.cur = entry
+	b.stmtList(body.List)
+	b.jump(exit)
+	return b.cfg
+}
+
+// defaultTerminator recognizes panic(...) and os.Exit(...) syntactically.
+func defaultTerminator(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name == "os" && fun.Sel.Name == "Exit"
+		}
+	}
+	return false
+}
+
+// loopCtx is one enclosing breakable construct: loops also accept
+// continue (cont non-nil); switch/select accept only break.
+type loopCtx struct {
+	label string
+	brk   *Block
+	cont  *Block
+}
+
+type builder struct {
+	cfg          *CFG
+	cur          *Block // nil while the current point is unreachable
+	exit         *Block
+	loops        []loopCtx
+	labelBlocks  map[string]*Block // goto/label targets
+	pendingLabel string
+	fallTarget   *Block // next case body during switch construction
+	isTerminator func(*ast.CallExpr) bool
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// add appends an executed node to the current block.
+func (b *builder) add(n ast.Node) {
+	if b.cur != nil && n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// edge adds from→to.
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+}
+
+// jump edges the current block to target and leaves the current point
+// unreachable.
+func (b *builder) jump(target *Block) {
+	if b.cur != nil {
+		edge(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// startBlock makes a fresh block the current point, with an edge from
+// the previous current block when it was reachable.
+func (b *builder) startBlock() *Block {
+	blk := b.newBlock()
+	if b.cur != nil {
+		edge(b.cur, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+// labelBlock returns (creating on first use) the block a label names, so
+// forward gotos resolve without a second pass.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labelBlocks[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	b.labelBlocks[name] = blk
+	return blk
+}
+
+func (b *builder) findLoop(label string, needCont bool) *loopCtx {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		l := &b.loops[i]
+		if label != "" && l.label != label {
+			continue
+		}
+		if needCont && l.cont == nil {
+			continue
+		}
+		return l
+	}
+	return nil
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the label attached to the statement being built.
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	case *ast.LabeledStmt:
+		blk := b.labelBlock(s.Label.Name)
+		b.jump(blk)
+		b.cur = blk
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.isTerminator(call) {
+			b.cur = nil
+		}
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.exit)
+
+	case *ast.BranchStmt:
+		switch s.Tok.String() {
+		case "break":
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if l := b.findLoop(label, false); l != nil {
+				b.jump(l.brk)
+			} else {
+				b.cur = nil
+			}
+		case "continue":
+			label := ""
+			if s.Label != nil {
+				label = s.Label.Name
+			}
+			if l := b.findLoop(label, true); l != nil {
+				b.jump(l.cont)
+			} else {
+				b.cur = nil
+			}
+		case "goto":
+			b.jump(b.labelBlock(s.Label.Name))
+		case "fallthrough":
+			if b.fallTarget != nil {
+				b.jump(b.fallTarget)
+			} else {
+				b.cur = nil
+			}
+		}
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		join := b.newBlock()
+		// then
+		b.startBlock()
+		b.stmtList(s.Body.List)
+		b.jump(join)
+		// else
+		if s.Else != nil {
+			b.cur = b.newBlock()
+			if cond != nil {
+				edge(cond, b.cur)
+			}
+			b.stmt(s.Else)
+			b.jump(join)
+		} else if cond != nil {
+			edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		after := b.newBlock()
+		if s.Cond != nil {
+			edge(head, after)
+		}
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock()
+		} else {
+			post = head
+		}
+		b.loops = append(b.loops, loopCtx{label: label, brk: after, cont: post})
+		b.cur = b.newBlock()
+		edge(head, b.cur)
+		b.stmtList(s.Body.List)
+		b.jump(post)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.jump(head)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		head := b.newBlock()
+		b.jump(head)
+		b.cur = head
+		// The per-iteration key/value assignment happens at the head.
+		if s.Key != nil {
+			b.add(s.Key)
+		}
+		if s.Value != nil {
+			b.add(s.Value)
+		}
+		after := b.newBlock()
+		edge(head, after)
+		b.loops = append(b.loops, loopCtx{label: label, brk: after, cont: head})
+		b.cur = b.newBlock()
+		edge(head, b.cur)
+		b.stmtList(s.Body.List)
+		b.jump(head)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(label, s.Body, func(c *ast.CaseClause) {
+			for _, e := range c.List {
+				b.add(e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(label, s.Body, nil)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		join := b.newBlock()
+		b.loops = append(b.loops, loopCtx{label: label, brk: join})
+		anyClause := false
+		for _, c := range s.Body.List {
+			comm := c.(*ast.CommClause)
+			anyClause = true
+			b.cur = b.newBlock()
+			if head != nil {
+				edge(head, b.cur)
+			}
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.jump(join)
+		}
+		b.loops = b.loops[:len(b.loops)-1]
+		if !anyClause {
+			// select{} blocks forever.
+			b.cur = nil
+			return
+		}
+		b.cur = join
+
+	default:
+		// AssignStmt, DeclStmt, SendStmt, IncDecStmt, GoStmt, and
+		// anything exotic: a straight-line node.
+		b.add(s)
+	}
+}
+
+// switchBody builds the clause blocks of a switch or type switch. Every
+// clause gets an edge from the dispatch block; fallthrough edges to the
+// next clause's body. A missing default adds a dispatch→join edge.
+func (b *builder) switchBody(label string, body *ast.BlockStmt, caseExprs func(*ast.CaseClause)) {
+	dispatch := b.cur
+	join := b.newBlock()
+	b.loops = append(b.loops, loopCtx{label: label, brk: join})
+
+	var clauses []*ast.CaseClause
+	for _, c := range body.List {
+		clauses = append(clauses, c.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock()
+		if dispatch != nil {
+			edge(dispatch, blocks[i])
+		}
+	}
+	hasDefault := false
+	for i, c := range clauses {
+		if c.List == nil {
+			hasDefault = true
+		}
+		b.cur = blocks[i]
+		if caseExprs != nil && c.List != nil {
+			caseExprs(c)
+		}
+		if i+1 < len(blocks) {
+			b.fallTarget = blocks[i+1]
+		} else {
+			b.fallTarget = nil
+		}
+		b.stmtList(c.Body)
+		b.fallTarget = nil
+		b.jump(join)
+	}
+	if !hasDefault && dispatch != nil {
+		edge(dispatch, join)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.cur = join
+}

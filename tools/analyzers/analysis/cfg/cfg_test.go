@@ -1,0 +1,262 @@
+package cfg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src as the body of a function and returns its CFG plus a
+// renderer for assertions.
+func build(t *testing.T, body string) (*CFG, *token.FileSet) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	return New(fn.Body, nil), fset
+}
+
+// render prints "i: node; node → succs" per block for debugging and
+// shape assertions.
+func render(c *CFG, fset *token.FileSet) string {
+	var out strings.Builder
+	for _, b := range c.Blocks {
+		fmt.Fprintf(&out, "%d:", b.Index)
+		for _, n := range b.Nodes {
+			var buf bytes.Buffer
+			printer.Fprint(&buf, fset, n)
+			fmt.Fprintf(&out, " [%s]", strings.Join(strings.Fields(buf.String()), " "))
+		}
+		fmt.Fprintf(&out, " ->")
+		for _, s := range b.Succs {
+			fmt.Fprintf(&out, " %d", s.Index)
+		}
+		fmt.Fprintln(&out)
+	}
+	return out.String()
+}
+
+// reaches reports whether dst is reachable from src.
+func reaches(src, dst *Block) bool {
+	seen := map[*Block]bool{}
+	var dfs func(*Block) bool
+	dfs = func(b *Block) bool {
+		if b == dst {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if dfs(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(src)
+}
+
+// blockOf finds the block containing a node whose printed form contains
+// needle.
+func blockOf(t *testing.T, c *CFG, fset *token.FileSet, needle string) *Block {
+	t.Helper()
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			var buf bytes.Buffer
+			printer.Fprint(&buf, fset, n)
+			if strings.Contains(buf.String(), needle) {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block contains %q in:\n%s", needle, render(c, fset))
+	return nil
+}
+
+func TestIfEarlyReturn(t *testing.T) {
+	c, fset := build(t, `
+		a()
+		if cond() {
+			return
+		}
+		b()
+	`)
+	aB := blockOf(t, c, fset, "a()")
+	bB := blockOf(t, c, fset, "b()")
+	if !reaches(aB, bB) {
+		t.Errorf("a() should reach b():\n%s", render(c, fset))
+	}
+	if !reaches(aB, c.Exit()) {
+		t.Errorf("a() should reach exit")
+	}
+	// The then-branch returns: its block must reach exit without b().
+	retB := blockOf(t, c, fset, "return")
+	if reaches(retB, bB) {
+		t.Errorf("return path must not reach b():\n%s", render(c, fset))
+	}
+}
+
+func TestForBreakContinue(t *testing.T) {
+	c, fset := build(t, `
+		for i := 0; i < n; i++ {
+			if x() {
+				continue
+			}
+			if y() {
+				break
+			}
+			body()
+		}
+		after()
+	`)
+	bodyB := blockOf(t, c, fset, "body()")
+	afterB := blockOf(t, c, fset, "after()")
+	incB := blockOf(t, c, fset, "i++")
+	if !reaches(bodyB, incB) {
+		t.Errorf("body() should reach i++ (loop back):\n%s", render(c, fset))
+	}
+	if !reaches(bodyB, afterB) {
+		t.Errorf("body() should reach after() via loop exit")
+	}
+	// continue skips y()/body() on its path: the continue edge lands on
+	// the post statement.
+	xB := blockOf(t, c, fset, "x()")
+	if !reaches(xB, incB) {
+		t.Errorf("continue should reach i++")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	c, fset := build(t, `
+		switch v {
+		case 1:
+			one()
+			fallthrough
+		case 2:
+			two()
+		default:
+			def()
+		}
+		after()
+	`)
+	oneB := blockOf(t, c, fset, "one()")
+	twoB := blockOf(t, c, fset, "two()")
+	defB := blockOf(t, c, fset, "def()")
+	if !reaches(oneB, twoB) {
+		t.Errorf("fallthrough: one() should reach two():\n%s", render(c, fset))
+	}
+	if reaches(oneB, defB) {
+		t.Errorf("one() must not reach def()")
+	}
+	afterB := blockOf(t, c, fset, "after()")
+	for _, b := range []*Block{oneB, twoB, defB} {
+		if !reaches(b, afterB) {
+			t.Errorf("case should reach after():\n%s", render(c, fset))
+		}
+	}
+}
+
+func TestTerminatorEndsPath(t *testing.T) {
+	c, fset := build(t, `
+		a()
+		if bad {
+			panic("x")
+		}
+		b()
+	`)
+	panicB := blockOf(t, c, fset, `panic("x")`)
+	if reaches(panicB, c.Exit()) {
+		t.Errorf("panic path must not reach exit:\n%s", render(c, fset))
+	}
+	if reaches(panicB, blockOf(t, c, fset, "b()")) {
+		t.Errorf("panic path must not reach b()")
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	c, _ := build(t, `
+		defer cleanup()
+		if x {
+			defer other()
+		}
+	`)
+	if len(c.Defers) != 2 {
+		t.Fatalf("got %d defers, want 2", len(c.Defers))
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	c, fset := build(t, `
+		a()
+		if bad {
+			goto out
+		}
+		b()
+	out:
+		after()
+	`)
+	aB := blockOf(t, c, fset, "a()")
+	bB := blockOf(t, c, fset, "b()")
+	afterB := blockOf(t, c, fset, "after()")
+	if !reaches(aB, afterB) || !reaches(bB, afterB) {
+		t.Errorf("goto target should be reachable:\n%s", render(c, fset))
+	}
+	// The goto path skips b().
+	gotoSrc := blockOf(t, c, fset, "bad")
+	_ = gotoSrc
+	if !reaches(aB, bB) {
+		t.Errorf("fallthrough path should reach b()")
+	}
+}
+
+func TestRangeLoop(t *testing.T) {
+	c, fset := build(t, `
+		for _, v := range xs {
+			if skip(v) {
+				continue
+			}
+			use(v)
+		}
+		after()
+	`)
+	useB := blockOf(t, c, fset, "use(v)")
+	afterB := blockOf(t, c, fset, "after()")
+	if !reaches(useB, afterB) {
+		t.Errorf("range body should reach after():\n%s", render(c, fset))
+	}
+	if !reaches(useB, useB) {
+		t.Errorf("range body should loop back to itself")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	c, fset := build(t, `
+		select {
+		case <-ch:
+			a()
+		case v := <-other:
+			b(v)
+		}
+		after()
+	`)
+	aB := blockOf(t, c, fset, "a()")
+	bB := blockOf(t, c, fset, "b(v)")
+	afterB := blockOf(t, c, fset, "after()")
+	if !reaches(aB, afterB) || !reaches(bB, afterB) {
+		t.Errorf("select branches should reach after():\n%s", render(c, fset))
+	}
+	if reaches(aB, bB) {
+		t.Errorf("select branches must be exclusive")
+	}
+}

@@ -1,0 +1,210 @@
+// Command mlpvet runs the repository's invariant analyzers — clockcheck,
+// bufown, pinpair, aioop, unsafeconfine — over Go package patterns.
+//
+// Standalone (must run from inside the module under analysis):
+//
+//	go run ./tools/analyzers/cmd/mlpvet ./...          # non-test files
+//	go run ./tools/analyzers/cmd/mlpvet -tests ./...   # plus _test.go
+//
+// Or as a vet tool, which analyzes whatever the build analyzes:
+//
+//	go build -o mlpvet ./tools/analyzers/cmd/mlpvet
+//	go vet -vettool=./mlpvet ./...
+//
+// Diagnostics print as file:line:col: [analyzer] message; the exit code
+// is 1 (standalone) or 2 (vet mode) when any finding is reported.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/datastates/mlpoffload/tools/analyzers/analysis"
+	"github.com/datastates/mlpoffload/tools/analyzers/loader"
+	"github.com/datastates/mlpoffload/tools/analyzers/passes/aioop"
+	"github.com/datastates/mlpoffload/tools/analyzers/passes/bufown"
+	"github.com/datastates/mlpoffload/tools/analyzers/passes/clockcheck"
+	"github.com/datastates/mlpoffload/tools/analyzers/passes/pinpair"
+	"github.com/datastates/mlpoffload/tools/analyzers/passes/unsafeconfine"
+)
+
+var analyzers = []*analysis.Analyzer{
+	clockcheck.Analyzer,
+	bufown.Analyzer,
+	pinpair.Analyzer,
+	aioop.Analyzer,
+	unsafeconfine.Analyzer,
+}
+
+func main() {
+	// The go vet driver probes its tool before use: -V=full must print a
+	// version line, -flags the extra flags the tool accepts (none).
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			// The go command derives a tool ID from this line and requires
+			// the buildID= token; hash the binary so rebuilding mlpvet
+			// invalidates vet's caches.
+			exe, _ := os.Executable()
+			data, _ := os.ReadFile(exe)
+			fmt.Printf("%s version devel buildID=%02x\n", filepath.Base(exe), sha256.Sum256(data))
+			return
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(vetUnit(os.Args[1]))
+	}
+
+	tests := flag.Bool("tests", false, "also analyze _test.go files")
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := loader.Load(patterns, *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlpvet:", err)
+		os.Exit(1)
+	}
+	n := 0
+	for _, pkg := range pkgs {
+		n += runAnalyzers(pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, os.Stdout)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "mlpvet: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// runAnalyzers applies every analyzer to one package and prints its
+// diagnostics sorted by position, returning the count.
+func runAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, w io.Writer) int {
+	type finding struct {
+		pos      token.Position
+		analyzer string
+		message  string
+	}
+	var findings []finding
+	for _, a := range analyzers {
+		name := a.Name
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d analysis.Diagnostic) {
+				findings = append(findings, finding{fset.Position(d.Pos), name, d.Message})
+			},
+		}
+		if _, err := a.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "mlpvet: %s on %s: %v\n", a.Name, pkg.Path(), err)
+			os.Exit(1)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].pos, findings[j].pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s: [%s] %s\n", f.pos, f.analyzer, f.message)
+	}
+	return len(findings)
+}
+
+// vetConfig is the subset of the go vet unitchecker config mlpvet reads.
+type vetConfig struct {
+	ID         string
+	Dir        string
+	ImportPath string
+	GoFiles    []string
+	VetxOnly   bool
+	VetxOutput string
+}
+
+// vetUnit analyzes one compilation unit handed over by `go vet
+// -vettool`. mlpvet keeps no cross-package facts, so the vetx exchange
+// file is always empty; VetxOnly units (dependencies loaded for facts
+// only) are satisfied by just writing it.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlpvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "mlpvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	writeVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, "mlpvet:", err)
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		writeVetx()
+		return 0
+	}
+	// The source importer resolves in-module paths relative to the
+	// working directory; run from the unit's own directory.
+	if cfg.Dir != "" {
+		if err := os.Chdir(cfg.Dir); err != nil {
+			fmt.Fprintln(os.Stderr, "mlpvet:", err)
+			return 1
+		}
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlpvet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mlpvet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	n := runAnalyzers(fset, files, pkg, info, os.Stderr)
+	writeVetx()
+	if n > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,3 @@
+module github.com/datastates/mlpoffload/tools/analyzers
+
+go 1.24

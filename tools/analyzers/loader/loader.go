@@ -1,0 +1,134 @@
+// Package loader resolves Go package patterns (./...) into parsed,
+// type-checked packages for the mlpvet analyzers, using only the go
+// command and the standard library: `go list -json` enumerates the
+// packages, and go/importer's source importer type-checks imports
+// straight from their sources — no export data, no module proxy.
+//
+// The source importer resolves in-module import paths through go/build,
+// which consults the go command relative to the process working
+// directory: mlpvet must therefore run from inside the module it
+// analyzes (as `go vet` and CI both naturally do).
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output mlpvet needs.
+type listEntry struct {
+	ImportPath   string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// Load enumerates patterns with the go command and type-checks each
+// package. By default only non-test sources are analyzed; includeTests
+// adds in-package _test.go files and external _test packages, which
+// carry their own allow-directives for legitimate wall-clock use.
+func Load(patterns []string, includeTests bool) ([]*Package, error) {
+	entries, err := goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.Error != nil {
+			return nil, fmt.Errorf("%s: %s", e.ImportPath, e.Error.Err)
+		}
+		sets := [][]string{e.GoFiles}
+		if includeTests {
+			sets = [][]string{append(append([]string{}, e.GoFiles...), e.TestGoFiles...)}
+			if len(e.XTestGoFiles) > 0 {
+				sets = append(sets, e.XTestGoFiles)
+			}
+		}
+		for i, names := range sets {
+			if len(names) == 0 {
+				continue
+			}
+			path := e.ImportPath
+			if i > 0 {
+				path += "_test"
+			}
+			pkg, err := check(fset, imp, path, e.Dir, names)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+func goList(patterns []string) ([]listEntry, error) {
+	args := append([]string{"list", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(&stdout)
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+func check(fset *token.FileSet, imp types.Importer, path, dir string, names []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,12 @@
+package aioop_test
+
+import (
+	"testing"
+
+	"github.com/datastates/mlpoffload/tools/analyzers/analysis/analysistest"
+	"github.com/datastates/mlpoffload/tools/analyzers/passes/aioop"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, aioop.Analyzer, "a", "directives")
+}

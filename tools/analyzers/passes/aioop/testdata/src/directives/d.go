@@ -1,0 +1,18 @@
+// Package directives exercises aioop's allow machinery: an annotated
+// discarded Wait is a documented decision; an annotation that suppresses
+// nothing is stale.
+package directives
+
+import "mlp/internal/aio"
+
+func annotated(e *aio.Engine, buf []byte) {
+	op, err := e.SubmitWriteClass(aio.Checkpoint, "k", buf)
+	if err != nil {
+		return
+	}
+	//mlpvet:allow aioop drain on shutdown; the error already surfaced on the submit path
+	_ = op.Wait()
+}
+
+//mlpvet:allow aioop nothing below discards a wait // want `stale mlpvet:allow aioop directive`
+func stale(op *aio.Op) error { return op.Wait() }

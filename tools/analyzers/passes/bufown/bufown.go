@@ -1,0 +1,424 @@
+// Package bufown tracks the ownership lifecycle of pooled buffers,
+// intra-procedurally: a slice obtained from bufpool.Get must, on every
+// control-flow path to a return, either be recycled with bufpool.Put or
+// reach a recognized ownership sink — and must never be used after Put.
+//
+// Ownership sinks are the ways a buffer legitimately leaves the local
+// function's custody: submission to a tier write (any call taking the
+// buffer), adoption into a struct (Subgroup.Backing, a staged{} literal),
+// a channel send, a return, or capture by a closure. After a sink the
+// callee/holder owns the release, so the analyzer stops tracking; after
+// bufpool.Put the buffer may be handed to another goroutine at any
+// moment, so any further use is the same bug as a use-after-free — the
+// PR 5 zero-copy bug shape.
+//
+// A path that neither Puts nor sinks the buffer is reported at the Get:
+// semantically legal (Put is optional by bufpool's contract) but an
+// allocation the pool can never recycle, which is exactly the regression
+// the zero-copy work removed from the hot path.
+package bufown
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/datastates/mlpoffload/tools/analyzers/analysis"
+	"github.com/datastates/mlpoffload/tools/analyzers/analysis/cfg"
+	"github.com/datastates/mlpoffload/tools/analyzers/directive"
+)
+
+// Analyzer enforces the Get→sink/Put buffer lifecycle.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufown",
+	Doc: `track bufpool.Get buffers: Put or sink on every path, no use after Put
+
+Every bufpool.Get result must reach bufpool.Put or an ownership sink
+(write submission, struct adoption, channel send, return, closure
+capture) on all return paths, and must not be touched once Put.`,
+	Run: run,
+}
+
+// bufpoolSuffix identifies the pool package (real tree and fixtures).
+const bufpoolSuffix = "internal/bufpool"
+
+type effect int
+
+const (
+	effNone effect = iota
+	effLocal
+	effReassign
+	effPut
+	effEscape
+)
+
+func run(pass *analysis.Pass) (any, error) {
+	if strings.HasSuffix(pass.Pkg.Path(), bufpoolSuffix) {
+		return nil, nil
+	}
+	sheet := directive.Collect(pass.Fset, pass.Files, pass.Analyzer.Name)
+	for _, f := range pass.Files {
+		for _, body := range functionBodies(f) {
+			analyzeBody(pass, sheet, body)
+		}
+	}
+	sheet.Flush(pass)
+	return nil, nil
+}
+
+// functionBodies yields every function body in the file: declarations
+// and function literals, each analyzed as its own function.
+func functionBodies(f *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				bodies = append(bodies, n.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, n.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// point is a position inside the CFG: the idx-th node of a block.
+type point struct {
+	block *cfg.Block
+	idx   int
+}
+
+type tracker struct {
+	pass    *analysis.Pass
+	sheet   *directive.Sheet
+	graph   *cfg.CFG
+	parents map[ast.Node]ast.Node
+}
+
+func analyzeBody(pass *analysis.Pass, sheet *directive.Sheet, body *ast.BlockStmt) {
+	tr := &tracker{
+		pass:    pass,
+		sheet:   sheet,
+		graph:   cfg.New(body, nil),
+		parents: buildParents(body),
+	}
+
+	for _, b := range tr.graph.Blocks {
+		for i, n := range b.Nodes {
+			// Gets and Puts nested in a function literal belong to that
+			// literal's own analysis pass.
+			for _, get := range tr.getEvents(n) {
+				if get.v == nil {
+					if !sheet.Allowed(get.call.Pos()) {
+						pass.Reportf(get.call.Pos(), "result of bufpool.Get dropped: the buffer can never be recycled")
+					}
+					continue
+				}
+				tr.checkLeak(get, point{b, i + 1})
+			}
+			for _, put := range tr.putEvents(n) {
+				tr.checkUseAfterPut(put, point{b, i + 1})
+			}
+		}
+	}
+}
+
+type getEvent struct {
+	call *ast.CallExpr
+	v    types.Object // nil when the result is discarded
+}
+
+// getEvents finds bufpool.Get calls in node (not inside nested function
+// literals) whose result defines a trackable local, or is dropped.
+func (tr *tracker) getEvents(node ast.Node) []getEvent {
+	var events []getEvent
+	inspectSkipFuncLit(node, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !tr.isBufpoolCall(call, "Get") {
+			return
+		}
+		switch p := tr.parents[call].(type) {
+		case *ast.AssignStmt:
+			if len(p.Rhs) == 1 && p.Rhs[0] == call && len(p.Lhs) == 1 {
+				if id, ok := p.Lhs[0].(*ast.Ident); ok {
+					if id.Name == "_" {
+						events = append(events, getEvent{call: call})
+						return
+					}
+					if v := tr.objOf(id); v != nil {
+						events = append(events, getEvent{call: call, v: v})
+						return
+					}
+				}
+			}
+			// Get feeding a larger expression or multi-assign: treat as
+			// immediately sunk (a holder exists).
+		case *ast.ExprStmt:
+			events = append(events, getEvent{call: call})
+		}
+	})
+	return events
+}
+
+type putEvent struct {
+	call *ast.CallExpr
+	v    types.Object
+}
+
+// putEvents finds non-deferred bufpool.Put(v) calls on a plain local in
+// node, excluding nested function literals.
+func (tr *tracker) putEvents(node ast.Node) []putEvent {
+	var events []putEvent
+	inspectSkipFuncLit(node, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !tr.isBufpoolCall(call, "Put") || len(call.Args) != 1 {
+			return
+		}
+		if tr.insideDefer(call) {
+			return // runs at exit: later uses on the path are fine
+		}
+		if id := baseIdent(call.Args[0]); id != nil {
+			if v := tr.objOf(id); v != nil {
+				events = append(events, putEvent{call: call, v: v})
+			}
+		}
+	})
+	return events
+}
+
+// checkLeak walks forward from the Get: every path must discharge the
+// buffer (Put or escape) before reaching Exit.
+func (tr *tracker) checkLeak(get getEvent, start point) {
+	visited := map[*cfg.Block]bool{}
+	var walk func(p point) bool // true when a leaking path was found
+	walk = func(p point) bool {
+		for i := p.idx; i < len(p.block.Nodes); i++ {
+			switch tr.classify(p.block.Nodes[i], get.v) {
+			case effPut, effEscape:
+				return false
+			case effReassign:
+				return tr.reportLeak(get, "overwritten")
+			}
+		}
+		for _, s := range p.block.Succs {
+			if s == tr.graph.Exit() {
+				return tr.reportLeak(get, "a return path")
+			}
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if walk(point{s, 0}) {
+				return true
+			}
+		}
+		return false
+	}
+	walk(start)
+}
+
+func (tr *tracker) reportLeak(get getEvent, where string) bool {
+	if !tr.sheet.Allowed(get.call.Pos()) {
+		tr.pass.Reportf(get.call.Pos(), "buffer from bufpool.Get leaks on %s: no bufpool.Put and no ownership sink (write submission, adoption, send, return)", where)
+	}
+	return true
+}
+
+// checkUseAfterPut walks forward from a Put: any use of the buffer
+// before reassignment is a use-after-free against the pool.
+func (tr *tracker) checkUseAfterPut(put putEvent, start point) {
+	visited := map[*cfg.Block]bool{}
+	var walk func(p point) bool
+	walk = func(p point) bool {
+		for i := p.idx; i < len(p.block.Nodes); i++ {
+			n := p.block.Nodes[i]
+			switch tr.classify(n, put.v) {
+			case effReassign:
+				return false
+			case effLocal, effPut, effEscape:
+				if !tr.sheet.Allowed(n.Pos()) {
+					tr.pass.Reportf(n.Pos(), "%s used after bufpool.Put: the pool may already have recycled it", put.v.Name())
+				}
+				return true
+			}
+		}
+		for _, s := range p.block.Succs {
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if walk(point{s, 0}) {
+				return true
+			}
+		}
+		return false
+	}
+	walk(start)
+}
+
+// classify aggregates v's uses inside one executed node. Escape
+// dominates (ownership moved), then Put, then reassignment, then plain
+// local reads.
+func (tr *tracker) classify(node ast.Node, v types.Object) effect {
+	agg := effNone
+	ast.Inspect(node, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || tr.pass.TypesInfo.Uses[id] != v {
+			return true
+		}
+		e := tr.climb(id, node)
+		if e > agg {
+			agg = e
+		}
+		return true
+	})
+	return agg
+}
+
+// climb walks from an occurrence of the tracked variable up to the
+// enclosing executed node, classifying the use by the first significant
+// context.
+func (tr *tracker) climb(id *ast.Ident, root ast.Node) effect {
+	var child ast.Node = id
+	for node := tr.parents[child]; child != root && node != nil; child, node = node, tr.parents[node] {
+		switch p := node.(type) {
+		case *ast.CallExpr:
+			if p.Fun == child {
+				return effLocal
+			}
+			if tr.isBufpoolCall(p, "Put") && len(p.Args) == 1 && baseIdent(p.Args[0]) == id {
+				return effPut
+			}
+			if isLenCap(p) {
+				return effLocal
+			}
+			return effEscape
+		case *ast.FuncLit:
+			return effEscape // captured by a closure
+		case *ast.ReturnStmt:
+			return effEscape
+		case *ast.SendStmt:
+			if p.Value == child {
+				return effEscape
+			}
+			return effLocal
+		case *ast.CompositeLit:
+			return effEscape
+		case *ast.UnaryExpr:
+			if p.Op.String() == "&" {
+				return effEscape
+			}
+		case *ast.AssignStmt:
+			for _, l := range p.Lhs {
+				if l == child {
+					if child == ast.Node(id) {
+						return effReassign
+					}
+					return effLocal // buf[i] = x, buf.field = x
+				}
+			}
+			// v on the right-hand side: aliasing into another variable
+			// (or a field) transfers ownership conservatively.
+			for _, l := range p.Lhs {
+				if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+					_ = id
+					return effEscape
+				}
+			}
+			return effLocal // _ = buf discards
+		}
+	}
+	return effLocal
+}
+
+func (tr *tracker) objOf(id *ast.Ident) types.Object {
+	if o := tr.pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return tr.pass.TypesInfo.Uses[id]
+}
+
+// isBufpoolCall matches package-level bufpool.<name> calls.
+func (tr *tracker) isBufpoolCall(call *ast.CallExpr, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := tr.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return strings.HasSuffix(fn.Pkg().Path(), bufpoolSuffix)
+}
+
+// insideDefer reports whether n sits under a DeferStmt within the same
+// function body.
+func (tr *tracker) insideDefer(n ast.Node) bool {
+	for node := tr.parents[n]; node != nil; node = tr.parents[node] {
+		switch node.(type) {
+		case *ast.DeferStmt:
+			return true
+		case *ast.FuncLit, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+func isLenCap(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && (id.Name == "len" || id.Name == "cap")
+}
+
+// baseIdent unwraps slicing/parens down to a plain identifier, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// inspectSkipFuncLit visits nodes without descending into nested
+// function literals.
+func inspectSkipFuncLit(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// buildParents maps every node in root's subtree to its parent.
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}

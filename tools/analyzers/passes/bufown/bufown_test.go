@@ -1,0 +1,12 @@
+package bufown_test
+
+import (
+	"testing"
+
+	"github.com/datastates/mlpoffload/tools/analyzers/analysis/analysistest"
+	"github.com/datastates/mlpoffload/tools/analyzers/passes/bufown"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, bufown.Analyzer, "a")
+}

@@ -1,0 +1,106 @@
+// Package a exercises bufown: pooled buffers must be Put or reach an
+// ownership sink on every path, and must not be used after Put.
+package a
+
+import "mlp/internal/bufpool"
+
+type holder struct{ backing []byte }
+
+func work(b []byte) {}
+func fill(b []byte) {}
+
+// leakOnError drops the buffer on the early-return path.
+func leakOnError(fail bool) bool {
+	buf := bufpool.Get(64) // want `leaks on a return path`
+	if fail {
+		return false
+	}
+	bufpool.Put(buf)
+	return true
+}
+
+// dropped discards the Get result outright.
+func dropped() {
+	bufpool.Get(8)     // want `result of bufpool.Get dropped`
+	_ = bufpool.Get(8) // want `result of bufpool.Get dropped`
+}
+
+// overwritten loses the first buffer by reassigning the variable.
+func overwritten() {
+	buf := bufpool.Get(8) // want `leaks on overwritten`
+	buf = bufpool.Get(16)
+	bufpool.Put(buf)
+}
+
+// useAfterPut touches the buffer once the pool may have recycled it.
+func useAfterPut() int {
+	buf := bufpool.Get(8)
+	bufpool.Put(buf)
+	return len(buf) // want `buf used after bufpool\.Put`
+}
+
+// okLinear, okDefer: plain discharge.
+func okLinear() {
+	buf := bufpool.Get(8)
+	fill(buf)
+	bufpool.Put(buf)
+}
+
+func okDefer(loops int) {
+	buf := bufpool.Get(8)
+	defer bufpool.Put(buf)
+	for i := 0; i < loops; i++ {
+		work(buf)
+	}
+}
+
+// okSinks: each of these transfers ownership, so no Put is required.
+func okReturn() []byte {
+	buf := bufpool.Get(8)
+	fill(buf)
+	return buf
+}
+
+func okCallSink() {
+	buf := bufpool.Get(8)
+	work(buf) // callee owns the release now
+}
+
+func okSend(ch chan []byte) {
+	buf := bufpool.Get(8)
+	ch <- buf
+}
+
+func okAdopt(h *holder) {
+	buf := bufpool.Get(8)
+	h.backing = buf
+}
+
+func okComposite() holder {
+	buf := bufpool.Get(8)
+	return holder{backing: buf}
+}
+
+func okClosure() func() {
+	buf := bufpool.Get(8)
+	return func() { bufpool.Put(buf) }
+}
+
+// okSliceRelease: Put of a reslice releases the same backing array.
+func okSliceRelease(n int) {
+	buf := bufpool.Get(64)
+	fill(buf[:n])
+	bufpool.Put(buf[:n])
+}
+
+// annotated: a deliberate leak (buffer handed to an untracked registry)
+// is documented instead of flagged.
+var registry [][]byte
+
+func annotatedLeak() {
+	//mlpvet:allow bufown the registry entry is released by the test's global teardown
+	buf := bufpool.Get(8)
+	if len(registry) < 4 {
+		registry = append(registry, buf)
+	}
+}

@@ -1,0 +1,7 @@
+// Package bufpool is a hermetic stub of the engine's buffer pool for
+// analysistest fixtures.
+package bufpool
+
+func Get(n int) []byte { return make([]byte, n) }
+
+func Put(b []byte) {}

@@ -1,0 +1,88 @@
+// Package clockcheck enforces the engine-wide clock discipline: every
+// timestamp, sleep and timer goes through internal/clock so that timing
+// behavior is injectable and tests run on exact virtual time. A direct
+// time.Now (or friends) anywhere else reintroduces the wall clock behind
+// the abstraction's back — the exact bug class PR 6 removed, and the one
+// that made cmd/iobench's checkpoint-backlog gate nondeterministic on
+// loaded CI machines.
+//
+// Genuinely wall-clock sites (a report's generation timestamp, a
+// real-I/O throughput measurement) are annotated:
+//
+//	//mlpvet:allow clockcheck <reason>      one site
+//	//mlpvet:allowfile clockcheck <reason>  a whole wall-clock file
+package clockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/datastates/mlpoffload/tools/analyzers/analysis"
+	"github.com/datastates/mlpoffload/tools/analyzers/directive"
+)
+
+// Analyzer flags direct wall-clock reads outside internal/clock.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockcheck",
+	Doc: `forbid direct time.Now/Sleep/timers outside internal/clock
+
+The injectable clock (internal/clock.Clock) is the engine's single time
+source. Wall-clock reads anywhere else cannot be virtualized, so timing
+tests regress to sleeps and tolerance bands.`,
+	Run: run,
+}
+
+// exemptSuffix is the clock package itself — the one place the wall
+// clock is read on purpose.
+const exemptSuffix = "internal/clock"
+
+// banned are the package-level time functions that read or schedule
+// against the wall clock. Pure data (time.Duration, time.Time as a
+// type, constants) stays legal everywhere.
+var banned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if strings.HasSuffix(pass.Pkg.Path(), exemptSuffix) {
+		return nil, nil
+	}
+	sheet := directive.Collect(pass.Fset, pass.Files, pass.Analyzer.Name)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "time" {
+				return true
+			}
+			fn, isFunc := obj.(*types.Func)
+			if !isFunc || !banned[obj.Name()] {
+				return true
+			}
+			// Methods named like the banned functions (time.Time.After,
+			// time.Time.Sub's friends) are pure arithmetic, not clock reads.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if sheet.Allowed(id.Pos()) {
+				return true
+			}
+			pass.Reportf(id.Pos(), "direct time.%s outside %s: thread a clock.Clock through instead (or annotate a genuinely wall-clock site with //mlpvet:allow clockcheck <reason>)", obj.Name(), exemptSuffix)
+			return true
+		})
+	}
+	sheet.Flush(pass)
+	return nil, nil
+}

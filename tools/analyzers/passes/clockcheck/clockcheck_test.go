@@ -1,0 +1,17 @@
+package clockcheck_test
+
+import (
+	"testing"
+
+	"github.com/datastates/mlpoffload/tools/analyzers/analysis/analysistest"
+	"github.com/datastates/mlpoffload/tools/analyzers/passes/clockcheck"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, clockcheck.Analyzer,
+		"a",                  // flagged wall-clock reads, clean Time arithmetic
+		"mlp/internal/clock", // the exempt package itself
+		"directives",         // allow, reasonless, stale
+		"allowfile",          // file-scoped allow
+	)
+}

@@ -1,0 +1,21 @@
+// Package a exercises clockcheck: direct wall-clock reads are flagged,
+// pure time arithmetic and Time methods are not.
+package a
+
+import "time"
+
+func bad() {
+	t := time.Now()                  // want `direct time\.Now outside internal/clock`
+	time.Sleep(time.Second)          // want `direct time\.Sleep outside internal/clock`
+	<-time.After(time.Millisecond)   // want `direct time\.After outside internal/clock`
+	tm := time.NewTimer(time.Second) // want `direct time\.NewTimer outside internal/clock`
+	tm.Stop()
+	_ = t
+}
+
+// good uses only time as data: the Duration type, constants, and Time
+// methods (time.Time.After is arithmetic, not a clock read).
+func good(deadline time.Time, now time.Time) (bool, time.Duration) {
+	d := 5 * time.Millisecond
+	return now.After(deadline), d
+}

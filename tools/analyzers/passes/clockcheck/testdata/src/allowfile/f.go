@@ -1,0 +1,14 @@
+// Package allowfile is wall-clock by design (a report generator): one
+// file-scoped directive covers every clock read in the file.
+package allowfile
+
+//mlpvet:allowfile clockcheck report generation runs on real time end to end
+
+import "time"
+
+func stamp() time.Time { return time.Now() }
+
+func pace() {
+	time.Sleep(time.Millisecond)
+	<-time.After(time.Millisecond)
+}

@@ -1,0 +1,24 @@
+// Package directives exercises the mlpvet:allow machinery: a reasoned
+// directive suppresses the finding on its line or the line below, a
+// reasonless directive suppresses nothing and is itself reported, and a
+// directive that matches no finding is reported as stale.
+package directives
+
+import "time"
+
+func annotatedTrailing() time.Time {
+	return time.Now() //mlpvet:allow clockcheck report timestamp, wall time is the point
+}
+
+func annotatedAbove() {
+	//mlpvet:allow clockcheck coordination spin in a benchmark harness
+	time.Sleep(time.Millisecond)
+}
+
+func reasonless() time.Time {
+	//mlpvet:allow clockcheck // want `directive has no reason`
+	return time.Now() // want `direct time\.Now outside internal/clock`
+}
+
+//mlpvet:allow clockcheck nothing on the next line uses the clock // want `stale mlpvet:allow clockcheck directive`
+func stale(d time.Duration) time.Duration { return 2 * d }

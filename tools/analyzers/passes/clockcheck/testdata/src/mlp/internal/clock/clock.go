@@ -1,0 +1,10 @@
+// Package clock stands in for the engine's internal/clock package: the
+// one place allowed to read the wall clock directly. clockcheck exempts
+// it by package-path suffix, so nothing here is flagged.
+package clock
+
+import "time"
+
+func Now() time.Time { return time.Now() }
+
+func Sleep(d time.Duration) { time.Sleep(d) }

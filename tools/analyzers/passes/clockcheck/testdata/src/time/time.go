@@ -1,0 +1,36 @@
+// Package time is a hermetic stub of the standard library's time package
+// for analysistest fixtures: just enough surface for the fixtures to
+// type-check without a GOROOT source tree.
+package time
+
+type Duration int64
+
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+type Time struct{}
+
+func (t Time) After(u Time) bool   { return false }
+func (t Time) Before(u Time) bool  { return false }
+func (t Time) Add(d Duration) Time { return t }
+func (t Time) Sub(u Time) Duration { return 0 }
+
+type Timer struct{ C <-chan Time }
+
+func (t *Timer) Stop() bool { return false }
+
+type Ticker struct{ C <-chan Time }
+
+func Now() Time                             { return Time{} }
+func Since(t Time) Duration                 { return 0 }
+func Until(t Time) Duration                 { return 0 }
+func Sleep(d Duration)                      {}
+func After(d Duration) <-chan Time          { return nil }
+func AfterFunc(d Duration, f func()) *Timer { return nil }
+func Tick(d Duration) <-chan Time           { return nil }
+func NewTimer(d Duration) *Timer            { return nil }
+func NewTicker(d Duration) *Ticker          { return nil }

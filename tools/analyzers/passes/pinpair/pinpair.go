@@ -1,0 +1,201 @@
+// Package pinpair checks that every hostcache pin is balanced: an
+// LRU.Pin(sg) must be matched by an LRU.Unpin on every control-flow path
+// out of the function (modeled on go vet's lostcancel). A subgroup whose
+// pin count never returns to zero is immortal in the host cache — the
+// LRU can never evict it, which silently shrinks the effective cache
+// until fetches thrash.
+//
+// Two rules, in order:
+//
+//  1. If the enclosing function contains no Unpin on the same receiver
+//     at all, the pin either leaks or is handed to another function to
+//     release. Cross-function handoffs are legal but must be annotated
+//     (//mlpvet:allow pinpair <who unpins>) so the contract is written
+//     down where the pin happens.
+//  2. Otherwise the function does release locally, and the analyzer
+//     walks the CFG: every path from the Pin to a return must pass an
+//     Unpin with the same receiver and argument (a deferred Unpin
+//     covers every path beyond its defer statement).
+package pinpair
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/datastates/mlpoffload/tools/analyzers/analysis"
+	"github.com/datastates/mlpoffload/tools/analyzers/analysis/cfg"
+	"github.com/datastates/mlpoffload/tools/analyzers/directive"
+)
+
+// Analyzer flags hostcache pins without a matching unpin.
+var Analyzer = &analysis.Analyzer{
+	Name: "pinpair",
+	Doc: `require hostcache Pin to be matched by Unpin on every return path
+
+An unbalanced pin makes the subgroup unevictable forever, shrinking the
+effective host cache. Cross-function unpin handoffs must be annotated
+with //mlpvet:allow pinpair <reason>.`,
+	Run: run,
+}
+
+// hostcacheSuffix identifies the cache package (real tree and fixtures).
+const hostcacheSuffix = "internal/hostcache"
+
+func run(pass *analysis.Pass) (any, error) {
+	if strings.HasSuffix(pass.Pkg.Path(), hostcacheSuffix) {
+		return nil, nil
+	}
+	sheet := directive.Collect(pass.Fset, pass.Files, pass.Analyzer.Name)
+	for _, f := range pass.Files {
+		for _, body := range functionBodies(f) {
+			analyzeBody(pass, sheet, body)
+		}
+	}
+	sheet.Flush(pass)
+	return nil, nil
+}
+
+// functionBodies yields every function body in the file; a Pin inside a
+// closure is the closure's responsibility, not its enclosing function's.
+func functionBodies(f *ast.File) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				bodies = append(bodies, n.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, n.Body)
+		}
+		return true
+	})
+	return bodies
+}
+
+// pinCall is one Pin or Unpin occurrence, keyed by the printed receiver
+// and argument expressions so l.Pin(sg) pairs with l.Unpin(sg) and with
+// defer l.Unpin(sg), but not with other.Unpin(sg).
+type pinCall struct {
+	call *ast.CallExpr
+	recv string
+	arg  string
+}
+
+func analyzeBody(pass *analysis.Pass, sheet *directive.Sheet, body *ast.BlockStmt) {
+	// Unpins anywhere in the body — including inside closures and
+	// defers — satisfy rule 1: the function does participate in release.
+	unpins := findPinCalls(pass, body, "Unpin", true)
+
+	graph := cfg.New(body, nil)
+	for _, b := range graph.Blocks {
+		for i, n := range b.Nodes {
+			// Pins inside a nested closure belong to that closure's own
+			// body pass.
+			for _, pin := range findPinCalls(pass, n, "Pin", false) {
+				checkPin(pass, sheet, graph, pin, unpins, b, i+1)
+			}
+		}
+	}
+}
+
+func checkPin(pass *analysis.Pass, sheet *directive.Sheet, graph *cfg.CFG, pin pinCall, unpins []pinCall, from *cfg.Block, idx int) {
+	sameRecv := false
+	for _, u := range unpins {
+		if u.recv == pin.recv {
+			sameRecv = true
+			break
+		}
+	}
+	if !sameRecv {
+		if !sheet.Allowed(pin.call.Pos()) {
+			pass.Reportf(pin.call.Pos(), "Pin(%s) with no Unpin on %s anywhere in this function: unpin on every return path, or annotate the cross-function handoff with //mlpvet:allow pinpair <who unpins>", pin.arg, pin.recv)
+		}
+		return
+	}
+
+	// Rule 2: path-sensitive check from the pin to every return.
+	visited := map[*cfg.Block]bool{}
+	var walk func(b *cfg.Block, idx int) bool // true when a leaking path exists
+	walk = func(b *cfg.Block, idx int) bool {
+		for i := idx; i < len(b.Nodes); i++ {
+			if dischargesPin(pass, b.Nodes[i], pin) {
+				return false
+			}
+		}
+		for _, s := range b.Succs {
+			if s == graph.Exit() {
+				if !sheet.Allowed(pin.call.Pos()) {
+					pass.Reportf(pin.call.Pos(), "Pin(%s) may reach a return without Unpin(%s): the subgroup stays unevictable on that path", pin.arg, pin.arg)
+				}
+				return true
+			}
+			if visited[s] {
+				continue
+			}
+			visited[s] = true
+			if walk(s, 0) {
+				return true
+			}
+		}
+		return false
+	}
+	walk(from, idx)
+}
+
+// dischargesPin reports whether executing node releases pin: an Unpin
+// with the same receiver and argument, reached directly, registered by a
+// defer on this path, or delegated to a closure created here.
+func dischargesPin(pass *analysis.Pass, node ast.Node, pin pinCall) bool {
+	for _, u := range findPinCalls(pass, node, "Unpin", true) {
+		if u.recv == pin.recv && u.arg == pin.arg {
+			return true
+		}
+	}
+	return false
+}
+
+// findPinCalls collects LRU.<name> calls inside node, optionally
+// descending into nested function literals.
+func findPinCalls(pass *analysis.Pass, node ast.Node, name string, intoFuncLit bool) []pinCall {
+	var calls []pinCall
+	ast.Inspect(node, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != node && !intoFuncLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isLRUMethod(pass, sel, name) {
+			return true
+		}
+		calls = append(calls, pinCall{
+			call: call,
+			recv: types.ExprString(sel.X),
+			arg:  types.ExprString(call.Args[0]),
+		})
+		return true
+	})
+	return calls
+}
+
+// isLRUMethod matches hostcache LRU.Pin / LRU.Unpin.
+func isLRUMethod(pass *analysis.Pass, sel *ast.SelectorExpr, name string) bool {
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil || !strings.HasSuffix(fn.Pkg().Path(), hostcacheSuffix) {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "LRU"
+}

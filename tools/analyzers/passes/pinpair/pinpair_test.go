@@ -1,0 +1,12 @@
+package pinpair_test
+
+import (
+	"testing"
+
+	"github.com/datastates/mlpoffload/tools/analyzers/analysis/analysistest"
+	"github.com/datastates/mlpoffload/tools/analyzers/passes/pinpair"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, pinpair.Analyzer, "a")
+}

@@ -1,0 +1,78 @@
+// Package a exercises pinpair: every Pin must be Unpinned on every
+// return path, or annotated as a cross-function handoff.
+package a
+
+import "mlp/internal/hostcache"
+
+type engine struct {
+	lru   *hostcache.LRU
+	other *hostcache.LRU
+}
+
+// leakNoUnpin never unpins: either a leak or an unannotated handoff.
+func (e *engine) leakNoUnpin(sg int) {
+	e.lru.Pin(sg) // want `Pin\(sg\) with no Unpin on e\.lru anywhere in this function`
+}
+
+// leakPath unpins on one path but returns early on the other.
+func (e *engine) leakPath(sg int, fail bool) bool {
+	e.lru.Pin(sg) // want `Pin\(sg\) may reach a return without Unpin\(sg\)`
+	if fail {
+		return false
+	}
+	e.lru.Unpin(sg)
+	return true
+}
+
+// leakWrongReceiver unpins a different cache: no match.
+func (e *engine) leakWrongReceiver(sg int) {
+	e.lru.Pin(sg) // want `Pin\(sg\) with no Unpin on e\.lru anywhere in this function`
+	e.other.Unpin(sg)
+}
+
+// okLinear and okBranches release on every path.
+func (e *engine) okLinear(sg int) {
+	e.lru.Pin(sg)
+	e.lru.Unpin(sg)
+}
+
+func (e *engine) okBranches(sg int, fast bool) {
+	e.lru.Pin(sg)
+	if fast {
+		e.lru.Unpin(sg)
+		return
+	}
+	e.lru.Unpin(sg)
+}
+
+// okDefer releases via defer, which covers every return beyond it.
+func (e *engine) okDefer(sg int, fail bool) bool {
+	e.lru.Pin(sg)
+	defer e.lru.Unpin(sg)
+	if fail {
+		return false
+	}
+	return true
+}
+
+// okClosureRelease registers the unpin inside a deferred closure.
+func (e *engine) okClosureRelease(sg int) {
+	e.lru.Pin(sg)
+	defer func() {
+		e.lru.Unpin(sg)
+	}()
+}
+
+// okHandoff documents that another function releases the pin.
+func (e *engine) okHandoff(sg int) {
+	//mlpvet:allow pinpair the committer unpins after the flush lands
+	e.lru.Pin(sg)
+}
+
+// closurePin: a pin inside a function literal is the literal's own
+// responsibility — and this one leaks there.
+func (e *engine) closurePin(sg int) func() {
+	return func() {
+		e.lru.Pin(sg) // want `Pin\(sg\) with no Unpin on e\.lru anywhere in this function`
+	}
+}

@@ -1,0 +1,8 @@
+// Package hostcache is a hermetic stub of the engine's host cache for
+// analysistest fixtures.
+package hostcache
+
+type LRU struct{}
+
+func (l *LRU) Pin(sg int)   {}
+func (l *LRU) Unpin(sg int) {}

@@ -1,0 +1,6 @@
+// Package a imports unsafe outside the confinement boundary.
+package a
+
+import "unsafe" // want `unsafe imported outside internal/f32view`
+
+type pointer = unsafe.Pointer

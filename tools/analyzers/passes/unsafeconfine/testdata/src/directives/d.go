@@ -1,0 +1,9 @@
+// Package directives: an annotated unsafe import (a test asserting alias
+// layout) is allowed; a directive with nothing to suppress is stale.
+package directives
+
+//mlpvet:allow unsafeconfine this fixture asserts the alias layout the contract depends on
+import "unsafe"
+
+//mlpvet:allow unsafeconfine no unsafe import follows // want `stale mlpvet:allow unsafeconfine directive`
+type pointer = unsafe.Pointer

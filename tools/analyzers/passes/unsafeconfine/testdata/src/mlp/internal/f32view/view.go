@@ -1,0 +1,7 @@
+// Package f32view stands in for the engine's aliasing package: the one
+// import of unsafe the confinement invariant allows.
+package f32view
+
+import "unsafe"
+
+func addr(b []byte) unsafe.Pointer { return unsafe.Pointer(&b[0]) }

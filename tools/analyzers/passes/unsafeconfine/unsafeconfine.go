@@ -1,0 +1,50 @@
+// Package unsafeconfine enforces the zero-copy containment invariant:
+// the unsafe package may be imported only by internal/f32view, the one
+// package whose whole job is the alignment-checked []byte↔[]float32
+// aliasing contract. Everywhere else, unsafe erodes the guarantee that
+// buffer-ownership bugs are at worst use-after-Put on a []byte, never
+// type confusion.
+package unsafeconfine
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/datastates/mlpoffload/tools/analyzers/analysis"
+	"github.com/datastates/mlpoffload/tools/analyzers/directive"
+)
+
+// Analyzer flags unsafe imports outside internal/f32view.
+var Analyzer = &analysis.Analyzer{
+	Name: "unsafeconfine",
+	Doc: `confine unsafe imports to internal/f32view
+
+The engine's aliasing tricks (serialized optimizer state viewed in place
+as []float32) are concentrated in internal/f32view behind alignment and
+endianness checks. Any other unsafe import is a containment breach.`,
+	Run: run,
+}
+
+// allowedSuffix is the one package path allowed to import unsafe.
+const allowedSuffix = "internal/f32view"
+
+func run(pass *analysis.Pass) (any, error) {
+	if strings.HasSuffix(pass.Pkg.Path(), allowedSuffix) {
+		return nil, nil
+	}
+	sheet := directive.Collect(pass.Fset, pass.Files, pass.Analyzer.Name)
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || path != "unsafe" {
+				continue
+			}
+			if sheet.Allowed(imp.Pos()) {
+				continue
+			}
+			pass.Reportf(imp.Pos(), "unsafe imported outside %s: keep aliasing tricks behind the f32view contract", allowedSuffix)
+		}
+	}
+	sheet.Flush(pass)
+	return nil, nil
+}

@@ -1,0 +1,16 @@
+package unsafeconfine_test
+
+import (
+	"testing"
+
+	"github.com/datastates/mlpoffload/tools/analyzers/analysis/analysistest"
+	"github.com/datastates/mlpoffload/tools/analyzers/passes/unsafeconfine"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, unsafeconfine.Analyzer,
+		"a",                    // breach
+		"mlp/internal/f32view", // the confinement boundary itself
+		"directives",           // annotated breach + stale annotation
+	)
+}
