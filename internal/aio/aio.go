@@ -221,6 +221,10 @@ type Engine struct {
 type task struct {
 	op  *Op
 	buf []byte
+	// Vectored read batch (nil for single-object ops): one scheduling
+	// decision fills bufs[i] with the object at keys[i].
+	keys []string
+	bufs [][]byte
 }
 
 // classCell accumulates one class's counters.
@@ -385,7 +389,11 @@ func (e *Engine) execute(t *task) {
 	switch op.Kind {
 	case Read:
 		ctx, wc = storage.WithWireCount(ctx)
-		err = e.tier.Read(ctx, op.Key, t.buf)
+		if t.keys != nil {
+			err = storage.ReadVec(ctx, e.tier, t.keys, t.bufs)
+		} else {
+			err = e.tier.Read(ctx, op.Key, t.buf)
+		}
 	case Write:
 		ctx, wc = storage.WithWireCount(ctx)
 		err = e.tier.Write(ctx, op.Key, t.buf)
@@ -434,14 +442,19 @@ func (e *Engine) finish(op *Op, wire int64, err error) {
 	close(op.done)
 }
 
-// submit enqueues a task at the given class, blocking while that class's
-// queue is full.
+// submit enqueues a single-object task at the given class.
 func (e *Engine) submit(c Class, kind OpKind, key string, buf []byte) (*Op, error) {
 	if c < 0 || int(c) >= NumClasses {
 		return nil, fmt.Errorf("aio: invalid class %d", c)
 	}
 	op := &Op{Kind: kind, Key: key, Bytes: len(buf), done: make(chan struct{})}
 	op.class.Store(int32(c))
+	return e.enqueue(c, &task{op: op, buf: buf})
+}
+
+// enqueue inserts a prepared task into its class queue, blocking while
+// that class is full.
+func (e *Engine) enqueue(c Class, t *task) (*Op, error) {
 	e.mu.Lock()
 	for !e.closed && len(e.queues[c]) >= e.depth {
 		e.cond.Wait()
@@ -450,12 +463,12 @@ func (e *Engine) submit(c Class, kind OpKind, key string, buf []byte) (*Op, erro
 		e.mu.Unlock()
 		return nil, ErrEngineClosed
 	}
-	op.queuedAt = e.clk.Now()
-	e.queues[c] = append(e.queues[c], &task{op: op, buf: buf})
+	t.op.queuedAt = e.clk.Now()
+	e.queues[c] = append(e.queues[c], t)
 	e.queued++
 	e.cond.Broadcast()
 	e.mu.Unlock()
-	return op, nil
+	return t.op, nil
 }
 
 // SubmitReadClass enqueues an asynchronous fetch of key into dst at the
@@ -463,6 +476,37 @@ func (e *Engine) submit(c Class, kind OpKind, key string, buf []byte) (*Op, erro
 // op completes.
 func (e *Engine) SubmitReadClass(c Class, key string, dst []byte) (*Op, error) {
 	return e.submit(c, Read, key, dst)
+}
+
+// SubmitReadVecClass enqueues one vectored fetch: a single operation —
+// one queue slot, one scheduling decision, one worker dispatch — that
+// fills dsts[i] with the object at keys[i] via the tier's vectored
+// read path (storage.ReadVec). It exists for the issuer's read-ahead
+// coalescing: a run of adjacent same-tier subgroup objects rides one op
+// instead of len(keys) queue round trips. The caller must not touch any
+// dst until the op completes. Failure is batch-granular (the op's error
+// names the first failing member); callers needing attribution re-read
+// members individually. A one-element batch degrades to a plain read.
+func (e *Engine) SubmitReadVecClass(c Class, keys []string, dsts [][]byte) (*Op, error) {
+	if c < 0 || int(c) >= NumClasses {
+		return nil, fmt.Errorf("aio: invalid class %d", c)
+	}
+	if len(keys) != len(dsts) {
+		return nil, fmt.Errorf("aio: vectored read: %d keys, %d buffers", len(keys), len(dsts))
+	}
+	if len(keys) == 0 {
+		return nil, errors.New("aio: vectored read: empty batch")
+	}
+	if len(keys) == 1 {
+		return e.submit(c, Read, keys[0], dsts[0])
+	}
+	total := 0
+	for _, d := range dsts {
+		total += len(d)
+	}
+	op := &Op{Kind: Read, Key: fmt.Sprintf("%s (+%d)", keys[0], len(keys)-1), Bytes: total, done: make(chan struct{})}
+	op.class.Store(int32(c))
+	return e.enqueue(c, &task{op: op, keys: keys, bufs: dsts})
 }
 
 // SubmitWriteClass enqueues an asynchronous flush of src under key at the

@@ -20,6 +20,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/datastates/mlpoffload/internal/clock"
 	"github.com/datastates/mlpoffload/internal/fp16"
@@ -116,11 +117,32 @@ type Config struct {
 	// prefetching).
 	HostCacheSlots int
 	// PrefetchDepth bounds in-flight fetches during the update phase.
+	// 0 auto-tunes to max(2, UpdateWorkers+len(Tiers)) — enough read-ahead
+	// to keep every update worker fed with one fetch in flight per storage
+	// path; negative pins the pre-auto-tune default of 2.
 	PrefetchDepth int
 	// IOWorkers is the per-tier async I/O parallelism.
 	IOWorkers int
-	// CPUWorkers is the update-kernel parallelism.
+	// CPUWorkers is the legacy per-call update-kernel parallelism (each
+	// StepFP16Parallel call spawns its own goroutines). Superseded by
+	// KernelWorkers; kept for the ablation of pooled vs per-call fan-out.
 	CPUWorkers int
+	// KernelWorkers sizes the engine-wide kernel worker pool that the
+	// Adam update and the FP16/BF16 bulk codecs draw from — one shared
+	// pool instead of per-call goroutine churn, and one knob instead of
+	// per-site CPUWorkers. Chunk boundaries are fixed (kernpool.ChunkElems),
+	// so parameters are bit-identical at any worker count. 0 auto-tunes to
+	// min(GOMAXPROCS, 16); 1 or negative runs kernels serially on the
+	// calling goroutine (the pre-pool behaviour).
+	KernelWorkers int
+	// CoalesceFetches bounds the issuer's read-ahead coalescing: runs of
+	// up to this many adjacent same-tier subgroup fetches are submitted as
+	// one vectored tier operation (aio.SubmitReadVecClass) instead of one
+	// op each — one scheduling decision, cached descriptors, one device
+	// pass for the run. Only active in SkipGradFlush mode (the baseline's
+	// interleaved gradient reads break up runs anyway). 0 auto-tunes to
+	// min(4, PrefetchDepth); 1 or negative disables coalescing.
+	CoalesceFetches int
 	// UpdateWorkers is the update-phase pipeline parallelism: how many
 	// subgroups may run their Adam update concurrently while the issuer
 	// keeps PrefetchDepth fetches in flight. 1 reproduces the sequential
@@ -129,7 +151,8 @@ type Config struct {
 	// async flush of k-1, which pays off whenever the phase is I/O-bound
 	// on a slow or asymmetric multi-path tier. The commit order (and thus
 	// the cache-friendly alternating-order residency) is preserved at any
-	// worker count.
+	// worker count. 0 auto-tunes to GOMAXPROCS/2 clamped to [1, 4];
+	// negative pins 1 (strictly sequential).
 	UpdateWorkers int
 
 	// Hyper are the Adam hyperparameters.
@@ -200,19 +223,27 @@ func BaselineConfig(rank int, params, subgroupParams int64, tiers []TierSpec) Co
 		IOWorkers:      2,
 		CPUWorkers:     1,
 		UpdateWorkers:  1,
+		KernelWorkers:  1,
 		Hyper:          optim.DefaultHyper(),
 		GradAccumSteps: 1,
 	}
 }
 
 // MLPConfig returns an MLP-Offload configuration with every optimization
-// enabled.
+// enabled. The pipeline widths are left at 0 — auto-tuned from
+// GOMAXPROCS and the tier count by validate — where the baseline pins
+// the paper's fixed knobs; numerics are unaffected either way (commit
+// order and kernel chunking are deterministic at any width).
 func MLPConfig(rank int, params, subgroupParams int64, tiers []TierSpec, locks *tierlock.Manager) Config {
 	c := BaselineConfig(rank, params, subgroupParams, tiers)
 	c.Order = hostcache.Alternating
 	c.SkipGradFlush = true
 	c.Locks = locks
 	c.AdaptivePlacement = true
+	c.UpdateWorkers = 0
+	c.PrefetchDepth = 0
+	c.KernelWorkers = 0
+	c.CoalesceFetches = 0
 	return c
 }
 
@@ -241,17 +272,12 @@ func (c *Config) validate() error {
 	if c.HostCacheSlots < 0 {
 		return fmt.Errorf("engine: negative HostCacheSlots")
 	}
-	if c.PrefetchDepth <= 0 {
-		c.PrefetchDepth = 2
-	}
+	c.autotune()
 	if c.IOWorkers <= 0 {
 		c.IOWorkers = 2
 	}
 	if c.CPUWorkers <= 0 {
 		c.CPUWorkers = 1
-	}
-	if c.UpdateWorkers <= 0 {
-		c.UpdateWorkers = 1
 	}
 	if c.MigrationWindow == 0 {
 		c.MigrationWindow = 2
@@ -269,6 +295,52 @@ func (c *Config) validate() error {
 		c.Grad = defaultGrad
 	}
 	return nil
+}
+
+// autotune resolves the zero-valued pipeline widths from GOMAXPROCS
+// and the tier count — measurement-free derivations, so the resolved
+// config is reproducible on a given machine shape. Negative values pin
+// the conservative pre-auto-tune defaults; positive values are taken
+// as-is. None of the knobs affect numerics (deterministic chunking and
+// commit order), only overlap.
+func (c *Config) autotune() {
+	procs := runtime.GOMAXPROCS(0)
+	if c.UpdateWorkers == 0 {
+		// Half the cores drive subgroup pipelines; the rest serve kernel
+		// fan-out and I/O completion. Past ~4 the update phase is
+		// tier-bandwidth-bound, not pipeline-bound.
+		c.UpdateWorkers = min(max(procs/2, 1), 4)
+	} else if c.UpdateWorkers < 0 {
+		c.UpdateWorkers = 1
+	}
+	if c.PrefetchDepth == 0 {
+		// One in-flight fetch per update worker plus one per storage path
+		// keeps every consumer and every device busy.
+		c.PrefetchDepth = max(2, c.UpdateWorkers+len(c.Tiers))
+	} else if c.PrefetchDepth < 0 {
+		c.PrefetchDepth = 2
+	}
+	if c.KernelWorkers == 0 {
+		// The kernels are memory-bandwidth-bound; past ~16 workers extra
+		// chunk handoffs outweigh the remaining bandwidth.
+		c.KernelWorkers = min(procs, 16)
+	} else if c.KernelWorkers < 0 {
+		c.KernelWorkers = 1
+	}
+	if c.CoalesceFetches == 0 {
+		if c.SkipGradFlush {
+			c.CoalesceFetches = min(4, c.PrefetchDepth)
+		} else {
+			c.CoalesceFetches = 1
+		}
+	} else if c.CoalesceFetches < 0 {
+		c.CoalesceFetches = 1
+	}
+	if c.CoalesceFetches > c.PrefetchDepth {
+		// A batch wider than the prefetch window could not assemble
+		// without stalling the issuer.
+		c.CoalesceFetches = c.PrefetchDepth
+	}
 }
 
 // defaultGrad is a deterministic pseudo-gradient: bounded, varies with

@@ -13,6 +13,7 @@ import (
 	"github.com/datastates/mlpoffload/internal/f32view"
 	"github.com/datastates/mlpoffload/internal/fp16"
 	"github.com/datastates/mlpoffload/internal/hostcache"
+	"github.com/datastates/mlpoffload/internal/kernpool"
 	"github.com/datastates/mlpoffload/internal/metrics"
 	"github.com/datastates/mlpoffload/internal/optim"
 	"github.com/datastates/mlpoffload/internal/placement"
@@ -65,6 +66,12 @@ type Engine struct {
 	fetchSem chan struct{}
 
 	d2h *ratelimit.Limiter
+
+	// kern is the engine-wide kernel worker pool (KernelWorkers > 1):
+	// the Adam update and the FP16/BF16 bulk codecs fan their fixed-size
+	// chunks across it instead of spawning goroutines per call. nil runs
+	// every kernel serially on the calling goroutine.
+	kern *kernpool.Pool
 
 	// params16 is the FP16 working copy of the model (the GPU-resident
 	// parameters driving forward/backward).
@@ -172,6 +179,9 @@ func New(cfg Config) (*Engine, error) {
 		cfg.Tiers[i].Tier = ct
 	}
 	e := &Engine{cfg: cfg, clk: clock.Or(cfg.Clock)}
+	if cfg.KernelWorkers > 1 {
+		e.kern = kernpool.New(cfg.KernelWorkers)
+	}
 	e.shard = subgroup.NewShard(cfg.Rank, cfg.Params, cfg.SubgroupParams, cfg.InitParams)
 	m := len(e.shard.Subgroups)
 
@@ -241,7 +251,7 @@ func New(cfg Config) (*Engine, error) {
 	var off int64
 	for i, sg := range e.shard.Subgroups {
 		e.sgOffset[i] = off
-		fp16.Encode(e.params16[off:off+int64(sg.Len())], sg.State.Params)
+		fp16.EncodeOn(e.kern, e.params16[off:off+int64(sg.Len())], sg.State.Params)
 		off += int64(sg.Len())
 	}
 	if cfg.D2HBandwidth > 0 {
@@ -456,13 +466,13 @@ func (e *Engine) backward(iter int, accumStep int, lastAccum bool) error {
 		// D2H: FP16 gradients leave the device.
 		e.d2hTransfer(int64(n) * 2)
 		if accumStep == 0 {
-			fp16.Encode(sg.Grads16, g32)
+			fp16.EncodeOn(e.kern, sg.Grads16, g32)
 		} else {
 			// Accumulate: widen current buffer, add, re-narrow.
 			for j := 0; j < n; j++ {
 				g32[j] += fp16.ToFloat32(sg.Grads16[j])
 			}
-			fp16.Encode(sg.Grads16, g32)
+			fp16.EncodeOn(e.kern, sg.Grads16, g32)
 		}
 		if lastAccum && e.cfg.ClipNorm > 0 {
 			// Partial L2 norm of the rounded FP16 values actually used by
@@ -479,7 +489,7 @@ func (e *Engine) backward(iter int, accumStep int, lastAccum bool) error {
 			// flush it. Upscaling from Grads16 (not the wider scratch)
 			// keeps both gradient paths numerically identical — the
 			// correctness argument for delayed conversion.
-			fp16.Decode(g32, sg.Grads16)
+			fp16.DecodeOn(e.kern, g32, sg.Grads16)
 			gbuf := e.gradPool.Get()
 			wide := gbuf[:4*n]
 			encodeF32(wide, g32)
@@ -661,5 +671,8 @@ func (e *Engine) Close() {
 	e.stopMigrators()
 	for _, a := range e.aios {
 		a.Close()
+	}
+	if e.kern != nil {
+		e.kern.Close()
 	}
 }

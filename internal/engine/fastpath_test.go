@@ -1,0 +1,280 @@
+package engine
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"github.com/datastates/mlpoffload/internal/storage"
+	"github.com/datastates/mlpoffload/internal/tierlock"
+)
+
+// fileTiers returns n directory-backed tiers under t.TempDir, closed on
+// test cleanup — the coalescing and vectored-read paths exercised over a
+// real filesystem rather than the in-memory tier.
+func fileTiers(t *testing.T, bws ...float64) []TierSpec {
+	t.Helper()
+	out := make([]TierSpec, len(bws))
+	for i, bw := range bws {
+		ft, err := storage.NewFileTier("file"+string(rune('a'+i)), t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { ft.Close() })
+		out[i] = TierSpec{Tier: ft, ReadBW: bw, WriteBW: bw}
+	}
+	return out
+}
+
+// TestCoalescedFetchIdenticalParams: read-ahead coalescing is a transport
+// optimization only — batching adjacent fetches into one vectored op must
+// not change which bytes arrive or in what commit order they are
+// consumed, so parameters are bit-identical at any CoalesceFetches.
+func TestCoalescedFetchIdenticalParams(t *testing.T) {
+	mk := func(coalesce int, tiers []TierSpec) []float32 {
+		cfg := MLPConfig(0, 2500, 100, tiers, tierlock.NewManager(true))
+		cfg.AdaptivePlacement = false // same placement for every run
+		cfg.HostCacheSlots = 3        // most subgroups miss every phase
+		cfg.UpdateWorkers = 2
+		cfg.PrefetchDepth = 6
+		cfg.KernelWorkers = 1
+		cfg.CoalesceFetches = coalesce
+		return gatherAfter(t, cfg, 5)
+	}
+	t.Run("mem", func(t *testing.T) {
+		one := mk(1, memTiers(500, 300))
+		for _, c := range []int{2, 4, 6} {
+			got := mk(c, memTiers(500, 300))
+			for i := range one {
+				if one[i] != got[i] {
+					t.Fatalf("param %d differs at CoalesceFetches=%d: %v vs %v",
+						i, c, one[i], got[i])
+				}
+			}
+		}
+	})
+	t.Run("file", func(t *testing.T) {
+		one := mk(1, fileTiers(t, 500, 300))
+		got := mk(4, fileTiers(t, 500, 300))
+		for i := range one {
+			if one[i] != got[i] {
+				t.Fatalf("param %d differs with coalesced file reads: %v vs %v",
+					i, one[i], got[i])
+			}
+		}
+	})
+}
+
+// TestCoalescedFetchAccounting: with coalescing on, every subgroup is
+// still processed exactly once per phase, and the per-iteration read
+// bytes equal the baseline's — members attribute proportional shares of
+// each batched op, so nothing is double-counted or dropped.
+func TestCoalescedFetchAccounting(t *testing.T) {
+	cfg := MLPConfig(0, 2000, 100, memTiers(500), tierlock.NewManager(true))
+	cfg.AdaptivePlacement = false
+	cfg.HostCacheSlots = 3
+	cfg.UpdateWorkers = 2
+	cfg.PrefetchDepth = 4
+	cfg.CoalesceFetches = 4
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	for i := 0; i < 4; i++ {
+		it, err := e.TrainIteration(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := it.CacheHits + it.CacheMisses; got != e.Subgroups() {
+			t.Fatalf("iteration %d processed %d subgroups, want %d", i, got, e.Subgroups())
+		}
+		if it.CacheMisses > 0 && it.BytesRead <= 0 {
+			t.Fatalf("iteration %d: %d misses but no read bytes accounted", i, it.CacheMisses)
+		}
+	}
+}
+
+// TestCoalescedFetchConvergence: the numeric integration test through
+// coalesced vectored reads on a real filesystem — convergence proves the
+// batched buffers were split to the right subgroups.
+func TestCoalescedFetchConvergence(t *testing.T) {
+	cfg := MLPConfig(0, 600, 64, fileTiers(t, 1000, 600), tierlock.NewManager(true))
+	cfg.Hyper.LR = 0.05
+	cfg.Grad = QuadraticGradFn(3)
+	cfg.AdaptivePlacement = false
+	cfg.HostCacheSlots = 3
+	cfg.CoalesceFetches = 4
+	cfg.PrefetchDepth = 4
+	cfg.UpdateWorkers = 2
+	params := gatherAfter(t, cfg, 300)
+	for i, p := range params {
+		if p < 2.9 || p > 3.1 {
+			t.Fatalf("param %d = %v, want ~3 (coalesced fetch corrupts buffers?)", i, p)
+		}
+	}
+}
+
+// TestKernelWorkersIdenticalParams: the shared kernel pool mines fixed
+// ChunkElems chunks, so the Adam step and the bulk codecs must produce
+// bit-identical parameters at any KernelWorkers — including worker
+// counts that don't divide the subgroup, odd subgroup sizes larger than
+// several chunks, and the copying baseline path.
+func TestKernelWorkersIdenticalParams(t *testing.T) {
+	for _, mode := range []string{"mlp", "baseline"} {
+		t.Run(mode, func(t *testing.T) {
+			mk := func(workers int) []float32 {
+				// 70001-param subgroups: > 2 chunks each, odd tail.
+				var cfg Config
+				if mode == "mlp" {
+					cfg = MLPConfig(0, 200003, 70001, memTiers(500, 300), tierlock.NewManager(true))
+				} else {
+					cfg = BaselineConfig(0, 200003, 70001, memTiers(500))
+				}
+				cfg.AdaptivePlacement = false
+				cfg.UpdateWorkers = 1
+				cfg.PrefetchDepth = 2
+				cfg.CoalesceFetches = 1
+				cfg.KernelWorkers = workers
+				return gatherAfter(t, cfg, 3)
+			}
+			one := mk(1)
+			for _, w := range []int{2, 7} {
+				got := mk(w)
+				for i := range one {
+					if one[i] != got[i] {
+						t.Fatalf("param %d differs at KernelWorkers=%d: %v vs %v",
+							i, w, one[i], got[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelWorkersNonFiniteGrads: loss-scaling skip decisions and the
+// treatment of subnormal/Inf/NaN gradients must not depend on the kernel
+// worker count — the overflow scan and the update see the same values in
+// the same chunks either way.
+func TestKernelWorkersNonFiniteGrads(t *testing.T) {
+	nastyGrad := func(iter int, i int64, _ float32) float32 {
+		switch {
+		case iter%4 == 2 && i == 1:
+			return float32(math.Inf(1)) // overflows FP16: skip + halve scale
+		case iter%4 == 3 && i == 2:
+			return float32(math.NaN()) // NaN must also trip the scaler
+		case i%3 == 0:
+			return 1e-5 // subnormal in FP16
+		case i%3 == 1:
+			return -6.0e-8 // below FP16 subnormal range: flushes to zero
+		default:
+			return 1e-3
+		}
+	}
+	mk := func(workers int) ([]float32, int64) {
+		cfg := MLPConfig(0, 1100, 100, memTiers(800), tierlock.NewManager(true))
+		cfg.AdaptivePlacement = false
+		cfg.LossScaling = true
+		cfg.Grad = nastyGrad
+		cfg.UpdateWorkers = 1
+		cfg.PrefetchDepth = 2
+		cfg.CoalesceFetches = 1
+		cfg.KernelWorkers = workers
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		for i := 0; i < 8; i++ {
+			if _, err := e.TrainIteration(i); err != nil {
+				t.Fatalf("iteration %d: %v", i, err)
+			}
+		}
+		out := make([]float32, cfg.Params)
+		if err := e.GatherParams(out); err != nil {
+			t.Fatal(err)
+		}
+		return out, e.SkippedSteps()
+	}
+	one, skipped1 := mk(1)
+	if skipped1 == 0 {
+		t.Fatal("non-finite gradients never tripped loss scaling; test is vacuous")
+	}
+	for _, w := range []int{2, 7} {
+		got, skipped := mk(w)
+		if skipped != skipped1 {
+			t.Fatalf("skipped steps differ at KernelWorkers=%d: %d vs %d", w, skipped, skipped1)
+		}
+		for i := range one {
+			a, b := one[i], got[i]
+			if a != b && !(math.IsNaN(float64(a)) && math.IsNaN(float64(b))) {
+				t.Fatalf("param %d differs at KernelWorkers=%d: %v vs %v", i, w, a, b)
+			}
+		}
+	}
+}
+
+// TestAutotuneWidths: the measurement-free derivations of the pipeline
+// widths from GOMAXPROCS and the tier count, and the pin/passthrough
+// semantics of negative and positive values.
+func TestAutotuneWidths(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	base := func() Config {
+		c := MLPConfig(0, 1000, 100, memTiers(500, 300), nil)
+		return c
+	}
+
+	c := base()
+	if err := c.validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantUW := min(max(procs/2, 1), 4)
+	if c.UpdateWorkers != wantUW {
+		t.Fatalf("UpdateWorkers auto = %d, want %d", c.UpdateWorkers, wantUW)
+	}
+	wantPD := max(2, wantUW+2)
+	if c.PrefetchDepth != wantPD {
+		t.Fatalf("PrefetchDepth auto = %d, want %d", c.PrefetchDepth, wantPD)
+	}
+	if want := min(procs, 16); c.KernelWorkers != want {
+		t.Fatalf("KernelWorkers auto = %d, want %d", c.KernelWorkers, want)
+	}
+	if want := min(4, wantPD); c.CoalesceFetches != want {
+		t.Fatalf("CoalesceFetches auto = %d, want %d", c.CoalesceFetches, want)
+	}
+
+	// Negative pins the conservative pre-auto-tune defaults.
+	c = base()
+	c.UpdateWorkers, c.PrefetchDepth, c.KernelWorkers, c.CoalesceFetches = -1, -1, -1, -1
+	if err := c.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.UpdateWorkers != 1 || c.PrefetchDepth != 2 || c.KernelWorkers != 1 || c.CoalesceFetches != 1 {
+		t.Fatalf("negative pins = (%d,%d,%d,%d), want (1,2,1,1)",
+			c.UpdateWorkers, c.PrefetchDepth, c.KernelWorkers, c.CoalesceFetches)
+	}
+
+	// Positive passes through, except CoalesceFetches clamps to the
+	// prefetch window it must assemble inside.
+	c = base()
+	c.UpdateWorkers, c.PrefetchDepth, c.KernelWorkers, c.CoalesceFetches = 3, 2, 5, 9
+	if err := c.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.UpdateWorkers != 3 || c.KernelWorkers != 5 {
+		t.Fatalf("explicit widths rewritten: UW=%d KW=%d", c.UpdateWorkers, c.KernelWorkers)
+	}
+	if c.CoalesceFetches != 2 {
+		t.Fatalf("CoalesceFetches = %d, want clamp to PrefetchDepth=2", c.CoalesceFetches)
+	}
+
+	// Baseline mode auto-resolves coalescing off.
+	b := BaselineConfig(0, 1000, 100, memTiers(500))
+	b.CoalesceFetches = 0
+	if err := b.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.CoalesceFetches != 1 {
+		t.Fatalf("baseline CoalesceFetches auto = %d, want 1", b.CoalesceFetches)
+	}
+}

@@ -41,6 +41,22 @@ type pendingFetch struct {
 	gradBuf  []byte
 	tier     int
 	gradTier int
+	// co links members of one coalesced vectored fetch: they share
+	// stateOp (the batch op) while keeping their own stateBuf, fetch
+	// slot, and item. nil for plain single-object fetches.
+	co *coalescedFetch
+}
+
+// coalescedFetch is the shared half of one vectored read-ahead batch:
+// the aio op covering every member and the batch's total payload size,
+// so members can attribute proportional shares of the op's wire bytes
+// and device time to their own metrics. The estimator sees the transfer
+// exactly once (obs), at full size — it tracks device bandwidth, and
+// the device made one pass.
+type coalescedFetch struct {
+	op    *aio.Op
+	total int
+	obs   sync.Once
 }
 
 // updateItem carries one subgroup through the pipeline stages.
@@ -221,11 +237,46 @@ func (e *Engine) recordAsyncOp(op *aio.Op, bytes float64) {
 // order, submits prefetch reads for misses, and hands items to the workers
 // (via workCh) and the committer (via orderCh). It closes both channels
 // when done or when the phase is cancelled.
+//
+// Read-ahead coalescing (CoalesceFetches > 1, SkipGradFlush mode):
+// instead of one aio op per miss, the issuer detects runs of adjacent
+// misses on the same tier and submits each run as one vectored read —
+// one scheduling decision and one device pass for the run, split into
+// per-member zero-copy buffer views. A run breaks on a cache hit, a
+// tier change, a pending flush ticket (read-after-write stays a
+// single-fetch concern), or the batch cap. Members of an unflushed run
+// hold window slots but no fetch slots, and the cap never exceeds
+// PrefetchDepth, so batch assembly cannot exhaust the window the
+// committer needs to drain (inflight = PrefetchDepth + UpdateWorkers).
 func (e *Engine) issueItems(run *phaseRun, order []int, window chan struct{}, workCh, orderCh chan *updateItem) {
 	defer close(workCh)
 	defer close(orderCh)
+	maxRun := e.cfg.CoalesceFetches
+	if !e.cfg.SkipGradFlush {
+		// Baseline mode interleaves per-subgroup gradient reads anyway;
+		// runs would be length 1.
+		maxRun = 1
+	}
+	var batch []*updateItem
+	var batchTier int
+	// flush submits the pending run (vectored for >= 2 members) and
+	// emits its items downstream in commit order. Always called before
+	// returning: batched items hold window slots and pins that only the
+	// committer releases.
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		e.issueCoalesced(run, batch, batchTier)
+		for _, item := range batch {
+			orderCh <- item
+			workCh <- item
+		}
+		batch = batch[:0]
+	}
 	for _, sgID := range order {
 		if run.ctx.Err() != nil {
+			flush()
 			return
 		}
 		window <- struct{}{} // released by the committer
@@ -250,12 +301,88 @@ func (e *Engine) issueItems(run *phaseRun, order []int, window chan struct{}, wo
 		e.cacheMu.Unlock()
 		if tier == locHost {
 			item.hit = true // pinned, so it stays resident until commit
-		} else if err := e.issueFetch(item, tier); err != nil {
+			flush()
+			orderCh <- item
+			workCh <- item
+			continue
+		}
+		if maxRun > 1 && !e.hasFlushTicket(sgID) {
+			// Pinned and ticketless: no eviction (and so no new ticket)
+			// can appear under this subgroup until the committer unpins
+			// it, so the coalesced read has no write to order after.
+			if len(batch) > 0 && tier != batchTier {
+				flush()
+			}
+			batch = append(batch, item)
+			batchTier = tier
+			if len(batch) >= maxRun {
+				flush()
+			}
+			continue
+		}
+		flush()
+		if err := e.issueFetch(item, tier); err != nil {
 			item.err = err
 			run.fail(err)
 		}
 		orderCh <- item
 		workCh <- item
+	}
+	flush()
+}
+
+// hasFlushTicket reports whether a same-phase eviction flush of sgID is
+// (or was) in flight — the read-after-write hazard that routes a fetch
+// down the single-object path, which waits the ticket out.
+func (e *Engine) hasFlushTicket(sgID int) bool {
+	e.mu.Lock()
+	_, ok := e.flushTickets[sgID]
+	e.mu.Unlock()
+	return ok
+}
+
+// issueCoalesced submits one run of adjacent same-tier misses. A
+// single-member run degrades to the plain fetch path; longer runs take
+// one fetch slot and one fetch-pool buffer per member (buffer ownership
+// is exactly as in issueFetch — one owner per buffer, returned by
+// processItem/releaseFetch) and share one vectored aio op at Prefetch
+// class. On submission failure every member is failed and its resources
+// returned; mid-run corruption recovers per member via awaitRead's
+// single-read retry discipline.
+func (e *Engine) issueCoalesced(run *phaseRun, batch []*updateItem, tier int) {
+	if len(batch) == 1 {
+		item := batch[0]
+		if err := e.issueFetch(item, tier); err != nil {
+			item.err = err
+			run.fail(err)
+		}
+		return
+	}
+	keys := make([]string, len(batch))
+	bufs := make([][]byte, len(batch))
+	dsts := make([][]byte, len(batch))
+	total := 0
+	for i, item := range batch {
+		e.fetchSem <- struct{}{} // the batch cap keeps this ≤ PrefetchDepth
+		size := subgroup.StateBytes(e.shard.Subgroups[item.sgID].Len())
+		keys[i] = e.key(item.sgID)
+		bufs[i] = e.fetchPool.Get()
+		dsts[i] = bufs[i][:size]
+		total += size
+	}
+	op, err := e.aios[tier].SubmitReadVecClass(aio.Prefetch, keys, dsts)
+	if err != nil {
+		for i, item := range batch {
+			e.fetchPool.Put(bufs[i])
+			<-e.fetchSem
+			item.err = err
+		}
+		run.fail(err)
+		return
+	}
+	co := &coalescedFetch{op: op, total: total}
+	for i, item := range batch {
+		item.pf = &pendingFetch{stateOp: op, stateBuf: bufs[i], tier: tier, co: co}
 	}
 }
 
@@ -454,16 +581,34 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 		}
 		secs := pf.stateOp.TransferTime().Seconds()
 		wire := float64(pf.stateOp.WireBytes())
+		queue := pf.stateOp.QueueTime().Seconds()
+		if co := pf.co; co != nil && pf.stateOp == co.op {
+			// Member of a coalesced vectored read (and still riding the
+			// batch op — a corrupt-retry in awaitRead would have replaced
+			// it with a private single read). The op's wire bytes and
+			// times cover the whole batch; attribute this member its
+			// proportional share so per-item metrics still sum to the
+			// true totals, and let exactly one member show the estimator the
+			// full transfer — the device made one pass.
+			frac := float64(size) / float64(co.total)
+			wire *= frac
+			secs *= frac
+			queue *= frac
+			co.obs.Do(func() {
+				e.est.ObserveRead(e.names[pf.tier], float64(pf.stateOp.WireBytes()),
+					pf.stateOp.TransferTime().Seconds())
+			})
+		} else {
+			// The estimator tracks *device* bandwidth, so it observes wire
+			// bytes: under compression the raw count would inflate the
+			// tier's apparent speed by the (data-dependent) ratio and
+			// destabilize the bandwidth-proportional split.
+			e.est.ObserveRead(e.names[pf.tier], wire, secs)
+		}
 		it.BytesRead += float64(size)
 		it.WireBytesRead += wire
 		it.ReadTime += secs
-		it.RecordClassIO(pf.stateOp.Class().String(), float64(size), wire,
-			pf.stateOp.QueueTime().Seconds(), secs)
-		// The estimator tracks *device* bandwidth, so it observes wire
-		// bytes: under compression the raw count would inflate the tier's
-		// apparent speed by the (data-dependent) ratio and destabilize the
-		// bandwidth-proportional split.
-		e.est.ObserveRead(e.names[pf.tier], wire, secs)
+		it.RecordClassIO(pf.stateOp.Class().String(), float64(size), wire, queue, secs)
 		if pf.gradOp != nil {
 			gradOp, err := e.awaitRead(pf.gradTier, pf.gradOp, e.gradKey(item.sgID), pf.gradBuf[:4*sg.Len()])
 			pf.gradOp = gradOp
@@ -521,7 +666,19 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 	var sw metrics.Stopwatch
 	sw.StartOn(e.clk)
 	applyClip(sg, run.clip, e.cfg.SkipGradFlush)
-	if e.cfg.SkipGradFlush {
+	if e.kern != nil {
+		// Intra-subgroup parallelism: the update's element range is mined
+		// in fixed-size chunks by the shared kernel pool, so one subgroup's
+		// Adam step uses every kernel worker. Chunk boundaries are
+		// identical at any worker count (and on the serial path), so the
+		// parameters are bit-identical regardless of KernelWorkers.
+		if e.cfg.SkipGradFlush {
+			optim.StepFP16On(e.kern, sg.State, sg.Grads16, e.cfg.Hyper, e.step)
+		} else {
+			optim.StepFP32On(e.kern, sg.State, sg.Grads32, e.cfg.Hyper, e.step)
+			sg.Grads32 = nil // discarded after the update, as in ZeRO-3
+		}
+	} else if e.cfg.SkipGradFlush {
 		optim.StepFP16Parallel(sg.State, sg.Grads16, e.cfg.Hyper, e.step, e.cfg.CPUWorkers)
 	} else {
 		optim.StepFP32Parallel(sg.State, sg.Grads32, e.cfg.Hyper, e.step, e.cfg.CPUWorkers)
@@ -537,7 +694,7 @@ func (e *Engine) processItem(run *phaseRun, item *updateItem) error {
 
 	// H2D: the refreshed FP16 parameters return to the device.
 	off := e.sgOffset[item.sgID]
-	fp16.Encode(e.params16[off:off+int64(sg.Len())], sg.State.Params)
+	fp16.EncodeOn(e.kern, e.params16[off:off+int64(sg.Len())], sg.State.Params)
 	e.d2hTransfer(int64(sg.Len()) * 2)
 	return nil
 }

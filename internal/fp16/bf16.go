@@ -49,7 +49,22 @@ func BF16IsInf(h BF16) bool {
 // EncodeBF16 converts src into dst; returns elements converted.
 func EncodeBF16(dst []BF16, src []float32) int {
 	n := min(len(dst), len(src))
-	i := 0
+	encodeRangeBF16(dst, src, 0, n)
+	return n
+}
+
+// EncodeBF16On is EncodeBF16 fanned across the runner's workers;
+// bit-identical at any pool size.
+func EncodeBF16On(r Runner, dst []BF16, src []float32) int {
+	n := min(len(dst), len(src))
+	runOn(r, n, func(lo, hi int) { encodeRangeBF16(dst, src, lo, hi) })
+	return n
+}
+
+// encodeRangeBF16 is the 8-wide unrolled encode kernel over [lo,hi).
+func encodeRangeBF16(dst []BF16, src []float32, lo, hi int) {
+	i := lo
+	n := hi
 	for ; i+8 <= n; i += 8 {
 		d := dst[i : i+8 : i+8]
 		s := src[i : i+8 : i+8]
@@ -65,13 +80,27 @@ func EncodeBF16(dst []BF16, src []float32) int {
 	for ; i < n; i++ {
 		dst[i] = BF16FromFloat32(src[i])
 	}
-	return n
 }
 
 // DecodeBF16 converts src into dst; returns elements converted.
 func DecodeBF16(dst []float32, src []BF16) int {
 	n := min(len(dst), len(src))
-	i := 0
+	decodeRangeBF16(dst, src, 0, n)
+	return n
+}
+
+// DecodeBF16On is DecodeBF16 fanned across the runner's workers;
+// bit-identical at any pool size.
+func DecodeBF16On(r Runner, dst []float32, src []BF16) int {
+	n := min(len(dst), len(src))
+	runOn(r, n, func(lo, hi int) { decodeRangeBF16(dst, src, lo, hi) })
+	return n
+}
+
+// decodeRangeBF16 is the 8-wide unrolled decode kernel over [lo,hi).
+func decodeRangeBF16(dst []float32, src []BF16, lo, hi int) {
+	i := lo
+	n := hi
 	for ; i+8 <= n; i += 8 {
 		d := dst[i : i+8 : i+8]
 		s := src[i : i+8 : i+8]
@@ -87,7 +116,6 @@ func DecodeBF16(dst []float32, src []BF16) int {
 	for ; i < n; i++ {
 		dst[i] = BF16ToFloat32(src[i])
 	}
-	return n
 }
 
 // DecodeAccumulateBF16 adds the widened values of src into dst.

@@ -314,6 +314,40 @@ func parallelChunks(n, workers int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
+// Runner abstracts a shared kernel worker pool (internal/kernpool's
+// Pool implements it; see optim.Runner): Run executes fn over [0, n) in
+// deterministic chunks. The ...On bulk-codec variants draw parallelism
+// from it instead of spawning per-call goroutines, so the engine's one
+// pool bounds conversion parallelism alongside the Adam kernels.
+type Runner interface {
+	Run(n int, fn func(lo, hi int))
+}
+
+// runOn dispatches through the runner, inline when it is nil.
+func runOn(r Runner, n int, fn func(lo, hi int)) {
+	if r == nil {
+		fn(0, n)
+		return
+	}
+	r.Run(n, fn)
+}
+
+// EncodeOn is Encode fanned across the runner's workers; bit-identical
+// to Encode at any pool size (elements convert independently).
+func EncodeOn(r Runner, dst []Bits, src []float32) int {
+	n := min(len(dst), len(src))
+	runOn(r, n, func(lo, hi int) { encodeRange(dst, src, lo, hi) })
+	return n
+}
+
+// DecodeOn is Decode fanned across the runner's workers; bit-identical
+// to Decode at any pool size.
+func DecodeOn(r Runner, dst []float32, src []Bits) int {
+	n := min(len(dst), len(src))
+	runOn(r, n, func(lo, hi int) { decodeRange(dst, src, lo, hi) })
+	return n
+}
+
 // EncodeParallel is Encode split across workers goroutines (0 means
 // GOMAXPROCS). It is deterministic: chunking does not affect results.
 func EncodeParallel(dst []Bits, src []float32, workers int) int {

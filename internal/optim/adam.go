@@ -162,6 +162,50 @@ func StepFP16Parallel(s *State, grads []fp16.Bits, h Hyper, t, workers int) {
 	})
 }
 
+// Runner abstracts a shared kernel worker pool (internal/kernpool's
+// Pool implements it): Run executes fn over [0, n) split into
+// deterministic chunks whose boundaries do not depend on the worker
+// count. The Step...On variants draw intra-subgroup parallelism from it
+// instead of spawning per-call goroutines, so one engine-wide pool
+// bounds total kernel parallelism across all concurrent update workers.
+type Runner interface {
+	Run(n int, fn func(lo, hi int))
+}
+
+// StepFP32On is StepFP32 fanned across the runner's workers. A nil
+// runner runs serially. Chunking never changes results: every element's
+// update is independent, so the outcome is bit-identical to StepFP32 at
+// any pool size.
+func StepFP32On(r Runner, s *State, grads []float32, h Hyper, t int) {
+	s.checkLens(len(grads))
+	c1, c2 := biasCorrections(h, t)
+	run(r, s.Len(), func(lo, hi int) {
+		stepRange(s, h, c1, c2, lo, hi, func(i int) float32 { return grads[i] })
+	})
+}
+
+// StepFP16On is StepFP16 fanned across the runner's workers, widening
+// each FP16 gradient on the fly. Bit-identical to StepFP16 at any pool
+// size (see StepFP32On).
+func StepFP16On(r Runner, s *State, grads []fp16.Bits, h Hyper, t int) {
+	s.checkLens(len(grads))
+	c1, c2 := biasCorrections(h, t)
+	run(r, s.Len(), func(lo, hi int) {
+		stepRange(s, h, c1, c2, lo, hi, func(i int) float32 { return fp16.ToFloat32(grads[i]) })
+	})
+}
+
+// run dispatches through the runner, or inline when it is nil. A typed
+// nil inside a non-nil interface is the runner's own problem —
+// kernpool.Pool's methods accept a nil receiver.
+func run(r Runner, n int, fn func(lo, hi int)) {
+	if r == nil {
+		fn(0, n)
+		return
+	}
+	r.Run(n, fn)
+}
+
 func parallelChunks(n, workers int, fn func(lo, hi int)) {
 	if workers <= 1 || n < 8192 {
 		fn(0, n)

@@ -1,0 +1,160 @@
+package storage
+
+import (
+	"container/list"
+	"os"
+	"sync"
+)
+
+// DefaultFDCacheSize is the per-FileTier bound on cached read
+// descriptors. 32 covers a full prefetch window of subgroup objects
+// plus checkpoint traffic while staying far below any sane RLIMIT_NOFILE
+// share, even with several file tiers open.
+const DefaultFDCacheSize = 32
+
+// fdCache is a bounded LRU of open read-only descriptors, keyed by
+// path. Reopening a file per Read costs two syscalls (open/close) plus
+// a dentry walk on every object fetch — on the syscall-bound sequential
+// workloads the coalescing fast path targets, that overhead rivals the
+// read itself. Entries are refcounted: eviction and invalidation mark
+// an entry dead and drop it from the table, but the *os.File closes
+// only when the last in-flight reader releases it, so a racing read
+// never sees its descriptor closed underneath it.
+//
+// FileTier.Write/Delete/Copy invalidate the written path: Write
+// publishes via rename, so a cached descriptor would still address the
+// *old* inode and serve stale bytes forever.
+type fdCache struct {
+	mu   sync.Mutex
+	cap  int
+	ents map[string]*fdEntry
+	lru  *list.List // front = most recently used; values are *fdEntry
+}
+
+type fdEntry struct {
+	path   string
+	f      *os.File
+	direct bool // opened with O_DIRECT
+	refs   int
+	dead   bool // evicted/invalidated; close when refs reaches 0
+	elem   *list.Element
+}
+
+func newFDCache(capacity int) *fdCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &fdCache{cap: capacity, ents: make(map[string]*fdEntry), lru: list.New()}
+}
+
+// acquire returns a live cached entry for path, or opens one via open
+// and inserts it. The entry's refcount is incremented; the caller must
+// release it exactly once. open runs outside the cache lock (it is a
+// syscall); if two goroutines race to open the same path, the loser
+// closes its descriptor and shares the winner's entry.
+func (c *fdCache) acquire(path string, open func() (*os.File, bool, error)) (*fdEntry, error) {
+	c.mu.Lock()
+	if e, ok := c.ents[path]; ok {
+		e.refs++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		return e, nil
+	}
+	c.mu.Unlock()
+
+	f, direct, err := open()
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	if e, ok := c.ents[path]; ok { // lost the race: share theirs
+		e.refs++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		f.Close()
+		return e, nil
+	}
+	e := &fdEntry{path: path, f: f, direct: direct, refs: 1}
+	e.elem = c.lru.PushFront(e)
+	c.ents[path] = e
+	var closing []*os.File
+	for len(c.ents) > c.cap {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		if victim := c.unlinkLocked(back.Value.(*fdEntry)); victim != nil {
+			closing = append(closing, victim)
+		}
+	}
+	c.mu.Unlock()
+	for _, v := range closing {
+		v.Close()
+	}
+	return e, nil
+}
+
+// release drops one reference; a dead entry closes on its last release.
+func (c *fdCache) release(e *fdEntry) {
+	c.mu.Lock()
+	e.refs--
+	f := (*os.File)(nil)
+	if e.dead && e.refs == 0 {
+		f = e.f
+	}
+	c.mu.Unlock()
+	if f != nil {
+		f.Close()
+	}
+}
+
+// invalidate marks path's cached descriptor (if any) dead so future
+// reads reopen and observe the current inode.
+func (c *fdCache) invalidate(path string) {
+	c.mu.Lock()
+	var f *os.File
+	if e, ok := c.ents[path]; ok {
+		f = c.unlinkLocked(e)
+	}
+	c.mu.Unlock()
+	if f != nil {
+		f.Close()
+	}
+}
+
+// closeAll evicts every entry (in-flight readers still close lazily on
+// their final release).
+func (c *fdCache) closeAll() {
+	c.mu.Lock()
+	var closing []*os.File
+	for _, e := range c.ents {
+		if f := c.unlinkLocked(e); f != nil {
+			closing = append(closing, f)
+		}
+	}
+	c.mu.Unlock()
+	for _, f := range closing {
+		f.Close()
+	}
+}
+
+// unlinkLocked removes e from the table and marks it dead, returning
+// the file to close if no reader holds it (nil otherwise). Caller holds
+// c.mu.
+func (c *fdCache) unlinkLocked(e *fdEntry) *os.File {
+	delete(c.ents, e.path)
+	c.lru.Remove(e.elem)
+	e.dead = true
+	if e.refs == 0 {
+		return e.f
+	}
+	return nil
+}
+
+// len reports live entries (for tests).
+func (c *fdCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.ents)
+}

@@ -1,0 +1,254 @@
+//go:build linux
+
+package storage
+
+// FileTier's Linux fast path: vectored preadv/pwritev over raw
+// syscalls (the module is dependency-free, so no x/sys), plus the
+// O_DIRECT machinery behind WithDirectIO. Alignment contract: buffer
+// addresses, file offsets, and transfer lengths must be multiples of
+// the logical block size; bufpool.DirectAlign (4 KiB) covers every
+// deployed block size. Aligned object bodies transfer in place,
+// remainders bounce through one aligned scratch block.
+//
+//mlpvet:allowfile unsafeconfine raw preadv/pwritev need iovec base pointers; the unsafe stays inside this build-tagged syscall shim
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"unsafe"
+
+	"github.com/datastates/mlpoffload/internal/bufpool"
+	"github.com/datastates/mlpoffload/internal/f32view"
+)
+
+// directIOSupported gates WithDirectIO at construction; off-Linux
+// builds compile the same call sites against a false constant.
+const directIOSupported = true
+
+// errDirectUnsupported marks O_DIRECT rejections (tmpfs, overlayfs,
+// some network mounts). The tier downgrades to buffered I/O for good
+// instead of failing the operation.
+var errDirectUnsupported = errors.New("storage: filesystem rejected O_DIRECT")
+
+func isDirectUnsupported(err error) bool {
+	return errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.EOPNOTSUPP) ||
+		errors.Is(err, syscall.ENOTTY)
+}
+
+// openReadFile opens p for reading, with O_DIRECT when direct is set
+// and the filesystem accepts it. The returned bool reports whether the
+// descriptor really is direct — false after a graceful downgrade.
+func openReadFile(p string, direct bool) (*os.File, bool, error) {
+	if direct {
+		fh, err := os.OpenFile(p, os.O_RDONLY|syscall.O_DIRECT, 0)
+		if err == nil {
+			return fh, true, nil
+		}
+		if !isDirectUnsupported(err) {
+			return nil, false, err
+		}
+	}
+	fh, err := os.Open(p)
+	return fh, false, err
+}
+
+// readDirect fills dst from an O_DIRECT descriptor, offset 0. The
+// aligned body of dst is read in place; the tail rides in the same
+// preadv as a second, aligned bounce iovec. A destination that fails
+// the alignment contract entirely (foreign buffer, offset view) bounces
+// whole — correct, just one extra copy.
+func readDirect(fh *os.File, dst []byte) error {
+	n := len(dst)
+	if n == 0 {
+		return nil
+	}
+	const align = bufpool.DirectAlign
+	if body := n &^ (align - 1); body > 0 && f32view.AlignedTo(dst, align) {
+		tail := n - body
+		if tail == 0 {
+			return preadvFull(fh, [][]byte{dst[:body]}, 0, n)
+		}
+		bounce := bufpool.GetAligned(align)
+		defer bufpool.Put(bounce)
+		if err := preadvFull(fh, [][]byte{dst[:body], bounce}, 0, n); err != nil {
+			return err
+		}
+		copy(dst[body:], bounce[:tail])
+		return nil
+	}
+	bounce := bufpool.GetAligned((n + align - 1) &^ (align - 1))
+	defer bufpool.Put(bounce)
+	if err := preadvFull(fh, [][]byte{bounce}, 0, n); err != nil {
+		return err
+	}
+	copy(dst, bounce[:n])
+	return nil
+}
+
+// writeDirect is Write's O_DIRECT variant: same temp-file + rename
+// publication, but the payload goes down via pwritev with O_DIRECT set
+// on the descriptor — aligned body in place, tail zero-padded to a full
+// block in an aligned bounce, then the file truncated back to the true
+// object length before rename.
+func (f *FileTier) writeDirect(p string, src []byte) error {
+	tmp, err := os.CreateTemp(f.dir, filepath.Base(p)+".*.tmp")
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := setDirectFlag(tmp); err != nil {
+		return fail(errDirectUnsupported)
+	}
+	const align = bufpool.DirectAlign
+	n := len(src)
+	body := 0
+	if f32view.AlignedTo(src, align) {
+		body = n &^ (align - 1)
+	}
+	var bufs [][]byte
+	if body > 0 {
+		bufs = append(bufs, src[:body])
+	}
+	var bounce []byte
+	if tail := n - body; tail > 0 {
+		bounce = bufpool.GetAligned((tail + align - 1) &^ (align - 1))
+		copy(bounce, src[body:])
+		clear(bounce[tail:])
+		bufs = append(bufs, bounce)
+	}
+	total := body + len(bounce)
+	err = pwritevFull(tmp, bufs, 0, total)
+	if bounce != nil {
+		bufpool.Put(bounce)
+	}
+	if err != nil {
+		if isDirectUnsupported(err) {
+			// fcntl accepted the flag but the write path refused it.
+			return fail(errDirectUnsupported)
+		}
+		return fail(err)
+	}
+	if n != total {
+		if err := tmp.Truncate(int64(n)); err != nil {
+			return fail(err)
+		}
+	}
+	if err := tmp.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
+// setDirectFlag turns on O_DIRECT for an already-open descriptor
+// (CreateTemp owns the open, so the flag is added after the fact).
+func setDirectFlag(fh *os.File) error {
+	fd := fh.Fd()
+	flags, _, errno := syscall.Syscall(syscall.SYS_FCNTL, fd, syscall.F_GETFL, 0)
+	if errno != 0 {
+		return errno
+	}
+	if _, _, errno := syscall.Syscall(syscall.SYS_FCNTL, fd, syscall.F_SETFL, flags|syscall.O_DIRECT); errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// preadvFull reads at least want bytes at off into bufs in order,
+// retrying EINTR and advancing the iovec view across short reads. The
+// iovecs may cover more than want (a bounce block rounds the tail up);
+// zero progress before want bytes means the object is truncated.
+func preadvFull(fh *os.File, bufs [][]byte, off int64, want int) error {
+	return vecFull(fh, bufs, off, want, syscall.SYS_PREADV, io.ErrUnexpectedEOF)
+}
+
+// pwritevFull writes exactly want bytes (the total of bufs) at off.
+func pwritevFull(fh *os.File, bufs [][]byte, off int64, want int) error {
+	return vecFull(fh, bufs, off, want, syscall.SYS_PWRITEV, io.ErrShortWrite)
+}
+
+func vecFull(fh *os.File, bufs [][]byte, off int64, want int, trap uintptr, stallErr error) error {
+	done := 0
+	spins := 0
+	fd := fh.Fd()
+	for done < want {
+		iov := buildIovecs(bufs)
+		if len(iov) == 0 {
+			return stallErr
+		}
+		n, err := vecSyscall(trap, fd, iov, off+int64(done))
+		if n > 0 {
+			done += n
+			bufs = advanceBufs(bufs, n)
+			spins = 0
+			continue
+		}
+		if err == syscall.EINTR {
+			if spins++; spins > eintrRetryLimit {
+				return err
+			}
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		return stallErr
+	}
+	return nil
+}
+
+// vecSyscall issues preadv/pwritev. The raw syscall splits the offset
+// into (pos_l, pos_h) halves; on 64-bit the kernel reads the whole
+// offset from pos_l and ignores pos_h, on 32-bit the halves compose.
+func vecSyscall(trap uintptr, fd uintptr, iov []syscall.Iovec, off int64) (int, error) {
+	r, _, errno := syscall.Syscall6(trap, fd,
+		uintptr(unsafe.Pointer(&iov[0])), uintptr(len(iov)),
+		uintptr(off), uintptr(uint64(off)>>32), 0)
+	if errno != 0 {
+		return 0, errno
+	}
+	return int(r), nil
+}
+
+func buildIovecs(bufs [][]byte) []syscall.Iovec {
+	iov := make([]syscall.Iovec, 0, len(bufs))
+	for _, b := range bufs {
+		if len(b) == 0 {
+			continue
+		}
+		var v syscall.Iovec
+		v.Base = &b[0]
+		v.SetLen(len(b))
+		iov = append(iov, v)
+	}
+	return iov
+}
+
+// advanceBufs drops n consumed bytes off the front of the buffer list.
+func advanceBufs(bufs [][]byte, n int) [][]byte {
+	for len(bufs) > 0 && n >= len(bufs[0]) {
+		n -= len(bufs[0])
+		bufs = bufs[1:]
+	}
+	if len(bufs) > 0 && n > 0 {
+		rest := make([][]byte, len(bufs))
+		copy(rest, bufs)
+		rest[0] = rest[0][n:]
+		return rest
+	}
+	return bufs
+}

@@ -1,0 +1,40 @@
+//go:build !linux
+
+package storage
+
+// FileTier's portable fallback: no vectored syscalls, no O_DIRECT.
+// NewFileTier compiles WithDirectIO call sites everywhere but the
+// directIOSupported constant keeps the direct machinery dead code, so
+// reads stay on the short-read-hardened ReadAt loop and writes on the
+// buffered temp-file + rename path — exactly the pre-fast-path
+// semantics. The fd cache is portable and stays on.
+
+import (
+	"errors"
+	"os"
+)
+
+const directIOSupported = false
+
+var errDirectUnsupported = errors.New("storage: O_DIRECT unsupported on this platform")
+
+// openReadFile opens p buffered; the direct request is never honoured
+// off-Linux, and the false return tells the tier so.
+func openReadFile(p string, direct bool) (*os.File, bool, error) {
+	_ = direct
+	fh, err := os.Open(p)
+	return fh, false, err
+}
+
+// readDirect is unreachable off-Linux (no descriptor is ever direct);
+// it exists so the shared read path compiles.
+func readDirect(fh *os.File, dst []byte) error {
+	_, _ = fh, dst
+	return errDirectUnsupported
+}
+
+// writeDirect is likewise unreachable: directEnabled() is always false.
+func (f *FileTier) writeDirect(p string, src []byte) error {
+	_, _ = p, src
+	return errDirectUnsupported
+}

@@ -38,7 +38,7 @@ discarded Wait error hides I/O failures.`,
 // aioSuffix identifies the aio package (real tree and fixtures).
 const aioSuffix = "internal/aio"
 
-var classed = map[string]bool{"SubmitReadClass": true, "SubmitWriteClass": true, "SubmitDelete": true}
+var classed = map[string]bool{"SubmitReadClass": true, "SubmitWriteClass": true, "SubmitDelete": true, "SubmitReadVecClass": true}
 var classless = map[string]bool{"SubmitRead": true, "SubmitWrite": true}
 var waiters = map[string]bool{"Wait": true, "WaitCtx": true}
 

@@ -30,6 +30,27 @@ func discardedWait(op *aio.Op) {
 	op.Wait()     // want `Wait error discarded`
 }
 
+// droppedVec discards a coalesced batch op: every member's completion is
+// unobservable.
+func droppedVec(e *aio.Engine, keys []string, dsts [][]byte) {
+	e.SubmitReadVecClass(aio.DemandFetch, keys, dsts) // want `result of SubmitReadVecClass dropped`
+}
+
+// blankVecOp keeps the error but throws the batch op away.
+func blankVecOp(e *aio.Engine, keys []string, dsts [][]byte) error {
+	_, err := e.SubmitReadVecClass(aio.DemandFetch, keys, dsts) // want `\*aio\.Op from SubmitReadVecClass assigned to _`
+	return err
+}
+
+// okVec: one classed vectored submission for the whole run, waited once.
+func okVec(e *aio.Engine, keys []string, dsts [][]byte) error {
+	op, err := e.SubmitReadVecClass(aio.DemandFetch, keys, dsts)
+	if err != nil {
+		return err
+	}
+	return op.Wait()
+}
+
 // ok: classed submission, op waited, error propagated.
 func ok(e *aio.Engine, buf []byte) error {
 	op, err := e.SubmitReadClass(aio.DemandFetch, "k", buf)

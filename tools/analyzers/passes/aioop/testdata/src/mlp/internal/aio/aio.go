@@ -18,7 +18,10 @@ func (o *Op) WaitCtx(ctx any) error { return nil }
 
 type Engine struct{}
 
-func (e *Engine) SubmitReadClass(c Class, key string, dst []byte) (*Op, error)  { return nil, nil }
+func (e *Engine) SubmitReadClass(c Class, key string, dst []byte) (*Op, error) { return nil, nil }
+func (e *Engine) SubmitReadVecClass(c Class, keys []string, dsts [][]byte) (*Op, error) {
+	return nil, nil
+}
 func (e *Engine) SubmitWriteClass(c Class, key string, src []byte) (*Op, error) { return nil, nil }
 func (e *Engine) SubmitDelete(c Class, key string) (*Op, error)                 { return nil, nil }
 func (e *Engine) SubmitRead(key string, dst []byte) (*Op, error)                { return nil, nil }

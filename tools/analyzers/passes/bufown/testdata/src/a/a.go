@@ -93,6 +93,33 @@ func okSliceRelease(n int) {
 	bufpool.Put(buf[:n])
 }
 
+// okCoalesced: the coalesced-fetch shape — one pooled buffer per batch
+// member, sub-sliced destination views gathered into a batch and handed
+// together to one vectored submission; storing into the slice is the
+// adoption point, and the submission's owner releases every member.
+func okCoalesced(n int, submitVec func(dsts [][]byte) error) error {
+	dsts := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		buf := bufpool.Get(64)
+		dsts[i] = buf[:32]
+	}
+	return submitVec(dsts)
+}
+
+// coalescedAbortLeak: a batch assembled member-by-member but abandoned on
+// a mid-assembly failure drops the members acquired so far.
+func coalescedAbortLeak(n int, fail func(int) bool) [][]byte {
+	dsts := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		buf := bufpool.Get(64) // want `leaks on a return path`
+		if fail(i) {
+			return nil // members already in dsts are dropped unreleased
+		}
+		dsts = append(dsts, buf[:32])
+	}
+	return dsts
+}
+
 // annotated: a deliberate leak (buffer handed to an untracked registry)
 // is documented instead of flagged.
 var registry [][]byte
