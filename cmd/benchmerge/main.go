@@ -13,7 +13,13 @@
 //     record for the zero-copy update path.
 //   - positional args: JSON report files (e.g. `iobench -mixed -json`,
 //     `iobench -codec -json`), embedded verbatim under their
-//     "benchmark" field (falling back to the file name).
+//     "benchmark" field (falling back to the file name). A file holding
+//     a top-level JSON array (e.g. `simmatrix -json`) is split into its
+//     elements, each registered under its own "benchmark" name. Every
+//     report is shape-checked before merging: the name must be a valid
+//     schema-1 series name, "config" (when present) an object and
+//     "results" (when present) an array, so a malformed producer fails
+//     the merge instead of corrupting the trajectory.
 //
 // Output (-out, default stdout):
 //
@@ -33,6 +39,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strconv"
 	"strings"
 	"time"
@@ -95,23 +102,9 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		if !json.Valid(data) {
-			fail("%s is not valid JSON", path)
+		if err := ingestReports(&doc, path, data); err != nil {
+			fail("%v", err)
 		}
-		name := strings.TrimSuffix(filepath.Base(path), ".json")
-		var probe struct {
-			Benchmark string `json:"benchmark"`
-		}
-		if json.Unmarshal(data, &probe) == nil && probe.Benchmark != "" {
-			name = probe.Benchmark
-		}
-		if doc.Reports == nil {
-			doc.Reports = make(map[string]json.RawMessage)
-		}
-		if _, dup := doc.Reports[name]; dup {
-			fail("duplicate report name %q (from %s)", name, path)
-		}
-		doc.Reports[name] = json.RawMessage(data)
 	}
 
 	if len(doc.GoBenchmarks) == 0 && len(doc.Reports) == 0 {
@@ -131,6 +124,94 @@ func main() {
 		fail("%v", err)
 	}
 	fmt.Printf("wrote %s: %d go benchmarks, %d reports\n", *out, len(doc.GoBenchmarks), len(doc.Reports))
+}
+
+// reportName is the schema-1 series-name shape: the keys of "reports"
+// feed dashboards and file names, so they stay lowercase kebab/dotted.
+var reportName = regexp.MustCompile(`^[a-z0-9][a-z0-9._-]*$`)
+
+// firstByte returns the first non-whitespace byte of a JSON value (0 when
+// empty), enough to discriminate object / array / scalar without a parse.
+func firstByte(data []byte) byte {
+	for _, c := range data {
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			continue
+		}
+		return c
+	}
+	return 0
+}
+
+// ingestReports merges one positional-argument file into the document:
+// either a single report object, or a top-level array of report objects
+// (each then needs its own "benchmark" name — there is no per-element
+// file name to fall back on).
+func ingestReports(doc *document, path string, data []byte) error {
+	if !json.Valid(data) {
+		return fmt.Errorf("%s is not valid JSON", path)
+	}
+	if firstByte(data) == '[' {
+		var elems []json.RawMessage
+		if err := json.Unmarshal(data, &elems); err != nil {
+			return fmt.Errorf("%s: %v", path, err)
+		}
+		if len(elems) == 0 {
+			return fmt.Errorf("%s: empty report array", path)
+		}
+		for i, elem := range elems {
+			var probe struct {
+				Benchmark string `json:"benchmark"`
+			}
+			if err := json.Unmarshal(elem, &probe); err != nil || probe.Benchmark == "" {
+				return fmt.Errorf("%s: array element %d has no \"benchmark\" name", path, i)
+			}
+			if err := addReport(doc, probe.Benchmark, path, elem); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	name := strings.TrimSuffix(filepath.Base(path), ".json")
+	var probe struct {
+		Benchmark string `json:"benchmark"`
+	}
+	if json.Unmarshal(data, &probe) == nil && probe.Benchmark != "" {
+		name = probe.Benchmark
+	}
+	return addReport(doc, name, path, data)
+}
+
+// addReport shape-checks one schema-1 report and registers it.
+func addReport(doc *document, name, path string, raw json.RawMessage) error {
+	if !reportName.MatchString(name) {
+		return fmt.Errorf("%s: report name %q is not a valid schema-1 series name (%s)",
+			path, name, reportName)
+	}
+	if firstByte(raw) != '{' {
+		return fmt.Errorf("%s: report %q is not a JSON object", path, name)
+	}
+	var shape struct {
+		Config  json.RawMessage `json:"config"`
+		Results json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal(raw, &shape); err != nil {
+		return fmt.Errorf("%s: report %q: %v", path, name, err)
+	}
+	if len(shape.Config) > 0 && firstByte(shape.Config) != '{' && string(shape.Config) != "null" {
+		return fmt.Errorf("%s: report %q: \"config\" is not an object", path, name)
+	}
+	if len(shape.Results) > 0 && firstByte(shape.Results) != '[' && string(shape.Results) != "null" {
+		return fmt.Errorf("%s: report %q: \"results\" is not an array", path, name)
+	}
+	if doc.Reports == nil {
+		doc.Reports = make(map[string]json.RawMessage)
+	}
+	if _, dup := doc.Reports[name]; dup {
+		return fmt.Errorf("duplicate report name %q (from %s)", name, path)
+	}
+	doc.Reports[name] = raw
+	return nil
 }
 
 // parseBenchLine parses one `go test -bench` result line:

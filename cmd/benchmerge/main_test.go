@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestParseBenchLineBenchmem pins the fields the bench trajectory
 // tracks: ns/op and MB/s, plus the -benchmem allocation metrics
@@ -43,4 +46,69 @@ func TestParseBenchLineBenchmem(t *testing.T) {
 			t.Fatalf("%q should not parse", bad)
 		}
 	}
+}
+
+// TestIngestReportsArray: a top-level JSON array (simmatrix -json) splits
+// into one report per element, keyed by each element's "benchmark" name.
+func TestIngestReportsArray(t *testing.T) {
+	doc := document{Schema: 1}
+	data := []byte(`[
+		{"benchmark": "simmatrix-codec-40b", "config": {"model": "40B"}, "results": [{"variant": "codec-off"}]},
+		{"benchmark": "simmatrix-codec-280b", "config": {"model": "280B"}, "results": []}
+	]`)
+	if err := ingestReports(&doc, "matrix.json", data); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"simmatrix-codec-40b", "simmatrix-codec-280b"} {
+		if _, ok := doc.Reports[name]; !ok {
+			t.Errorf("report %q missing after array ingest (have %v)", name, len(doc.Reports))
+		}
+	}
+	// A second file colliding with an already-registered name must fail.
+	dup := []byte(`{"benchmark": "simmatrix-codec-40b"}`)
+	if err := ingestReports(&doc, "again.json", dup); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate report accepted: %v", err)
+	}
+}
+
+// TestIngestReportsValidation pins the schema-1 shape checks: names,
+// top-level kind, config/results types, nameless array elements.
+func TestIngestReportsValidation(t *testing.T) {
+	cases := []struct {
+		label, data, wantErr string
+	}{
+		{"bad name", `{"benchmark": "Not A Name!"}`, "not a valid schema-1 series name"},
+		{"scalar report", `42`, "not a JSON object"},
+		{"config not object", `{"benchmark": "x-1", "config": []}`, `"config" is not an object`},
+		{"results not array", `{"benchmark": "x-2", "results": {}}`, `"results" is not an array`},
+		{"nameless array element", `[{"config": {}}]`, `no "benchmark" name`},
+		{"array of scalars", `[1, 2]`, `no "benchmark" name`},
+		{"empty array", `[]`, "empty report array"},
+		{"invalid json", `{`, "not valid JSON"},
+	}
+	for _, c := range cases {
+		doc := document{Schema: 1}
+		err := ingestReports(&doc, "in.json", []byte(c.data))
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: error %v, want substring %q", c.label, err, c.wantErr)
+		}
+	}
+
+	// Legacy single-object report without a "benchmark" field keeps the
+	// filename key; null config/results stay acceptable.
+	doc := document{Schema: 1}
+	if err := ingestReports(&doc, "/tmp/iobench-mixed.json", []byte(`{"config": null, "results": null, "ops": 9}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := doc.Reports["iobench-mixed"]; !ok {
+		t.Errorf("filename fallback lost: reports = %v", keys(doc.Reports))
+	}
+}
+
+func keys[M ~map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
 }

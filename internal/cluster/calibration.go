@@ -1,0 +1,34 @@
+package cluster
+
+// Calibration carries machine-measured rates derived from a BENCH_*.json
+// trajectory document (see simrun.CalibrationFromBench). Zero fields mean
+// "no measurement available — keep the testbed's Table 1 value".
+type Calibration struct {
+	// UpdateParamsPerSec is the measured CPU Adam kernel rate in
+	// parameters/second (from the StepFP16KernelPool benchmark).
+	UpdateParamsPerSec float64
+	// OpOverheadSec is the fixed per-I/O-op submission cost in seconds —
+	// the cost vectored coalescing amortizes (from the iobench-seq-fetch
+	// report's per-op vs coalesced-per-member latencies).
+	OpOverheadSec float64
+	// CodecRatio is the measured compression ratio (raw/wire) and
+	// CodecEncBW/CodecDecBW the CPU encode/decode throughputs in raw
+	// bytes/second (from the iobench-codec report).
+	CodecRatio float64
+	CodecEncBW float64
+	CodecDecBW float64
+}
+
+// IsZero reports whether no measurement was derived.
+func (c Calibration) IsZero() bool {
+	return c == Calibration{}
+}
+
+// Calibrated returns a copy of the testbed with measured rates substituted
+// for the spec-sheet values where the calibration has them.
+func (t Testbed) Calibrated(c Calibration) Testbed {
+	if c.UpdateParamsPerSec > 0 {
+		t.CPUUpdateParamsPerSec = c.UpdateParamsPerSec
+	}
+	return t
+}

@@ -32,11 +32,17 @@ func (e *Event) Fire() {
 // Wait parks p until the event fires (returns immediately if already
 // fired).
 func (e *Event) Wait(p *Proc) {
+	e.waitReason(p, "event")
+}
+
+// waitReason is Wait with a custom park reason so higher-level primitives
+// (Sched) can label blocked waiters usefully in deadlock reports.
+func (e *Event) waitReason(p *Proc, reason string) {
 	if e.fired {
 		return
 	}
 	e.waiters = append(e.waiters, p)
-	p.park("event")
+	p.park(reason)
 }
 
 // Barrier is a cyclic synchronization barrier for n parties, used to model

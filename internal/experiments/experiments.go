@@ -69,6 +69,7 @@ func All() []Experiment {
 		{"fig15", "Figure 15: ablation on NVMe + PFS", Fig15},
 		{"ext-adaptive", "Extension: adaptive placement under PFS pressure", ExtAdaptive},
 		{"ext-subgroup", "Extension: subgroup size sensitivity", ExtSubgroup},
+		{"ext-matrix", "Extension: scenario matrix (bursty tiers, failure, codec, storms, coalescing)", ExtMatrix},
 	}
 }
 

@@ -8,7 +8,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"tab1", "tab2", "fig1", "fig3", "fig4", "fig5",
 		"fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-		"ext-adaptive", "ext-subgroup"}
+		"ext-adaptive", "ext-subgroup", "ext-matrix"}
 	ids := IDs()
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(ids), len(want))
@@ -55,6 +55,7 @@ func TestAllExperimentsRun(t *testing.T) {
 		"fig15":        {"Multi-Path (with caching)", "Our Approach"},
 		"ext-adaptive": {"static", "adaptive", "slowdown"},
 		"ext-subgroup": {"100M", "1000M", "placement"},
+		"ext-matrix":   {"tier-failure-40b", "codec-280b", "ckpt-storm-pfs", "coalesce-microfetch", "speedup"},
 	}
 	for _, e := range All() {
 		e := e

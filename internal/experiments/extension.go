@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"github.com/datastates/mlpoffload/internal/cluster"
 	"github.com/datastates/mlpoffload/internal/metrics"
@@ -91,4 +92,48 @@ func ExtSubgroup(o Options) (string, error) {
 	}
 	t.AddNote("the paper picks 100M: fine enough to balance multi-path I/O, coarse enough to amortize per-op costs")
 	return t.Render(), nil
+}
+
+// ExtMatrix renders the scenario matrix (internal/simrun, cmd/simmatrix):
+// the beyond-the-paper regimes — bursty PFS bandwidth, a mid-run tier
+// failure with its migration storm, the tier codec at 40B and 280B,
+// co-tenant checkpoint storms, and vectored-fetch economics — as one
+// table per cell, matching the reports CI tracks under simmatrix-* names.
+func ExtMatrix(o Options) (string, error) {
+	o = o.normalize()
+	// Mid-run events (PFS pressure, tier failure) land around iteration 2
+	// and need post-replan iterations to show their mechanism — same
+	// floor as ExtAdaptive.
+	if o.Iterations < 8 {
+		o.Iterations = 8
+		o.Warmup = 4
+	}
+	reps, err := simrun.RunMatrix(nil, simrun.MatrixOptions{
+		Iterations: o.Iterations, Warmup: o.Warmup,
+	})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	for _, rep := range reps {
+		t := metrics.NewTable(
+			fmt.Sprintf("Extension matrix %s: %s on %s, %d node(s)",
+				rep.Config.Scenario, rep.Config.Model, rep.Config.Testbed, rep.Config.Nodes),
+			"variant", "iter (s)", "update (s)", "read GB", "wire GB",
+			"fetch p95 (ms)", "migrations", "ckpt ops")
+		for _, r := range rep.Results {
+			t.AddRow(r.Variant,
+				fmt.Sprintf("%.3f", r.IterSec),
+				fmt.Sprintf("%.3f", r.UpdateSec),
+				fmt.Sprintf("%.2f", r.ReadGB),
+				fmt.Sprintf("%.2f", r.WireReadGB),
+				fmt.Sprintf("%.3f", r.FetchP95MS),
+				fmt.Sprintf("%d", r.Migrations),
+				fmt.Sprintf("%d", r.CheckpointOps))
+		}
+		t.AddNote("speedup %.2fx (%s)", rep.Speedup, rep.SpeedupMetric)
+		sb.WriteString(t.Render())
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
 }

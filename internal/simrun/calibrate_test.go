@@ -1,0 +1,100 @@
+package simrun
+
+import (
+	"math"
+	"testing"
+
+	"github.com/datastates/mlpoffload/internal/cluster"
+)
+
+// TestCalibrationFromCommittedBench parses the committed PR-8 trajectory
+// fixture and checks the derived rates against hand computation.
+func TestCalibrationFromCommittedBench(t *testing.T) {
+	cal, err := LoadCalibration("../../bench/BENCH_pr8.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best StepFP16KernelPool in the fixture: 2067.28 MB/s at 14 B/param.
+	wantPPS := 2067.28e6 / 14
+	if math.Abs(cal.UpdateParamsPerSec-wantPPS)/wantPPS > 1e-9 {
+		t.Errorf("UpdateParamsPerSec = %g, want %g", cal.UpdateParamsPerSec, wantPPS)
+	}
+	// fdcache avg 3.3223125 us minus coalesced 9.0328125/4 us.
+	wantOv := (3.3223125 - 9.0328125/4) * 1e-6
+	if math.Abs(cal.OpOverheadSec-wantOv) > 1e-12 {
+		t.Errorf("OpOverheadSec = %g, want %g", cal.OpOverheadSec, wantOv)
+	}
+	// The fixture has no iobench-codec report: codec fields stay zero.
+	if cal.CodecRatio != 0 || cal.CodecEncBW != 0 || cal.CodecDecBW != 0 {
+		t.Errorf("codec fields = %+v, want zero", cal)
+	}
+	if cal.IsZero() {
+		t.Error("calibration unexpectedly zero")
+	}
+}
+
+// TestCalibrationFromSyntheticBench covers the codec inversion and schema
+// rejection paths.
+func TestCalibrationFromSyntheticBench(t *testing.T) {
+	doc := []byte(`{
+		"schema": 1, "run": "test",
+		"go_benchmarks": [
+			{"name": "BenchmarkStepFP16KernelPool/workers=2", "metrics": {"MB/s": 1400}},
+			{"name": "BenchmarkUnrelated", "metrics": {"MB/s": 99999}}
+		],
+		"reports": {
+			"iobench-codec": {
+				"benchmark": "iobench-codec",
+				"config": {"tier_bw_bytes_per_sec": 100e6},
+				"results": [
+					{"mode": "off", "write_mbps": 100, "read_mbps": 100, "compression_ratio": 1},
+					{"mode": "transpose+deflate", "write_mbps": 120, "read_mbps": 150, "compression_ratio": 1.5}
+				]
+			}
+		}
+	}`)
+	cal, err := CalibrationFromBench(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1400e6 / 14.0; cal.UpdateParamsPerSec != want {
+		t.Errorf("UpdateParamsPerSec = %g, want %g", cal.UpdateParamsPerSec, want)
+	}
+	if cal.CodecRatio != 1.5 {
+		t.Errorf("CodecRatio = %g, want 1.5", cal.CodecRatio)
+	}
+	// 1/enc = 1/120e6 - 1/150e6 => enc = 600e6; 1/dec = 1/150e6 - 1/150e6 => free.
+	if math.Abs(cal.CodecEncBW-600e6)/600e6 > 1e-9 {
+		t.Errorf("CodecEncBW = %g, want 600e6", cal.CodecEncBW)
+	}
+	if cal.CodecDecBW != 0 {
+		t.Errorf("CodecDecBW = %g, want 0 (at device ceiling)", cal.CodecDecBW)
+	}
+
+	if _, err := CalibrationFromBench([]byte(`{"schema": 2}`)); err == nil {
+		t.Error("schema 2 accepted, want error")
+	}
+	if _, err := CalibrationFromBench([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted, want error")
+	}
+}
+
+// TestCalibratedTestbed: substitution only where measurements exist.
+func TestCalibratedTestbed(t *testing.T) {
+	tb := cluster.Testbed1()
+	cal := cluster.Calibration{UpdateParamsPerSec: 150e6}
+	got := tb.Calibrated(cal)
+	if got.CPUUpdateParamsPerSec != cal.UpdateParamsPerSec {
+		t.Errorf("CPUUpdateParamsPerSec = %g, want %g", got.CPUUpdateParamsPerSec, cal.UpdateParamsPerSec)
+	}
+	if got.NVMe.ReadBW != tb.NVMe.ReadBW {
+		t.Errorf("NVMe bandwidth changed by calibration")
+	}
+	zero := tb.Calibrated(cluster.Calibration{})
+	if zero.CPUUpdateParamsPerSec != tb.CPUUpdateParamsPerSec {
+		t.Errorf("zero calibration changed the testbed")
+	}
+	if !(cluster.Calibration{}).IsZero() {
+		t.Error("zero calibration not IsZero")
+	}
+}

@@ -36,6 +36,52 @@ type Approach struct {
 	// iteration boundary from EWMA-smoothed observed bandwidths (§3.3's
 	// B_i adjustment); otherwise the microbenchmark split is kept.
 	AdaptivePlacement bool
+
+	// The fields below model the post-paper engine (PRs 3/4/8). Any of
+	// them being set routes the run through the scheduler-based pipeline
+	// (engine_model.go); all zero keeps the original paper pipeline
+	// bit-for-bit.
+
+	// PriorityIO routes every tier operation through a class-based
+	// multi-level queue (DemandFetch > GradRead > Prefetch > Flush >
+	// Checkpoint > Migration) with aging, mirroring internal/aio. When
+	// false but another scheduler feature is on, ops run through a
+	// single-class FIFO — the contrast the checkpoint-storm scenario
+	// measures.
+	PriorityIO bool
+	// AgingThreshold is the starvation bound in seconds; 0 means the aio
+	// default (50ms) when PriorityIO is on.
+	AgingThreshold float64
+	// LiveMigration moves misplaced offloaded subgroups toward the plan in
+	// the background after each replan (PR 3), instead of waiting for
+	// natural eviction traffic to converge.
+	LiveMigration bool
+	// MigrationWindow bounds concurrent background copies per worker
+	// (0 = 2, the engine default).
+	MigrationWindow int
+	// CoalesceFetches batches up to this many adjacent same-tier fetches
+	// into one vectored scheduler op (PR 8), paying the per-op overhead
+	// once. <2 disables.
+	CoalesceFetches int
+	// CodecRatio > 1 models a compression codec on every tier (PR 4):
+	// devices move bytes/CodecRatio wire bytes while the CPU pays
+	// raw/CodecEncBW (writes) and raw/CodecDecBW (reads) seconds.
+	// CodecEncBW/CodecDecBW of 0 mean free transforms.
+	CodecRatio float64
+	CodecEncBW float64
+	CodecDecBW float64
+}
+
+// EngineTrue returns the approach matching the engine as PRs 1-8 left it:
+// all paper principles plus priority scheduling, live migration, and fetch
+// coalescing.
+func EngineTrue() Approach {
+	a := MLPOffload()
+	a.Name = "MLP-Offload (engine)"
+	a.PriorityIO = true
+	a.LiveMigration = true
+	a.CoalesceFetches = 4
+	return a
 }
 
 // DeepSpeedZeRO3 is the baseline: sequential order, FP32 gradient flushes,
@@ -105,6 +151,46 @@ type Config struct {
 	// paper's future-work discussion).
 	PFSLoadFactor float64
 	PFSLoadAfter  int
+
+	// The fields below configure the scheduler-based pipeline
+	// (engine_model.go); any non-zero value routes the run through it.
+
+	// CheckpointJobs spawns that many co-tenant checkpoint streams, each
+	// keeping one Checkpoint-class write in flight to the persistent tier
+	// for the whole run — the "checkpoint storm from hundreds of
+	// concurrent jobs" scenario.
+	CheckpointJobs int
+	// CheckpointBytes is the storm object size (0 = one subgroup's state).
+	CheckpointBytes float64
+	// CheckpointInterval is each storm job's think time in seconds between
+	// writes (staggered starts). 0 = closed-loop: resubmit immediately,
+	// saturating the tier.
+	CheckpointInterval float64
+	// TierFailFactor in (0,1) collapses tier TierFailTier's bandwidth to
+	// that fraction at the start of iteration TierFailAfter — a device
+	// failing mid-run. With AdaptivePlacement + LiveMigration the replan
+	// triggers a migration storm toward the surviving paths.
+	TierFailFactor float64
+	TierFailTier   int
+	TierFailAfter  int
+	// OpOverhead is a fixed per-scheduler-op setup cost in seconds
+	// (calibrated from BENCH seq-fetch data); this is the cost coalescing
+	// amortizes.
+	OpOverhead float64
+	// FullDuplex models each tier as independent read and write links at
+	// their nominal bandwidths (the semantics of storage.Throttled's two
+	// token buckets) instead of the paper's half-duplex shared device.
+	// Used when cross-validating against the real engine.
+	FullDuplex bool
+	// CacheSlots / PrefetchDepth / IOWorkers override the derived values
+	// when > 0 (IOWorkers is scheduler workers per tier per GPU worker,
+	// default 2 — the aio engine default).
+	CacheSlots    int
+	PrefetchDepth int
+	IOWorkers     int
+	// TraceEvents records a deterministic per-op completion trace into
+	// Result.EventTrace (scheduler pipeline only).
+	TraceEvents bool
 }
 
 // normalize fills defaults and validates.
@@ -151,6 +237,18 @@ type SubgroupIO struct {
 	WriteBW float64 // bytes/second (0 when not flushed)
 }
 
+// ClassStat aggregates one priority class's traffic over the whole run
+// (scheduler pipeline only).
+type ClassStat struct {
+	Ops        int64
+	Bytes      float64
+	WireBytes  float64
+	QueueDelay float64 // total seconds queued before service
+	Service    float64 // total seconds of service
+	P50        float64 // completion-latency percentiles, seconds
+	P95        float64
+}
+
 // Result is the outcome of a simulated run.
 type Result struct {
 	Config Config
@@ -161,6 +259,17 @@ type Result struct {
 	PlanRatio string
 	// CacheSlotsPerWorker is the host-cache capacity used.
 	CacheSlotsPerWorker int
+
+	// Scheduler-pipeline extras (zero on the paper pipeline).
+	Classes       map[string]ClassStat
+	Migrations    int64   // background copies completed
+	MigratedBytes float64 //
+	MisplacedEnd  int     // offloaded subgroups off-plan at end of run
+	FetchP50      float64 // perceived update-fetch latency percentiles, s
+	FetchP95      float64
+	CheckpointOps int64   // storm writes completed
+	CheckpointP95 float64 // storm write completion-latency p95, seconds
+	EventTrace    []string
 }
 
 // IterTime returns the mean iteration duration in seconds.
@@ -208,12 +317,25 @@ func (t *tierRes) writeOp(p *des.Proc, bytes float64) (total, xfer float64) {
 	return p.Now() - t0, p.Now() - t1
 }
 
+// usesSched reports whether the run needs the scheduler-based pipeline
+// (any post-paper engine feature requested). Everything else takes the
+// original paper pipeline, bit-for-bit.
+func (c Config) usesSched() bool {
+	ap := c.Approach
+	return ap.PriorityIO || ap.LiveMigration || ap.CoalesceFetches >= 2 ||
+		ap.CodecRatio > 1 || c.CheckpointJobs > 0 || c.OpOverhead > 0 ||
+		c.FullDuplex || (c.TierFailFactor > 0 && c.TierFailFactor < 1)
+}
+
 // Run simulates one node of the configured system (nodes are symmetric;
 // inter-node collective cost is added to the backward pass) and returns
 // the measured result.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
+	}
+	if cfg.usesSched() {
+		return runSched(cfg)
 	}
 	tb := cfg.Testbed
 	ap := cfg.Approach

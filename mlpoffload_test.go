@@ -96,7 +96,7 @@ func TestPublicSim(t *testing.T) {
 
 func TestRunExperimentAndIDs(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 17 {
+	if len(ids) != 18 {
 		t.Fatalf("ExperimentIDs = %d", len(ids))
 	}
 	out, err := RunExperiment("tab2", 3)
