@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	mlpoffload "github.com/datastates/mlpoffload"
+)
+
+// elasticOpts carries the elastic-mode flag values out of main.
+type elasticOpts struct {
+	workers   int    // -coordinator N: run the coordinator for N members
+	join      string // -join addr: run a member against that coordinator
+	addr      string // coordinator listen address
+	rank      int    // member rank
+	dir       string // shared directory (checkpoints must be visible to all members)
+	params    int64
+	subgroup  int64
+	iters     int
+	ckptEvery int
+	hb        time.Duration
+	hbTimeout time.Duration
+	killAt    int // member fault hook: fall silent after this iteration
+}
+
+// runElasticCoordinator hosts the run: admit members, drive barriers,
+// recover dead ranks, report.
+func runElasticCoordinator(o elasticOpts, fail func(string, ...any)) {
+	ckptEvery := o.ckptEvery
+	if ckptEvery <= 0 {
+		ckptEvery = 2 // recovery needs something to roll back to
+	}
+	coord, err := mlpoffload.NewElasticCoordinator(mlpoffload.ElasticCoordinatorConfig{
+		Workers:          o.workers,
+		Iters:            o.iters,
+		CheckpointEvery:  ckptEvery,
+		Heartbeat:        o.hb,
+		HeartbeatTimeout: o.hbTimeout,
+		Timeout:          30 * time.Second,
+		Addr:             o.addr,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("elastic coordinator listening on %s: %d members, %d iters, checkpoint every %d\n",
+		coord.Addr(), o.workers, o.iters, ckptEvery)
+	rep, err := coord.Run(context.Background())
+	if err != nil {
+		fail("coordinator: %v", err)
+	}
+	fmt.Printf("run complete: %d iterations executed, %d recoveries\n",
+		rep.Iterations, len(rep.Recoveries))
+	for _, rec := range rep.Recoveries {
+		fmt.Printf("  recovery at iteration %d: dead %v, rolled back to step %d, adoptions %v\n",
+			rec.AtIter, rec.Dead, rec.Step, rec.Adoptions)
+	}
+}
+
+// runElasticMember joins a coordinator and trains this process's rank
+// (plus any ranks adopted during recoveries). The checkpoint directory
+// under -dir must be shared storage: every member reads every rank's
+// manifests there during recovery.
+func runElasticMember(o elasticOpts, fail func(string, ...any)) {
+	if o.dir == "" {
+		fail("-join needs a shared checkpoint directory: pass -dir")
+	}
+	ckpt, err := mlpoffload.NewFileTier("ckpt", filepath.Join(o.dir, "ckpt"))
+	if err != nil {
+		fail("%v", err)
+	}
+	// Training tiers are private to this member. Adopted ranks get their
+	// own tier directories too — keys are rank-scoped, but separate
+	// directories keep a member's shards independently inspectable.
+	engineFor := func(rank int) (mlpoffload.EngineConfig, error) {
+		base := filepath.Join(o.dir, fmt.Sprintf("m%02d", o.rank), fmt.Sprintf("r%03d", rank))
+		nvme, err := mlpoffload.NewFileTier("nvme", filepath.Join(base, "nvme"))
+		if err != nil {
+			return mlpoffload.EngineConfig{}, err
+		}
+		tiers := []mlpoffload.TierSpec{{Tier: nvme, ReadBW: 690e6, WriteBW: 530e6}}
+		cfg := mlpoffload.MLPConfig(rank, o.params, o.subgroup, tiers, nil)
+		cfg.AdaptivePlacement = false // deterministic single-tier placement
+		return cfg, nil
+	}
+	m, err := mlpoffload.RunElasticMember(context.Background(), mlpoffload.ElasticMemberConfig{
+		Rank:       o.rank,
+		Addr:       o.join,
+		EngineFor:  engineFor,
+		Ckpt:       ckpt,
+		Prefix:     "elastic",
+		Timeout:    30 * time.Second,
+		KillAtIter: o.killAt,
+	})
+	if m != nil {
+		defer m.Close()
+	}
+	if err != nil {
+		fail("member %d: %v", o.rank, err)
+	}
+	if m.Killed() {
+		fmt.Printf("member %d: killed by -kill-at %d (fault drill)\n", o.rank, o.killAt)
+		os.Exit(0)
+	}
+	ranks := make([]int, 0, len(m.Engines()))
+	for r := range m.Engines() {
+		ranks = append(ranks, r)
+	}
+	fmt.Printf("member %d: run complete, owning ranks %v\n", o.rank, ranks)
+}

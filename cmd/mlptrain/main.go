@@ -11,6 +11,13 @@
 //	mlptrain -dir /tmp/offload        # file-backed tiers instead of RAM
 //	mlptrain -dir /tmp/offload -checkpoint-every 2   # restorable checkpoints
 //	mlptrain -dir /tmp/offload -resume               # continue a crashed run
+//
+// Elastic multi-process training (one coordinator, N members; the
+// members' -dir must point at shared storage):
+//
+//	mlptrain -coordinator 2 -addr 127.0.0.1:7070 -iters 8 -checkpoint-every 2
+//	mlptrain -join 127.0.0.1:7070 -rank 0 -dir /shared/run
+//	mlptrain -join 127.0.0.1:7070 -rank 1 -dir /shared/run
 package main
 
 import (
@@ -19,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	mlpoffload "github.com/datastates/mlpoffload"
 )
@@ -42,12 +50,34 @@ func main() {
 		ckptKeep  = flag.Int("keep-checkpoints", 2, "retain only the newest N checkpoints (0 = keep all)")
 		resume    = flag.Bool("resume", false, "restore the latest checkpoint before training (requires -dir)")
 		codec     = flag.String("codec", "", `tier codec middleware: "flate+crc" (compress + integrity), "flate", "crc", "" = off`)
+
+		coordN    = flag.Int("coordinator", 0, "run as elastic coordinator for N members (with -addr, -iters, -checkpoint-every)")
+		join      = flag.String("join", "", "run as elastic member: coordinator address to dial (with -rank, shared -dir)")
+		addr      = flag.String("addr", "127.0.0.1:0", "elastic coordinator listen address")
+		rank      = flag.Int("rank", 0, "elastic member rank")
+		hb        = flag.Duration("heartbeat", 500*time.Millisecond, "elastic heartbeat cadence")
+		hbTimeout = flag.Duration("heartbeat-timeout", 2*time.Second, "elastic missed-heartbeat death threshold")
+		killAt    = flag.Int("kill-at", 0, "elastic fault drill: member falls silent after computing this iteration (0 = off)")
 	)
 	flag.Parse()
 
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "mlptrain: "+format+"\n", args...)
 		os.Exit(1)
+	}
+
+	if *coordN > 0 || *join != "" {
+		o := elasticOpts{
+			workers: *coordN, join: *join, addr: *addr, rank: *rank, dir: *dir,
+			params: *params, subgroup: *subgroup, iters: *iters, ckptEvery: *ckptEvery,
+			hb: *hb, hbTimeout: *hbTimeout, killAt: *killAt,
+		}
+		if *coordN > 0 {
+			runElasticCoordinator(o, fail)
+		} else {
+			runElasticMember(o, fail)
+		}
+		return
 	}
 
 	codecSpec, err := mlpoffload.ParseCodecSpec(*codec)

@@ -4,6 +4,7 @@ package checkpoint
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -460,5 +461,86 @@ func TestSavingsGrowWithPFSShare(t *testing.T) {
 	}
 	if !(mk(6).Savings() > mk(3).Savings()) {
 		t.Error("savings should grow with the PFS share")
+	}
+}
+
+// TestValidStepsSkipsTornManifest: a manifest key whose content is
+// truncated JSON (a rank died mid-commit) appears in Steps but not in
+// ValidSteps — recovery must never select it.
+func TestValidStepsSkipsTornManifest(t *testing.T) {
+	ctx := context.Background()
+	tier := storage.NewMemTier("ckpt")
+	w := NewWriter(tier, "run")
+	defer w.Close()
+	for _, step := range []int{2, 5} {
+		m := BuildManifest(step, BuildPlan(mkLocs()), "run")
+		if err := w.WriteManifest(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Step 8's manifest landed torn: truncated JSON.
+	full := BuildManifest(8, BuildPlan(mkLocs()), "run")
+	buf, err := json.Marshal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Write(ctx, ManifestKey("run", 8), buf[:len(buf)/2]); err != nil {
+		t.Fatal(err)
+	}
+	// Step 9's manifest is intact JSON but records the wrong step — also
+	// not restorable under key 9.
+	if err := tier.Write(ctx, ManifestKey("run", 9), mustJSON(t, BuildManifest(7, BuildPlan(mkLocs()), "run"))); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(tier, "run")
+	steps, err := r.Steps(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != 4 {
+		t.Fatalf("Steps = %v, want the torn and mismatched manifests listed too", steps)
+	}
+	valid, err := r.ValidSteps(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(valid) != 2 || valid[0] != 2 || valid[1] != 5 {
+		t.Fatalf("ValidSteps = %v, want [2 5]", valid)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	buf, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+func TestNewestCommonStep(t *testing.T) {
+	cases := []struct {
+		name string
+		sets [][]int
+		want int
+		ok   bool
+	}{
+		{"empty input", nil, 0, false},
+		{"one empty rank", [][]int{{2, 5}, {}}, 0, false},
+		{"no overlap", [][]int{{2}, {5}}, 0, false},
+		{"identical", [][]int{{2, 5, 8}, {2, 5, 8}}, 8, true},
+		{"differing sets", [][]int{{2, 5, 8}, {2, 5}, {5, 8}}, 5, true},
+		{"single rank", [][]int{{3, 7}}, 7, true},
+		{"duplicates in one set", [][]int{{5, 5, 2}, {5}}, 5, true},
+		{"step zero common", [][]int{{0, 4}, {0}}, 0, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := NewestCommonStep(tc.sets)
+			if got != tc.want || ok != tc.ok {
+				t.Fatalf("NewestCommonStep(%v) = (%d, %v), want (%d, %v)", tc.sets, got, ok, tc.want, tc.ok)
+			}
+		})
 	}
 }

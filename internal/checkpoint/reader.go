@@ -55,6 +55,58 @@ func (r *Reader) Steps(ctx context.Context) ([]int, error) {
 	return steps, nil
 }
 
+// ValidSteps lists the steps whose manifest not only exists but reads,
+// parses, and validates, ascending. Steps discovers manifests by key
+// alone, so a torn manifest — truncated JSON from a rank that died
+// mid-commit — still shows up there; elastic recovery must not select
+// it. ValidSteps is the content-checked listing recovery feeds into
+// NewestCommonStep.
+func (r *Reader) ValidSteps(ctx context.Context) ([]int, error) {
+	steps, err := r.Steps(ctx)
+	if err != nil {
+		return nil, err
+	}
+	valid := steps[:0]
+	for _, s := range steps {
+		if _, err := r.ReadManifest(ctx, s); err != nil {
+			if ctx.Err() != nil {
+				return nil, err
+			}
+			continue // torn, unparsable, or mismatched — not restorable
+		}
+		valid = append(valid, s)
+	}
+	return valid, nil
+}
+
+// NewestCommonStep returns the newest step present in every set — the
+// restore point elastic recovery rolls the job back to. Each set is one
+// rank's ValidSteps (any order, duplicates tolerated). It returns ok ==
+// false when the intersection is empty, including when sets itself is
+// empty.
+func NewestCommonStep(sets [][]int) (int, bool) {
+	if len(sets) == 0 {
+		return 0, false
+	}
+	counts := make(map[int]int)
+	for _, set := range sets {
+		seen := make(map[int]bool, len(set))
+		for _, s := range set {
+			if !seen[s] {
+				seen[s] = true
+				counts[s]++
+			}
+		}
+	}
+	best, ok := 0, false
+	for s, n := range counts {
+		if n == len(sets) && (!ok || s > best) {
+			best, ok = s, true
+		}
+	}
+	return best, ok
+}
+
 // LatestStep returns the newest step with a committed manifest, or
 // storage.ErrNotFound when no checkpoint exists under the prefix.
 func (r *Reader) LatestStep(ctx context.Context) (int, error) {

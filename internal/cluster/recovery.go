@@ -1,0 +1,91 @@
+package cluster
+
+import "math"
+
+// RecoverySpec models the failure/recovery economics of an elastic run
+// on a testbed: how often ranks die, what a death costs, and how much
+// each checkpoint costs to take. All times are seconds. It answers the
+// question the elastic protocol (internal/train, internal/wire) turns
+// from a policy into a mechanism: with heartbeat detection and
+// newest-common-step rollback, what checkpoint interval bounds the
+// expected cost of a death — and what interval minimizes total run
+// time?
+type RecoverySpec struct {
+	// MTBF is the whole-job mean time between rank failures. For N
+	// identically flaky ranks this is the per-rank MTBF divided by N.
+	MTBF float64
+	// CheckpointTime is the coordinated-checkpoint commit time — the
+	// paper's pre-staging (ROADMAP item on checkpoint savings) lowers
+	// exactly this number, which through Young/Daly shortens the optimal
+	// interval and shrinks the expected rollback.
+	CheckpointTime float64
+	// DetectTime is the death-detection latency: the heartbeat timeout
+	// (wire.Liveness) plus the survivors' drain to the iteration barrier.
+	DetectTime float64
+	// RestoreTime is the rollback cost once detected: restoring every
+	// rank from the newest common step and re-sharding the dead rank's
+	// subgroups onto a survivor (engine.NewRestored + live migration).
+	RestoreTime float64
+}
+
+// ExpectedRollback is the expected wall-clock cost of one death when
+// checkpoints are taken every interval seconds of useful work: half an
+// interval of lost compute on average, plus detection, plus restore.
+// The bound the elastic design buys: a death costs at most
+// interval + DetectTime + RestoreTime, never the whole job.
+func (s RecoverySpec) ExpectedRollback(interval float64) float64 {
+	return interval/2 + s.DetectTime + s.RestoreTime
+}
+
+// OverheadFraction is the expected fraction of extra run time added on
+// top of useful work at a given checkpoint interval: the per-interval
+// checkpoint tax plus the amortized cost of failures at rate 1/MTBF.
+// MTBF <= 0 means failure-free (checkpoint tax only); interval <= 0 is
+// meaningless and returns +Inf.
+func (s RecoverySpec) OverheadFraction(interval float64) float64 {
+	if interval <= 0 {
+		return math.Inf(1)
+	}
+	frac := s.CheckpointTime / interval
+	if s.MTBF > 0 {
+		frac += s.ExpectedRollback(interval) / s.MTBF
+	}
+	return frac
+}
+
+// ExpectedRunTime is the expected wall-clock time to complete work
+// seconds of useful compute at the given checkpoint interval.
+func (s RecoverySpec) ExpectedRunTime(work, interval float64) float64 {
+	return work * (1 + s.OverheadFraction(interval))
+}
+
+// OptimalInterval is the checkpoint interval minimizing
+// OverheadFraction — the Young/Daly first-order optimum
+// sqrt(2·CheckpointTime·MTBF), which balances the checkpoint tax
+// (∝ 1/interval) against expected lost work (∝ interval/2·MTBF).
+// Returns +Inf when failures are off (never checkpoint for fault
+// tolerance alone) and 0 when checkpoints are free.
+func (s RecoverySpec) OptimalInterval() float64 {
+	if s.MTBF <= 0 {
+		return math.Inf(1)
+	}
+	if s.CheckpointTime <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * s.CheckpointTime * s.MTBF)
+}
+
+// OptimalIters converts OptimalInterval into a whole number of
+// iterations of the given duration (minimum 1) — the value to hand to
+// the elastic coordinator's CheckpointEvery.
+func (s RecoverySpec) OptimalIters(iterTime float64) int {
+	opt := s.OptimalInterval()
+	if math.IsInf(opt, 1) || iterTime <= 0 {
+		return 0 // checkpointing for fault tolerance is pointless here
+	}
+	n := int(math.Round(opt / iterTime))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOptimalIntervalYoungDaly(t *testing.T) {
+	s := RecoverySpec{MTBF: 7200, CheckpointTime: 4}
+	// sqrt(2·4·7200) = 240s.
+	if got := s.OptimalInterval(); math.Abs(got-240) > 1e-9 {
+		t.Fatalf("OptimalInterval = %g, want 240", got)
+	}
+	// No failures → never checkpoint for fault tolerance.
+	if got := (RecoverySpec{CheckpointTime: 4}).OptimalInterval(); !math.IsInf(got, 1) {
+		t.Fatalf("failure-free OptimalInterval = %g, want +Inf", got)
+	}
+	// Free checkpoints → checkpoint continuously.
+	if got := (RecoverySpec{MTBF: 7200}).OptimalInterval(); got != 0 {
+		t.Fatalf("free-checkpoint OptimalInterval = %g, want 0", got)
+	}
+}
+
+// TestOptimalIntervalMinimizesOverhead: the closed form must beat every
+// other interval on a fine grid of the model it claims to minimize.
+func TestOptimalIntervalMinimizesOverhead(t *testing.T) {
+	s := RecoverySpec{MTBF: 3600, CheckpointTime: 6, DetectTime: 0.06, RestoreTime: 2}
+	opt := s.OptimalInterval()
+	best := s.OverheadFraction(opt)
+	for interval := 10.0; interval <= 2000; interval += 10 {
+		if f := s.OverheadFraction(interval); f < best-1e-12 {
+			t.Fatalf("OverheadFraction(%g) = %g beats the claimed optimum %g at %g",
+				interval, f, best, opt)
+		}
+	}
+}
+
+// TestExpectedRollbackBounded: the elastic design's core claim — a
+// death costs at most one interval plus detection plus restore, never
+// grows with job length.
+func TestExpectedRollbackBounded(t *testing.T) {
+	s := RecoverySpec{MTBF: 3600, CheckpointTime: 6, DetectTime: 0.06, RestoreTime: 2}
+	interval := s.OptimalInterval()
+	rb := s.ExpectedRollback(interval)
+	bound := interval + s.DetectTime + s.RestoreTime
+	if rb > bound {
+		t.Fatalf("ExpectedRollback = %g exceeds the bound %g", rb, bound)
+	}
+	// Expected run time is finite and monotone in work.
+	if t1, t2 := s.ExpectedRunTime(1000, interval), s.ExpectedRunTime(2000, interval); !(t2 > t1) || math.IsInf(t2, 1) {
+		t.Fatalf("ExpectedRunTime not monotone/finite: %g, %g", t1, t2)
+	}
+	// Cheaper checkpoints (pre-staging) shorten the optimal interval and
+	// the expected rollback with it.
+	cheap := s
+	cheap.CheckpointTime = 1.5
+	if !(cheap.OptimalInterval() < s.OptimalInterval()) {
+		t.Fatal("cheaper checkpoints should shorten the optimal interval")
+	}
+	if !(cheap.ExpectedRollback(cheap.OptimalInterval()) < rb) {
+		t.Fatal("cheaper checkpoints should shrink the expected rollback")
+	}
+}
+
+func TestOptimalIters(t *testing.T) {
+	s := RecoverySpec{MTBF: 7200, CheckpointTime: 4}
+	// 240s optimum at 50s iterations → 5 iterations.
+	if got := s.OptimalIters(50); got != 5 {
+		t.Fatalf("OptimalIters(50) = %d, want 5", got)
+	}
+	// Optimum below one iteration clamps to every iteration.
+	if got := s.OptimalIters(1e6); got != 1 {
+		t.Fatalf("OptimalIters(1e6) = %d, want 1", got)
+	}
+	// Failure-free: no fault-tolerance checkpointing.
+	if got := (RecoverySpec{CheckpointTime: 4}).OptimalIters(50); got != 0 {
+		t.Fatalf("failure-free OptimalIters = %d, want 0", got)
+	}
+}

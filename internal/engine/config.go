@@ -21,6 +21,7 @@ package engine
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"github.com/datastates/mlpoffload/internal/clock"
 	"github.com/datastates/mlpoffload/internal/fp16"
@@ -29,6 +30,7 @@ import (
 	"github.com/datastates/mlpoffload/internal/storage"
 	"github.com/datastates/mlpoffload/internal/tiercodec"
 	"github.com/datastates/mlpoffload/internal/tierlock"
+	"github.com/datastates/mlpoffload/internal/wire"
 )
 
 // TierSpec couples a storage tier with its nominal bandwidths for
@@ -186,6 +188,13 @@ type Config struct {
 	// consumed garbage update. 0 defaults to 2; negative disables
 	// retries.
 	CorruptRetries int
+	// RetryBackoff paces the corrupt re-reads: the same clock-driven
+	// jittered-exponential policy (internal/wire) the elastic transport
+	// uses, so a burst of transient corruption backs off instead of
+	// hammering the tier with immediate re-reads. The zero value defaults
+	// to Base 1ms / Max 20ms / Factor 2, seeded with the rank; sleeps run
+	// on Clock, so virtual-clock tests assert exact pacing.
+	RetryBackoff wire.Backoff
 
 	// LossScaling enables dynamic loss scaling: gradient overflow (FP16
 	// Inf/NaN) skips the optimizer step and halves the scale, as
@@ -287,6 +296,14 @@ func (c *Config) validate() error {
 	}
 	if c.CorruptRetries < 0 {
 		c.CorruptRetries = 0
+	}
+	if c.RetryBackoff == (wire.Backoff{}) {
+		c.RetryBackoff = wire.Backoff{
+			Base:   time.Millisecond,
+			Max:    20 * time.Millisecond,
+			Factor: 2,
+			Seed:   uint64(c.Rank),
+		}
 	}
 	if c.GradAccumSteps <= 0 {
 		c.GradAccumSteps = 1

@@ -354,16 +354,20 @@ func (e *Engine) IntegrityRetries() int64 { return e.corruptRetries.Load() }
 
 // awaitRead waits for a submitted read, re-reading on integrity failure:
 // a fetch that completed with tiercodec.ErrCorrupt is resubmitted at
-// DemandFetch priority up to CorruptRetries times. In-flight corruption
-// (a flaky transfer) re-reads clean from the intact stored object;
-// corruption at rest keeps failing and the final ErrCorrupt propagates —
-// the caller fails cleanly, never consuming garbage. The returned op is
-// the one that completed last (its timing/wire accounting is the fetch's
-// true cost); it equals op when no retry happened.
+// DemandFetch priority up to CorruptRetries times, paced by the
+// RetryBackoff policy on the engine clock (immediate re-reads hammer a
+// tier that is momentarily flaky; the jittered-exponential pause is the
+// same discipline network retries use). In-flight corruption (a flaky
+// transfer) re-reads clean from the intact stored object; corruption at
+// rest keeps failing and the final ErrCorrupt propagates — the caller
+// fails cleanly, never consuming garbage. The returned op is the one
+// that completed last (its timing/wire accounting is the fetch's true
+// cost); it equals op when no retry happened.
 func (e *Engine) awaitRead(tier int, op *aio.Op, key string, dst []byte) (*aio.Op, error) {
 	err := op.Wait()
 	for r := 0; err != nil && errors.Is(err, tiercodec.ErrCorrupt) && r < e.cfg.CorruptRetries; r++ {
 		e.corruptRetries.Add(1)
+		e.clk.Sleep(e.cfg.RetryBackoff.Delay(r))
 		rop, rerr := e.aios[tier].SubmitReadClass(aio.DemandFetch, key, dst)
 		if rerr != nil {
 			return op, err // cannot resubmit; surface the corruption

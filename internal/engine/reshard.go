@@ -1,0 +1,33 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/datastates/mlpoffload/internal/checkpoint"
+)
+
+// NewRestored constructs an engine directly in a checkpointed state: New
+// followed by Restore, closing the engine on any failure. This is the
+// elastic re-shard entry point — when a rank dies, the survivor that
+// adopts its shard builds a second engine with cfg.Rank set to the dead
+// rank and restores it from that rank's manifest on the shared
+// checkpoint tier. The construction-time initial offload is immediately
+// overwritten by Restore, and the adopted shard's subgroups then land on
+// the adopter's tiers under the *current* placement plan; the background
+// live-migration machinery converges them to the planned tiers as
+// training resumes.
+//
+// cfg must describe the dead rank's geometry and numerics exactly
+// (Restore enforces both); the tier *handles* are the adopter's own.
+func NewRestored(ctx context.Context, cfg Config, r *checkpoint.Reader, m checkpoint.Manifest) (*Engine, error) {
+	e, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("engine: re-shard rank %d: %w", cfg.Rank, err)
+	}
+	if err := e.Restore(ctx, r, m); err != nil {
+		e.Close()
+		return nil, fmt.Errorf("engine: re-shard rank %d restore step %d: %w", cfg.Rank, m.Step, err)
+	}
+	return e, nil
+}

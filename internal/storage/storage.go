@@ -28,6 +28,14 @@ import (
 // ErrNotFound is returned when a key does not exist in a tier.
 var ErrNotFound = errors.New("storage: key not found")
 
+// ErrTierDown is returned (wrapped) by every operation on a tier that
+// has failed hard — an outage, not a transient fault: no retry against
+// the same tier can succeed. Callers distinguish it from transient
+// corruption (tiercodec.ErrCorrupt) to choose degradation over retry:
+// re-placing subgroups onto surviving tiers, failing the phase cleanly,
+// or triggering elastic recovery.
+var ErrTierDown = errors.New("storage: tier down")
+
 // Tier is an object store with whole-object semantics.
 //
 // Concurrency contract: implementations must be safe for concurrent use by

@@ -3,6 +3,7 @@ package tiercodec
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -50,6 +51,15 @@ type FaultConfig struct {
 	// clock). On a virtual clock a spike advances exactly Latency of
 	// virtual time and costs no real waiting.
 	Clock clock.Clock
+
+	// DownAfterOps puts the tier hard-down after that many operations
+	// (reads, writes, deletes, sizes, key listings share one counter; 0
+	// disables): every later operation of any kind fails with
+	// storage.ErrTierDown and the tier never recovers — a device loss or
+	// unmounted PFS, distinct from the transient channels above, whose
+	// faults a retry can absorb. Down can also be forced at a chosen
+	// moment with FaultTier.Down.
+	DownAfterOps int64
 }
 
 // FaultStats counts the faults actually injected.
@@ -60,6 +70,9 @@ type FaultStats struct {
 	CorruptWrites int64
 	TornWrites    int64
 	LatencySpikes int64
+	// DownFailures counts operations rejected because the tier was hard
+	// down (the triggering operation included).
+	DownFailures int64
 }
 
 // FaultTier is a storage.Tier decorator that injects faults for
@@ -77,6 +90,8 @@ type FaultTier struct {
 	writeCorr  atomic.Int64
 	tornOps    atomic.Int64
 	latencyOps atomic.Int64
+	totalOps   atomic.Int64
+	down       atomic.Bool
 
 	stats struct {
 		readErrs    atomic.Int64
@@ -85,6 +100,7 @@ type FaultTier struct {
 		corrWrites  atomic.Int64
 		tornWrites  atomic.Int64
 		latencyHits atomic.Int64
+		downFails   atomic.Int64
 	}
 }
 
@@ -113,7 +129,30 @@ func (f *FaultTier) FaultStats() FaultStats {
 		CorruptWrites: f.stats.corrWrites.Load(),
 		TornWrites:    f.stats.tornWrites.Load(),
 		LatencySpikes: f.stats.latencyHits.Load(),
+		DownFailures:  f.stats.downFails.Load(),
 	}
+}
+
+// Down forces the tier hard-down immediately (the outage trigger
+// elastic-recovery tests pull at a chosen iteration). Irreversible.
+func (f *FaultTier) Down() { f.down.Store(true) }
+
+// IsDown reports whether the tier has gone hard-down.
+func (f *FaultTier) IsDown() bool { return f.down.Load() }
+
+// checkDown advances the shared op counter and returns the outage error
+// once the tier is down — by trigger count or by Down(). Every
+// operation calls it first: after the trigger, nothing reaches the
+// inner tier again.
+func (f *FaultTier) checkDown() error {
+	if !f.down.Load() {
+		if f.cfg.DownAfterOps <= 0 || f.totalOps.Add(1) <= f.cfg.DownAfterOps {
+			return nil
+		}
+		f.down.Store(true)
+	}
+	f.stats.downFails.Add(1)
+	return fmt.Errorf("tiercodec: tier %s: %w", f.inner.Name(), storage.ErrTierDown)
 }
 
 // due advances a channel counter and reports whether this operation is
@@ -147,6 +186,9 @@ func (f *FaultTier) Name() string { return f.inner.Name() }
 // Read implements storage.Tier with error and transient-corruption
 // injection.
 func (f *FaultTier) Read(ctx context.Context, key string, dst []byte) error {
+	if err := f.checkDown(); err != nil {
+		return err
+	}
 	f.maybeDelay()
 	if due(&f.readOps, f.cfg.FailReadEvery) {
 		f.stats.readErrs.Add(1)
@@ -166,6 +208,9 @@ func (f *FaultTier) Read(ctx context.Context, key string, dst []byte) error {
 // above keeps its atomic whole-object read path; the same read faults
 // apply.
 func (f *FaultTier) ReadObject(ctx context.Context, key string) ([]byte, error) {
+	if err := f.checkDown(); err != nil {
+		return nil, err
+	}
 	f.maybeDelay()
 	if due(&f.readOps, f.cfg.FailReadEvery) {
 		f.stats.readErrs.Add(1)
@@ -185,6 +230,9 @@ func (f *FaultTier) ReadObject(ctx context.Context, key string) ([]byte, error) 
 // Write implements storage.Tier with error, persistent-corruption and
 // torn-object injection.
 func (f *FaultTier) Write(ctx context.Context, key string, src []byte) error {
+	if err := f.checkDown(); err != nil {
+		return err
+	}
 	f.maybeDelay()
 	if due(&f.writeOps, f.cfg.FailWriteEvery) {
 		f.stats.writeErrs.Add(1)
@@ -206,22 +254,34 @@ func (f *FaultTier) Write(ctx context.Context, key string, src []byte) error {
 
 // Delete implements storage.Tier.
 func (f *FaultTier) Delete(ctx context.Context, key string) error {
+	if err := f.checkDown(); err != nil {
+		return err
+	}
 	return f.inner.Delete(ctx, key)
 }
 
 // Size implements storage.Tier.
 func (f *FaultTier) Size(ctx context.Context, key string) (int64, error) {
+	if err := f.checkDown(); err != nil {
+		return 0, err
+	}
 	return f.inner.Size(ctx, key)
 }
 
 // Keys implements storage.Tier.
 func (f *FaultTier) Keys(ctx context.Context) ([]string, error) {
+	if err := f.checkDown(); err != nil {
+		return nil, err
+	}
 	return f.inner.Keys(ctx)
 }
 
 // Copy implements storage.Copier by delegation; tiers without the
 // capability report ErrCopyUnsupported (storage.TryCopy falls back).
 func (f *FaultTier) Copy(ctx context.Context, srcKey, dstKey string) error {
+	if err := f.checkDown(); err != nil {
+		return err
+	}
 	if c, ok := f.inner.(storage.Copier); ok {
 		return c.Copy(ctx, srcKey, dstKey)
 	}

@@ -660,3 +660,70 @@ func TestFaultLatencyExactOnVirtualClock(t *testing.T) {
 		t.Errorf("LatencySpikes = %d, want 2", got)
 	}
 }
+
+// TestFaultTierHardDown: after the trigger count (or an explicit
+// Down()), every operation of every kind fails with storage.ErrTierDown
+// and never recovers — an outage, not a transient fault.
+func TestFaultTierHardDown(t *testing.T) {
+	ctx := context.Background()
+	payload := fp32Payload(1_000, 7)
+	ft := NewFaultTier(storage.NewMemTier("mem"), FaultConfig{DownAfterOps: 3})
+	dst := make([]byte, len(payload))
+
+	// Ops 1-3 succeed; the tier dies after the trigger.
+	if err := ft.Write(ctx, "a", payload); err != nil {
+		t.Fatalf("op 1: %v", err)
+	}
+	if err := ft.Write(ctx, "b", payload); err != nil {
+		t.Fatalf("op 2: %v", err)
+	}
+	if err := ft.Read(ctx, "a", dst); err != nil {
+		t.Fatalf("op 3: %v", err)
+	}
+	if ft.IsDown() {
+		t.Fatal("tier down before the trigger count")
+	}
+
+	checks := []struct {
+		name string
+		op   func() error
+	}{
+		{"read", func() error { return ft.Read(ctx, "a", dst) }},
+		{"write", func() error { return ft.Write(ctx, "c", payload) }},
+		{"readObject", func() error { _, err := ft.ReadObject(ctx, "a"); return err }},
+		{"delete", func() error { return ft.Delete(ctx, "a") }},
+		{"size", func() error { _, err := ft.Size(ctx, "a"); return err }},
+		{"keys", func() error { _, err := ft.Keys(ctx); return err }},
+		{"copy", func() error { return ft.Copy(ctx, "a", "a2") }},
+	}
+	for _, c := range checks {
+		if err := c.op(); !errors.Is(err, storage.ErrTierDown) {
+			t.Fatalf("%s after outage: %v, want ErrTierDown", c.name, err)
+		}
+	}
+	if !ft.IsDown() {
+		t.Fatal("IsDown false after the trigger")
+	}
+	if got := ft.FaultStats().DownFailures; got != int64(len(checks)) {
+		t.Fatalf("DownFailures = %d, want %d", got, len(checks))
+	}
+	// The stored object survives behind the outage (the tier is down,
+	// the bytes are not gone — exactly how a lost mount behaves).
+	if err := ft.Unwrap().Read(ctx, "a", dst); err != nil {
+		t.Fatalf("inner tier lost data: %v", err)
+	}
+}
+
+// TestFaultTierForcedDown: Down() kills the tier at a chosen moment with
+// no op-count trigger configured.
+func TestFaultTierForcedDown(t *testing.T) {
+	ctx := context.Background()
+	ft := NewFaultTier(storage.NewMemTier("mem"), FaultConfig{})
+	if err := ft.Write(ctx, "a", []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	ft.Down()
+	if err := ft.Write(ctx, "b", []byte{4}); !errors.Is(err, storage.ErrTierDown) {
+		t.Fatalf("write after Down: %v, want ErrTierDown", err)
+	}
+}

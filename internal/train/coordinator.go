@@ -1,0 +1,503 @@
+package train
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"github.com/datastates/mlpoffload/internal/checkpoint"
+	"github.com/datastates/mlpoffload/internal/clock"
+	"github.com/datastates/mlpoffload/internal/wire"
+)
+
+// CoordinatorConfig configures the elastic run's coordinator.
+type CoordinatorConfig struct {
+	// Workers is the number of members (ranks) that must join before
+	// training starts.
+	Workers int
+	// Iters is the total number of synchronized iterations.
+	Iters int
+	// CheckpointEvery commits a coordinated checkpoint whenever the
+	// completed-iteration count is a multiple of it (<= 0 disables —
+	// which also disables recovery, there would be nothing to roll back
+	// to).
+	CheckpointEvery int
+	// Heartbeat is the cadence members send liveness beats at.
+	// HeartbeatTimeout is how long a silent member stays presumed-alive;
+	// at exactly the timeout it is declared dead and recovery starts.
+	Heartbeat        time.Duration
+	HeartbeatTimeout time.Duration
+	// Timeout is the per-message send deadline on member connections.
+	Timeout time.Duration
+	// Addr is the listen address ("" = 127.0.0.1:0, tests and
+	// single-host runs).
+	Addr string
+	// Clock drives liveness decisions and the detection poll. nil =
+	// wall clock.
+	Clock clock.Clock
+}
+
+// Recovery records one dead-rank recovery for the run report.
+type Recovery struct {
+	// Dead lists the members declared dead, ascending.
+	Dead []int
+	// Step is the newest common checkpoint step the run rolled back to.
+	Step int
+	// Adoptions maps each orphaned rank to the survivor that adopted it.
+	Adoptions map[int]int
+	// AtIter is the barrier iteration at which death was detected.
+	AtIter int
+}
+
+// RunReport summarizes a completed elastic run.
+type RunReport struct {
+	// Iterations is the total iterations *executed*, re-runs included —
+	// Iters plus the rollback distance of every recovery.
+	Iterations int
+	// Recoveries lists the dead-rank recoveries, in order.
+	Recoveries []Recovery
+}
+
+// event is one frame (or connection failure) from a member, routed to
+// the coordinator's single decision loop by that member's reader
+// goroutine.
+type event struct {
+	member  int
+	typ     byte
+	payload []byte
+	err     error
+}
+
+// Coordinator runs the elastic protocol's server side: membership,
+// iteration barriers, digest bookkeeping, heartbeat-based death
+// detection, and the recovery state machine (pause → select newest
+// common checkpoint → re-shard → resume).
+type Coordinator struct {
+	cfg CoordinatorConfig
+	clk clock.Clock
+	ln  net.Listener
+
+	conns    map[int]*wire.Conn
+	owners   map[int][]int // member → ranks it trains
+	live     *wire.Liveness
+	events   chan event
+	history  map[int]map[int]uint64 // iter → rank → digest
+	overflow map[int]bool           // iter → any rank overflowed
+	report   RunReport
+}
+
+// NewCoordinator opens the listener (cfg.Addr, default loopback) so
+// members can start dialing before Run is called.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Workers <= 0 {
+		return nil, fmt.Errorf("train: coordinator needs Workers > 0, got %d", cfg.Workers)
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 500 * time.Millisecond
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 4 * cfg.Heartbeat
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := wire.Listen(addr)
+	if err != nil {
+		return nil, fmt.Errorf("train: coordinator listen %s: %w", addr, err)
+	}
+	clk := clock.Or(cfg.Clock)
+	return &Coordinator{
+		cfg:      cfg,
+		clk:      clk,
+		ln:       ln,
+		conns:    make(map[int]*wire.Conn),
+		owners:   make(map[int][]int),
+		live:     wire.NewLiveness(clk, cfg.HeartbeatTimeout),
+		events:   make(chan event, 64),
+		history:  make(map[int]map[int]uint64),
+		overflow: make(map[int]bool),
+	}, nil
+}
+
+// Addr returns the listen address members dial.
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Close releases the listener and member connections.
+func (c *Coordinator) Close() {
+	c.ln.Close()
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+}
+
+// Run accepts cfg.Workers members, trains cfg.Iters synchronized
+// iterations, and recovers from member deaths along the way. It returns
+// when the run completes or recovery becomes impossible.
+func (c *Coordinator) Run(ctx context.Context) (RunReport, error) {
+	defer c.Close()
+	if err := c.accept(ctx); err != nil {
+		return c.report, err
+	}
+	welcome := welcomeMsg{
+		Iter:      0,
+		Iters:     c.cfg.Iters,
+		CkptEvery: c.cfg.CheckpointEvery,
+		HBEvery:   int64(c.cfg.Heartbeat),
+		HBTimeout: int64(c.cfg.HeartbeatTimeout),
+	}
+	for member := range c.conns {
+		c.live.Track(member)
+		if err := sendJSON(c.conns[member], fWelcome, welcome); err != nil {
+			return c.report, fmt.Errorf("train: welcome member %d: %w", member, err)
+		}
+	}
+	for member, conn := range c.conns {
+		go c.read(member, conn)
+	}
+
+	iter := 0
+	for iter < c.cfg.Iters {
+		next, err := c.barrier(ctx, iter)
+		if err != nil {
+			return c.report, err
+		}
+		c.report.Iterations++
+		if next >= 0 {
+			// Recovery rolled the run back; members already hold resume.
+			iter = next
+			continue
+		}
+		if err := c.broadcast(fProceed, proceedMsg{Iter: iter, Overflow: c.anyOverflow(iter)}); err != nil {
+			return c.report, err
+		}
+		iter++
+	}
+	if err := c.broadcast(fDone, struct{}{}); err != nil {
+		return c.report, err
+	}
+	c.awaitByes(ctx)
+	return c.report, nil
+}
+
+// accept admits cfg.Workers members by their hello frames.
+func (c *Coordinator) accept(ctx context.Context) error {
+	for len(c.conns) < c.cfg.Workers {
+		nc, err := c.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("train: accept: %w", err)
+		}
+		conn := wire.NewConn(nc, c.clk, c.cfg.Timeout)
+		t, payload, err := conn.Recv(0)
+		if err != nil || t != fHello {
+			conn.Close()
+			continue // a port scanner, or a member that died dialing
+		}
+		var h helloMsg
+		if err := decode(t, payload, &h); err != nil {
+			conn.Close()
+			continue
+		}
+		if _, dup := c.conns[h.Rank]; dup || h.Rank < 0 || h.Rank >= c.cfg.Workers {
+			conn.Close()
+			return fmt.Errorf("train: member rank %d invalid or already joined", h.Rank)
+		}
+		c.conns[h.Rank] = conn
+		c.owners[h.Rank] = []int{h.Rank}
+	}
+	return nil
+}
+
+// read pumps one member's frames into the decision loop, beating its
+// liveness on every frame (all traffic proves liveness; heartbeats are
+// just the guaranteed minimum).
+func (c *Coordinator) read(member int, conn *wire.Conn) {
+	for {
+		t, payload, err := conn.Recv(-1)
+		if err != nil {
+			c.events <- event{member: member, err: err}
+			return
+		}
+		c.live.Beat(member)
+		if t == fHeartbeat {
+			continue
+		}
+		c.events <- event{member: member, typ: t, payload: payload}
+	}
+}
+
+// broadcast sends one frame to every live member.
+func (c *Coordinator) broadcast(t byte, msg any) error {
+	for member, conn := range c.conns {
+		if err := sendJSON(conn, t, msg); err != nil {
+			return fmt.Errorf("train: broadcast %#x to member %d: %w", t, member, err)
+		}
+	}
+	return nil
+}
+
+// anyOverflow reports whether any rank overflowed at iter — the
+// aggregate proceed carries so every member knows the global step was
+// loss-scale skipped.
+func (c *Coordinator) anyOverflow(iter int) bool { return c.overflow[iter] }
+
+// barrier collects every live member's report for iter. It returns
+// (-1, nil) on a normal barrier, or (resumeIter, nil) when a member
+// died and recovery rolled the run back. Detection is time-driven: the
+// wait polls liveness every quarter heartbeat-timeout on the injected
+// clock, so a silent member is declared dead once clk.Since(lastBeat)
+// reaches the timeout.
+func (c *Coordinator) barrier(ctx context.Context, iter int) (int, error) {
+	pending := c.pendingRanks()
+	tick := c.cfg.HeartbeatTimeout / 4
+	if tick <= 0 {
+		tick = c.cfg.HeartbeatTimeout
+	}
+	for len(pending) > 0 {
+		select {
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		case ev := <-c.events:
+			if _, live := c.conns[ev.member]; !live {
+				continue // stale: the member was already declared dead
+			}
+			if ev.err != nil {
+				// Connection failure is immediate death — faster than the
+				// heartbeat verdict, same recovery.
+				return c.recover(ctx, iter, []int{ev.member}, pending)
+			}
+			if err := c.consumeReport(ev, iter, pending); err != nil {
+				return 0, err
+			}
+		case <-c.clk.After(tick):
+			if dead := c.live.Dead(); len(dead) > 0 {
+				return c.recover(ctx, iter, dead, pending)
+			}
+		}
+	}
+	return -1, nil
+}
+
+// pendingRanks is the set of ranks that owe a report this barrier.
+func (c *Coordinator) pendingRanks() map[int]bool {
+	pending := make(map[int]bool)
+	for _, ranks := range c.owners {
+		for _, r := range ranks {
+			pending[r] = true
+		}
+	}
+	return pending
+}
+
+// consumeReport folds one report event into the digest history,
+// failing the run on divergence: a re-executed iteration (after
+// recovery) must reproduce the digest its rank reported the first time
+// — for adopted ranks, the digest the *dead* member reported. That is
+// the wire-level proof that restore + re-shard is bit-identical.
+func (c *Coordinator) consumeReport(ev event, iter int, pending map[int]bool) error {
+	if ev.typ != fReport {
+		return fmt.Errorf("train: member %d sent frame %#x at barrier %d", ev.member, ev.typ, iter)
+	}
+	var rep reportMsg
+	if err := decode(ev.typ, ev.payload, &rep); err != nil {
+		return err
+	}
+	if rep.Iter != iter {
+		return fmt.Errorf("train: member %d reported iteration %d at barrier %d", ev.member, rep.Iter, iter)
+	}
+	if c.history[iter] == nil {
+		c.history[iter] = make(map[int]uint64)
+	}
+	for _, rr := range rep.Ranks {
+		if prev, seen := c.history[iter][rr.Rank]; seen && prev != rr.Digest {
+			return fmt.Errorf("train: rank %d diverged at iteration %d: digest %#x, previously %#x",
+				rr.Rank, iter, rr.Digest, prev)
+		}
+		c.history[iter][rr.Rank] = rr.Digest
+		if rr.Overflow {
+			c.overflow[iter] = true
+		}
+		delete(pending, rr.Rank)
+	}
+	return nil
+}
+
+// recover is the dead-rank state machine. Survivors are all at barrier
+// `iter` (proceed is broadcast only after every report, so no live
+// member can be past it); they park awaiting proceed, which recovery
+// withholds — that IS the pause. Steps: drain the survivors'
+// outstanding reports, re-assign the orphaned ranks, select the newest
+// step every rank has a complete valid manifest for, order the restore
+// (survivors adopt via engine.NewRestored), and resume from that step.
+func (c *Coordinator) recover(ctx context.Context, iter int, dead []int, pending map[int]bool) (int, error) {
+	if c.cfg.CheckpointEvery <= 0 {
+		return 0, fmt.Errorf("train: member(s) %v died with checkpointing disabled — nothing to roll back to", dead)
+	}
+	var orphans []int
+	for _, member := range dead {
+		if _, ok := c.conns[member]; !ok {
+			continue // already handled (duplicate verdict)
+		}
+		orphans = append(orphans, c.owners[member]...)
+		c.live.Forget(member)
+		c.conns[member].Close()
+		delete(c.conns, member)
+		delete(c.owners, member)
+	}
+	sort.Ints(orphans)
+	for _, r := range orphans {
+		delete(pending, r)
+	}
+	if len(c.conns) == 0 {
+		return 0, fmt.Errorf("train: all members dead at iteration %d", iter)
+	}
+
+	// Drain: every survivor finishes computing iter and reports; they
+	// then block in Recv — the iteration barrier recovery needs.
+	for len(pending) > 0 {
+		ev, err := c.nextEvent(ctx, "drain survivors")
+		if err != nil {
+			return 0, err
+		}
+		if err := c.consumeReport(ev, iter, pending); err != nil {
+			return 0, err
+		}
+	}
+
+	// Re-shard: each orphan goes to the survivor owning the fewest ranks.
+	adoptions := make(map[int]int, len(orphans))
+	for _, orphan := range orphans {
+		best, bestN := -1, int(^uint(0)>>1)
+		for _, member := range c.sortedMembers() {
+			if n := len(c.owners[member]); n < bestN {
+				best, bestN = member, n
+			}
+		}
+		c.owners[best] = append(c.owners[best], orphan)
+		adoptions[orphan] = best
+	}
+
+	// Select the restore point: every survivor lists every rank's valid
+	// steps from the shared tier; the newest step in the intersection of
+	// all sets is the rollback target. Torn manifests (a rank died
+	// mid-commit) fail validation and drop out here.
+	var allRanks []int
+	for r := range c.pendingRanks() {
+		allRanks = append(allRanks, r)
+	}
+	sort.Ints(allRanks)
+	if err := c.broadcast(fListSteps, listStepsMsg{Ranks: allRanks}); err != nil {
+		return 0, err
+	}
+	var sets [][]int
+	for range c.conns {
+		ev, err := c.nextEvent(ctx, "collect step sets")
+		if err != nil {
+			return 0, err
+		}
+		if ev.typ != fSteps {
+			return 0, fmt.Errorf("train: member %d sent frame %#x during step collection", ev.member, ev.typ)
+		}
+		var sm stepsMsg
+		if err := decode(ev.typ, ev.payload, &sm); err != nil {
+			return 0, err
+		}
+		for _, rs := range sm.Sets {
+			sets = append(sets, rs.Steps)
+		}
+	}
+	step, ok := checkpoint.NewestCommonStep(sets)
+	if !ok {
+		return 0, fmt.Errorf("train: no checkpoint step is complete across all ranks; cannot recover")
+	}
+
+	// Restore under the new ownership, then resume from the step.
+	var assign []assignment
+	for _, member := range c.sortedMembers() {
+		for _, r := range c.owners[member] {
+			assign = append(assign, assignment{Rank: r, Owner: member})
+		}
+	}
+	sort.Slice(assign, func(i, j int) bool { return assign[i].Rank < assign[j].Rank })
+	if err := c.broadcast(fRestore, restoreMsg{Step: step, Owners: assign}); err != nil {
+		return 0, err
+	}
+	acked := make(map[int]bool)
+	for len(acked) < len(c.conns) {
+		ev, err := c.nextEvent(ctx, "await restores")
+		if err != nil {
+			return 0, err
+		}
+		if ev.typ != fRestored {
+			return 0, fmt.Errorf("train: member %d sent frame %#x during restore", ev.member, ev.typ)
+		}
+		acked[ev.member] = true
+	}
+	if err := c.broadcast(fResume, resumeMsg{Iter: step}); err != nil {
+		return 0, err
+	}
+	c.report.Recoveries = append(c.report.Recoveries, Recovery{
+		Dead:      append([]int(nil), dead...),
+		Step:      step,
+		Adoptions: adoptions,
+		AtIter:    iter,
+	})
+	return step, nil
+}
+
+// nextEvent pulls the next live-member event during recovery, treating
+// any connection failure as a cascading fatal error (a second death
+// during recovery is not survivable — the dying member's shard state is
+// mid-restore). Events from already-removed members — the reader
+// goroutine's final error after recovery closed the socket — are
+// discarded.
+func (c *Coordinator) nextEvent(ctx context.Context, phase string) (event, error) {
+	for {
+		select {
+		case <-ctx.Done():
+			return event{}, ctx.Err()
+		case ev := <-c.events:
+			if _, live := c.conns[ev.member]; !live {
+				continue
+			}
+			if ev.err != nil {
+				return event{}, fmt.Errorf("train: member %d failed while recovery was trying to %s: %w", ev.member, phase, ev.err)
+			}
+			return ev, nil
+		}
+	}
+}
+
+// sortedMembers returns the live member IDs ascending (deterministic
+// adoption order).
+func (c *Coordinator) sortedMembers() []int {
+	members := make([]int, 0, len(c.conns))
+	for m := range c.conns {
+		members = append(members, m)
+	}
+	sort.Ints(members)
+	return members
+}
+
+// awaitByes gives members a moment to depart cleanly; stragglers are
+// cut off by Close.
+func (c *Coordinator) awaitByes(ctx context.Context) {
+	departed := make(map[int]bool)
+	for len(departed) < len(c.conns) {
+		select {
+		case <-ctx.Done():
+			return
+		case ev := <-c.events:
+			if _, live := c.conns[ev.member]; !live {
+				continue // stale: a dead member's final reader error
+			}
+			if ev.err != nil || ev.typ == fBye {
+				departed[ev.member] = true
+			}
+		case <-c.clk.After(c.cfg.HeartbeatTimeout):
+			return
+		}
+	}
+}

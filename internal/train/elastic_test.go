@@ -1,0 +1,274 @@
+package train
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/datastates/mlpoffload/internal/engine"
+	"github.com/datastates/mlpoffload/internal/storage"
+)
+
+// elasticEngineFor builds the per-rank engine config every member (and
+// the fault-free reference run) uses: deterministic geometry and
+// gradients, a fresh private "nvme" tier per engine. Bit-identity
+// across runs requires exactly this determinism.
+func elasticEngineFor(rank int) (engine.Config, error) {
+	tiers := []engine.TierSpec{
+		{Tier: storage.NewMemTier("nvme"), ReadBW: 500, WriteBW: 500},
+	}
+	cfg := engine.MLPConfig(rank, 400, 100, tiers, nil)
+	cfg.AdaptivePlacement = false
+	cfg.Grad = engine.QuadraticGradFn(3)
+	return cfg, nil
+}
+
+// referenceParams trains `workers` standalone engines for iters
+// iterations with no networking and no faults, returning each rank's
+// final FP32 master parameters — the bit-exact target the elastic run
+// must hit despite a mid-run death.
+func referenceParams(t *testing.T, workers, iters int) [][]float32 {
+	t.Helper()
+	out := make([][]float32, workers)
+	for rank := 0; rank < workers; rank++ {
+		cfg, err := elasticEngineFor(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := engine.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < iters; i++ {
+			if _, err := e.TrainIteration(i); err != nil {
+				t.Fatalf("reference rank %d iteration %d: %v", rank, i, err)
+			}
+		}
+		params := make([]float32, len(e.Params16()))
+		if err := e.GatherParams(params); err != nil {
+			t.Fatal(err)
+		}
+		e.Close()
+		out[rank] = params
+	}
+	return out
+}
+
+// TestElasticKillARankRecoversBitIdentical is the end-to-end fault
+// drill: three members train over loopback TCP; rank 2 falls silent
+// after computing iteration 3 (heartbeats stop, connection stays open).
+// The coordinator must detect the death by missed heartbeats, pause the
+// survivors at the barrier, roll back to the newest checkpoint step all
+// ranks hold (step 2 — the step-4 checkpoint was never coordinated),
+// re-shard rank 2 onto a survivor, resume, and finish — with every
+// rank's final parameters bit-identical to a fault-free run. The
+// coordinator's digest history cross-checks every re-executed iteration
+// on the wire as it happens.
+func TestElasticKillARankRecoversBitIdentical(t *testing.T) {
+	const (
+		workers   = 3
+		iters     = 6
+		ckptEvery = 2
+		killAt    = 3
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Workers:          workers,
+		Iters:            iters,
+		CheckpointEvery:  ckptEvery,
+		Heartbeat:        10 * time.Millisecond,
+		HeartbeatTimeout: 60 * time.Millisecond,
+		Timeout:          5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reportCh := make(chan RunReport, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		rep, err := coord.Run(ctx)
+		reportCh <- rep
+		errCh <- err
+	}()
+
+	ckpt := storage.NewMemTier("ckpt")
+	members := make([]*Member, workers)
+	memberErrs := make([]error, workers)
+	var wg sync.WaitGroup
+	for rank := 0; rank < workers; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			cfg := MemberConfig{
+				Rank:      rank,
+				Addr:      coord.Addr(),
+				EngineFor: elasticEngineFor,
+				Ckpt:      ckpt,
+				Prefix:    "elastic",
+				Timeout:   5 * time.Second,
+			}
+			if rank == 2 {
+				cfg.KillAtIter = killAt
+			}
+			members[rank], memberErrs[rank] = RunMember(ctx, cfg)
+		}(rank)
+	}
+	wg.Wait()
+	rep := <-reportCh
+	if err := <-errCh; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	for rank, err := range memberErrs {
+		if err != nil {
+			t.Fatalf("member %d: %v", rank, err)
+		}
+	}
+	defer func() {
+		for _, m := range members {
+			if m != nil {
+				m.Close()
+			}
+		}
+	}()
+
+	// The kill hook must have fired, and the recovery must be the one the
+	// timeline dictates: death detected at barrier 3, rollback to step 2
+	// (steps are multiples of 2; the step-4 checkpoint required proceed(3),
+	// which the death withheld), rank 2 adopted by survivor 0 or 1.
+	if !members[2].Killed() {
+		t.Fatal("member 2 was not killed by the test hook")
+	}
+	if len(rep.Recoveries) != 1 {
+		t.Fatalf("recoveries = %+v, want exactly one", rep.Recoveries)
+	}
+	rec := rep.Recoveries[0]
+	if len(rec.Dead) != 1 || rec.Dead[0] != 2 {
+		t.Fatalf("dead = %v, want [2]", rec.Dead)
+	}
+	if rec.Step != 2 {
+		t.Fatalf("rollback step = %d, want 2", rec.Step)
+	}
+	if rec.AtIter != killAt {
+		t.Fatalf("death detected at iteration %d, want %d", rec.AtIter, killAt)
+	}
+	adopter, ok := rec.Adoptions[2]
+	if !ok || (adopter != 0 && adopter != 1) {
+		t.Fatalf("adoptions = %v, want rank 2 adopted by a survivor", rec.Adoptions)
+	}
+	// 4 barriers before the death (iters 0-3), then iters 2-5 re-run.
+	if rep.Iterations != 8 {
+		t.Fatalf("iterations executed = %d, want 8", rep.Iterations)
+	}
+
+	// Bit-identity: each rank's parameters — rank 2's from its adopter —
+	// must equal the fault-free reference exactly.
+	want := referenceParams(t, workers, iters)
+	for rank := 0; rank < workers; rank++ {
+		owner := members[rank]
+		if rank == 2 {
+			owner = members[adopter]
+		}
+		got, err := owner.GatherRank(rank)
+		if err != nil {
+			t.Fatalf("gather rank %d: %v", rank, err)
+		}
+		if len(got) != len(want[rank]) {
+			t.Fatalf("rank %d: %d params, want %d", rank, len(got), len(want[rank]))
+		}
+		for i := range got {
+			if got[i] != want[rank][i] {
+				t.Fatalf("rank %d param %d = %v, want %v (post-recovery state not bit-identical)",
+					rank, i, got[i], want[rank][i])
+			}
+		}
+	}
+}
+
+// TestElasticCleanRun is the no-fault baseline of the same harness: two
+// members, no kill hook, checkpoints on — the run must finish with zero
+// recoveries and bit-identical parameters.
+func TestElasticCleanRun(t *testing.T) {
+	const (
+		workers = 2
+		iters   = 4
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Workers:          workers,
+		Iters:            iters,
+		CheckpointEvery:  2,
+		Heartbeat:        10 * time.Millisecond,
+		HeartbeatTimeout: 60 * time.Millisecond,
+		Timeout:          5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reportCh := make(chan RunReport, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		rep, err := coord.Run(ctx)
+		reportCh <- rep
+		errCh <- err
+	}()
+
+	ckpt := storage.NewMemTier("ckpt")
+	members := make([]*Member, workers)
+	memberErrs := make([]error, workers)
+	var wg sync.WaitGroup
+	for rank := 0; rank < workers; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			members[rank], memberErrs[rank] = RunMember(ctx, MemberConfig{
+				Rank:      rank,
+				Addr:      coord.Addr(),
+				EngineFor: elasticEngineFor,
+				Ckpt:      ckpt,
+				Prefix:    "clean",
+				Timeout:   5 * time.Second,
+			})
+		}(rank)
+	}
+	wg.Wait()
+	rep := <-reportCh
+	if err := <-errCh; err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	for rank, err := range memberErrs {
+		if err != nil {
+			t.Fatalf("member %d: %v", rank, err)
+		}
+	}
+	defer func() {
+		for _, m := range members {
+			if m != nil {
+				m.Close()
+			}
+		}
+	}()
+	if len(rep.Recoveries) != 0 {
+		t.Fatalf("recoveries = %+v, want none", rep.Recoveries)
+	}
+	if rep.Iterations != iters {
+		t.Fatalf("iterations = %d, want %d", rep.Iterations, iters)
+	}
+	want := referenceParams(t, workers, iters)
+	for rank := 0; rank < workers; rank++ {
+		got, err := members[rank].GatherRank(rank)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range got {
+			if got[i] != want[rank][i] {
+				t.Fatalf("rank %d param %d differs from fault-free reference", rank, i)
+			}
+		}
+	}
+}

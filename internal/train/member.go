@@ -1,0 +1,331 @@
+package train
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/datastates/mlpoffload/internal/checkpoint"
+	"github.com/datastates/mlpoffload/internal/clock"
+	"github.com/datastates/mlpoffload/internal/engine"
+	"github.com/datastates/mlpoffload/internal/storage"
+	"github.com/datastates/mlpoffload/internal/wire"
+)
+
+// MemberConfig configures one elastic training member: a process (or
+// goroutine, in tests) owning one rank's engine, joined to a
+// coordinator over TCP.
+type MemberConfig struct {
+	// Rank is this member's primary rank and its identity to the
+	// coordinator.
+	Rank int
+	// Addr is the coordinator's listen address.
+	Addr string
+	// EngineFor builds the engine config for any rank — its own at
+	// startup, a dead rank's when this member adopts its shard during
+	// recovery. The returned config's tier handles are this member's
+	// own; persistent tiers and the checkpoint tier must be shared
+	// storage (every member sees every rank's manifests and snapshots),
+	// local tiers are private (rank-scoped keys keep adopted shards from
+	// colliding).
+	EngineFor func(rank int) (engine.Config, error)
+	// Ckpt is the shared checkpoint tier; Prefix namespaces this run's
+	// checkpoints on it.
+	Ckpt   storage.Tier
+	Prefix string
+	// Timeout is the per-message send deadline; <= 0 disables.
+	Timeout time.Duration
+	// DialBackoff paces connection attempts (the coordinator may not be
+	// listening yet). Zero value = wire defaults.
+	DialBackoff wire.Backoff
+	// Clock drives heartbeats and retries. nil = wall clock.
+	Clock clock.Clock
+
+	// KillAtIter is a fault-injection hook for recovery tests: after
+	// *computing* that iteration the member falls silent — heartbeats
+	// stop, no report is sent, the connection stays open — forcing the
+	// coordinator down the missed-heartbeat detection path exactly as a
+	// hung process would. 0 disables (kill at iteration 0 is not a
+	// supported scenario; there is nothing to recover).
+	KillAtIter int
+}
+
+// Member is a running (or finished) elastic training member. After Run
+// returns, the engines stay open for inspection; Close releases them.
+type Member struct {
+	cfg    MemberConfig
+	clk    clock.Clock
+	conn   *wire.Conn
+	hbStop chan struct{}
+
+	engines     map[int]*engine.Engine // rank → engine: own + adopted
+	lastSkipped map[int]int64          // rank → SkippedSteps at last barrier
+	killed      bool
+}
+
+// RunMember joins the coordinator at cfg.Addr and trains until the run
+// completes, the member is test-killed, or an error occurs. The
+// returned Member keeps its engines open either way (gather-and-verify,
+// then Close).
+func RunMember(ctx context.Context, cfg MemberConfig) (*Member, error) {
+	m := &Member{
+		cfg:         cfg,
+		clk:         clock.Or(cfg.Clock),
+		engines:     make(map[int]*engine.Engine),
+		lastSkipped: make(map[int]int64),
+	}
+	ec, err := cfg.EngineFor(cfg.Rank)
+	if err != nil {
+		return m, fmt.Errorf("train: member %d engine config: %w", cfg.Rank, err)
+	}
+	e, err := engine.New(ec)
+	if err != nil {
+		return m, fmt.Errorf("train: member %d engine: %w", cfg.Rank, err)
+	}
+	m.engines[cfg.Rank] = e
+
+	m.conn, err = wire.Dial(ctx, m.clk, cfg.Addr, cfg.Timeout, cfg.DialBackoff)
+	if err != nil {
+		return m, fmt.Errorf("train: member %d dial %s: %w", cfg.Rank, cfg.Addr, err)
+	}
+	if err := sendJSON(m.conn, fHello, helloMsg{Rank: cfg.Rank}); err != nil {
+		return m, err
+	}
+	t, payload, err := m.conn.Recv(-1)
+	if err != nil {
+		return m, fmt.Errorf("train: member %d await welcome: %w", cfg.Rank, err)
+	}
+	if t != fWelcome {
+		return m, fmt.Errorf("train: member %d expected welcome, got frame %#x", cfg.Rank, t)
+	}
+	var w welcomeMsg
+	if err := decode(t, payload, &w); err != nil {
+		return m, err
+	}
+
+	m.hbStop = make(chan struct{})
+	hbDone := make(chan struct{})
+	go func() {
+		defer close(hbDone)
+		// A failed heartbeat send only hastens the death verdict the
+		// coordinator would reach anyway.
+		_ = wire.Heartbeat(m.clk, m.conn, fHeartbeat, time.Duration(w.HBEvery), m.hbStop)
+	}()
+	err = m.train(ctx, w)
+	if !m.killed {
+		close(m.hbStop)
+	}
+	<-hbDone
+	return m, err
+}
+
+// Killed reports whether the test-kill hook fired.
+func (m *Member) Killed() bool { return m.killed }
+
+// Engines returns the ranks this member currently owns, ascending.
+func (m *Member) Engines() map[int]*engine.Engine { return m.engines }
+
+// GatherRank fetches one owned rank's FP32 master parameters.
+func (m *Member) GatherRank(rank int) ([]float32, error) {
+	e, ok := m.engines[rank]
+	if !ok {
+		return nil, fmt.Errorf("train: member %d does not own rank %d", m.cfg.Rank, rank)
+	}
+	dst := make([]float32, len(e.Params16()))
+	if err := e.GatherParams(dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// Close releases the member's engines and connection. Idempotent.
+func (m *Member) Close() {
+	for _, e := range m.engines {
+		e.Close()
+	}
+	m.engines = map[int]*engine.Engine{}
+	if m.conn != nil {
+		m.conn.Close()
+	}
+}
+
+// ownedRanks returns the member's ranks ascending — deterministic
+// iteration order for training and reporting.
+func (m *Member) ownedRanks() []int {
+	ranks := make([]int, 0, len(m.engines))
+	for r := range m.engines {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	return ranks
+}
+
+// train is the member's main loop: compute, report, block at the
+// barrier handling whatever control traffic arrives (proceed in the
+// steady state; liststeps/restore/resume during a recovery).
+func (m *Member) train(ctx context.Context, w welcomeMsg) error {
+	iter := w.Iter
+	for iter < w.Iters {
+		report := reportMsg{Iter: iter}
+		for _, rank := range m.ownedRanks() {
+			e := m.engines[rank]
+			if _, err := e.TrainIteration(iter); err != nil {
+				return fmt.Errorf("train: member %d rank %d iteration %d: %w", m.cfg.Rank, rank, iter, err)
+			}
+			skipped := e.SkippedSteps()
+			report.Ranks = append(report.Ranks, rankReport{
+				Rank:     rank,
+				Digest:   paramsDigest(e),
+				Overflow: skipped > m.lastSkipped[rank],
+			})
+			m.lastSkipped[rank] = skipped
+		}
+		if m.cfg.KillAtIter > 0 && iter == m.cfg.KillAtIter {
+			// Fall silent mid-iteration: computed, never reported. The
+			// heartbeat loop stops; the connection stays open so only the
+			// missed-heartbeat path can declare this member dead.
+			close(m.hbStop)
+			m.killed = true
+			return nil
+		}
+		if err := sendJSON(m.conn, fReport, report); err != nil {
+			return fmt.Errorf("train: member %d report iteration %d: %w", m.cfg.Rank, iter, err)
+		}
+
+	barrier:
+		for {
+			t, payload, err := m.conn.Recv(-1)
+			if err != nil {
+				return fmt.Errorf("train: member %d at barrier %d: %w", m.cfg.Rank, iter, err)
+			}
+			switch t {
+			case fProceed:
+				var p proceedMsg
+				if err := decode(t, payload, &p); err != nil {
+					return err
+				}
+				step := p.Iter + 1
+				if w.CkptEvery > 0 && step%w.CkptEvery == 0 {
+					if err := m.checkpoint(ctx, step); err != nil {
+						return err
+					}
+				}
+				iter = p.Iter + 1
+				break barrier
+			case fListSteps:
+				var ls listStepsMsg
+				if err := decode(t, payload, &ls); err != nil {
+					return err
+				}
+				if err := m.replySteps(ctx, ls); err != nil {
+					return err
+				}
+			case fRestore:
+				var r restoreMsg
+				if err := decode(t, payload, &r); err != nil {
+					return err
+				}
+				if err := m.restore(ctx, r); err != nil {
+					return err
+				}
+				if err := sendJSON(m.conn, fRestored, restoredMsg{Rank: m.cfg.Rank}); err != nil {
+					return err
+				}
+			case fResume:
+				var r resumeMsg
+				if err := decode(t, payload, &r); err != nil {
+					return err
+				}
+				iter = r.Iter
+				break barrier
+			default:
+				return fmt.Errorf("train: member %d unexpected frame %#x at barrier %d", m.cfg.Rank, t, iter)
+			}
+		}
+	}
+
+	// Run complete: await the coordinator's done, depart cleanly.
+	t, _, err := m.conn.Recv(-1)
+	if err != nil {
+		return fmt.Errorf("train: member %d await done: %w", m.cfg.Rank, err)
+	}
+	if t != fDone {
+		return fmt.Errorf("train: member %d expected done, got frame %#x", m.cfg.Rank, t)
+	}
+	// Best-effort departure: the run already completed, and a coordinator
+	// that stopped waiting for byes has closed its side.
+	_ = sendJSON(m.conn, fBye, byeMsg{Rank: m.cfg.Rank})
+	return nil
+}
+
+// checkpoint commits every owned rank's state at step under its
+// rank-qualified prefix on the shared tier — the member-side half of
+// the coordinated checkpoint Node.Checkpoint performs in-process.
+func (m *Member) checkpoint(ctx context.Context, step int) error {
+	for _, rank := range m.ownedRanks() {
+		w := checkpoint.NewWriter(m.cfg.Ckpt, rankPrefix(m.cfg.Prefix, rank))
+		_, err := m.engines[rank].Checkpoint(ctx, step, w)
+		w.Close()
+		if err != nil {
+			return fmt.Errorf("train: member %d checkpoint rank %d step %d: %w", m.cfg.Rank, rank, step, err)
+		}
+	}
+	return nil
+}
+
+// replySteps reads each requested rank's content-valid checkpoint steps
+// from the shared tier. The coordinator never touches storage itself —
+// members are its eyes on the checkpoint tier.
+func (m *Member) replySteps(ctx context.Context, ls listStepsMsg) error {
+	reply := stepsMsg{}
+	for _, rank := range ls.Ranks {
+		r := checkpoint.NewReader(m.cfg.Ckpt, rankPrefix(m.cfg.Prefix, rank))
+		steps, err := r.ValidSteps(ctx)
+		if err != nil {
+			return fmt.Errorf("train: member %d list steps rank %d: %w", m.cfg.Rank, rank, err)
+		}
+		reply.Sets = append(reply.Sets, rankSteps{Rank: rank, Steps: steps})
+	}
+	return sendJSON(m.conn, fSteps, reply)
+}
+
+// restore rolls every rank this member owns under the new assignment
+// back to msg.Step: existing engines restore in place, newly adopted
+// ranks get a fresh engine built from this member's tiers and restored
+// from the dead rank's manifest (engine.NewRestored — the re-shard
+// entry point).
+func (m *Member) restore(ctx context.Context, msg restoreMsg) error {
+	for _, a := range msg.Owners {
+		if a.Owner != m.cfg.Rank {
+			continue
+		}
+		r := checkpoint.NewReader(m.cfg.Ckpt, rankPrefix(m.cfg.Prefix, a.Rank))
+		man, err := r.ReadManifest(ctx, msg.Step)
+		if err != nil {
+			return fmt.Errorf("train: member %d restore rank %d: %w", m.cfg.Rank, a.Rank, err)
+		}
+		if e, ok := m.engines[a.Rank]; ok {
+			if err := e.Restore(ctx, r, man); err != nil {
+				return fmt.Errorf("train: member %d restore rank %d step %d: %w", m.cfg.Rank, a.Rank, msg.Step, err)
+			}
+			// Rollback rewinds the loss scaler too; rebase the overflow
+			// delta so the re-run's flags match the original run's.
+			m.lastSkipped[a.Rank] = e.SkippedSteps()
+			continue
+		}
+		ec, err := m.cfg.EngineFor(a.Rank)
+		if err != nil {
+			return fmt.Errorf("train: member %d adopt rank %d config: %w", m.cfg.Rank, a.Rank, err)
+		}
+		e, err := engine.NewRestored(ctx, ec, r, man)
+		if err != nil {
+			return fmt.Errorf("train: member %d adopt rank %d: %w", m.cfg.Rank, a.Rank, err)
+		}
+		m.engines[a.Rank] = e
+		// The adopted rank's scaler history restarts from the manifest;
+		// overflow deltas restart with it.
+		m.lastSkipped[a.Rank] = e.SkippedSteps()
+	}
+	return nil
+}

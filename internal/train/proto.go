@@ -1,0 +1,171 @@
+// Elastic wire protocol: the message vocabulary coordinator and members
+// exchange over internal/wire framed connections. Payloads are JSON —
+// the control plane moves flags, digests, and step lists, never tensor
+// data, so the encoding favors debuggability over density.
+//
+// The conversation, in order:
+//
+//	member               coordinator
+//	hello{rank}    →
+//	               ←     welcome{iter, iters, ckptEvery, hb config}
+//	(per iteration)
+//	report{iter,…} →
+//	               ←     proceed{iter, overflow}
+//	(heartbeats flow continuously on their own cadence)
+//
+//	(recovery, after a member misses heartbeats)
+//	               ←     liststeps{ranks}
+//	steps{sets}    →
+//	               ←     restore{step, owners}
+//	restored{id}   →
+//	               ←     resume{iter}
+//
+//	(shutdown)
+//	               ←     done
+//	bye{rank}      →
+package train
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/datastates/mlpoffload/internal/engine"
+	"github.com/datastates/mlpoffload/internal/wire"
+)
+
+// Frame types of the elastic protocol.
+const (
+	fHello     byte = 0x01 // member → coordinator: join with primary rank
+	fWelcome   byte = 0x02 // coordinator → member: run parameters, start
+	fHeartbeat byte = 0x03 // member → coordinator: liveness, empty payload
+	fReport    byte = 0x04 // member → coordinator: iteration barrier report
+	fProceed   byte = 0x05 // coordinator → member: barrier release
+	fListSteps byte = 0x06 // coordinator → member: request checkpoint step sets
+	fSteps     byte = 0x07 // member → coordinator: per-rank valid steps
+	fRestore   byte = 0x08 // coordinator → member: roll back to step, ownership map
+	fRestored  byte = 0x09 // member → coordinator: restore complete
+	fResume    byte = 0x0A // coordinator → member: continue from iteration
+	fDone      byte = 0x0B // coordinator → member: training complete
+	fBye       byte = 0x0C // member → coordinator: clean departure
+)
+
+// helloMsg announces a joining member by its primary rank (the member's
+// stable identity for liveness and ownership).
+type helloMsg struct {
+	Rank int `json:"rank"`
+}
+
+// welcomeMsg carries the run parameters every member trains under.
+// Durations are nanoseconds (time.Duration's representation).
+type welcomeMsg struct {
+	Iter      int   `json:"iter"`  // first iteration to execute
+	Iters     int   `json:"iters"` // total iterations in the run
+	CkptEvery int   `json:"ckptEvery"`
+	HBEvery   int64 `json:"hbEvery"`   // heartbeat send cadence, ns
+	HBTimeout int64 `json:"hbTimeout"` // missed-heartbeat death threshold, ns
+}
+
+// rankReport is one rank's barrier state: the FNV-1a digest of its FP16
+// working parameters and whether its update overflowed (loss-scaling
+// skip) this iteration.
+type rankReport struct {
+	Rank     int    `json:"rank"`
+	Digest   uint64 `json:"digest"`
+	Overflow bool   `json:"overflow"`
+}
+
+// reportMsg is a member's iteration-barrier report covering every rank
+// it owns (its own, plus any adopted after recoveries).
+type reportMsg struct {
+	Iter  int          `json:"iter"`
+	Ranks []rankReport `json:"ranks"`
+}
+
+// proceedMsg releases the barrier for iter. Overflow aggregates the
+// flag across all ranks — the global "this step was skipped" signal of
+// data-parallel loss scaling.
+type proceedMsg struct {
+	Iter     int  `json:"iter"`
+	Overflow bool `json:"overflow"`
+}
+
+// listStepsMsg asks a member to read, from the shared checkpoint tier,
+// the content-valid checkpoint steps of each listed rank.
+type listStepsMsg struct {
+	Ranks []int `json:"ranks"`
+}
+
+// rankSteps is one rank's valid checkpoint steps as one member sees
+// them on the shared tier.
+type rankSteps struct {
+	Rank  int   `json:"rank"`
+	Steps []int `json:"steps"`
+}
+
+// stepsMsg answers listStepsMsg.
+type stepsMsg struct {
+	Sets []rankSteps `json:"sets"`
+}
+
+// assignment maps one rank to the member that owns (trains) it.
+type assignment struct {
+	Rank  int `json:"rank"`
+	Owner int `json:"owner"`
+}
+
+// restoreMsg orders a rollback: every member restores each rank it owns
+// under the new assignment from that rank's step-Step manifest —
+// adopting dead ranks' shards where Owner changed.
+type restoreMsg struct {
+	Step   int          `json:"step"`
+	Owners []assignment `json:"owners"`
+}
+
+// restoredMsg acknowledges a completed restoreMsg.
+type restoredMsg struct {
+	Rank int `json:"rank"`
+}
+
+// resumeMsg restarts training at Iter after a recovery.
+type resumeMsg struct {
+	Iter int `json:"iter"`
+}
+
+// byeMsg is a clean departure.
+type byeMsg struct {
+	Rank int `json:"rank"`
+}
+
+// sendJSON marshals msg and sends it as one frame of type t.
+func sendJSON(c *wire.Conn, t byte, msg any) error {
+	buf, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("train: encode frame %#x: %w", t, err)
+	}
+	return c.Send(t, buf)
+}
+
+// decode unmarshals a frame payload, naming the frame type on failure.
+func decode(t byte, payload []byte, into any) error {
+	if err := json.Unmarshal(payload, into); err != nil {
+		return fmt.Errorf("train: decode frame %#x: %w", t, err)
+	}
+	return nil
+}
+
+// paramsDigest hashes an engine's FP16 working parameters (FNV-1a 64).
+// At an iteration barrier this is a complete fingerprint of the shard's
+// visible training state: two runs agree on every digest iff their
+// parameter trajectories are bit-identical.
+func paramsDigest(e *engine.Engine) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, b := range e.Params16() {
+		v := uint16(b)
+		h ^= uint64(v & 0xFF)
+		h *= prime
+		h ^= uint64(v >> 8)
+		h *= prime
+	}
+	return h
+}

@@ -198,29 +198,25 @@ func (n *Node) Checkpoint(ctx context.Context, tier storage.Tier, prefix string)
 }
 
 // Resume restores every worker from the newest checkpoint step for which
-// ALL ranks committed a manifest (a rank that crashed mid-checkpoint
-// leaves that step incomplete and it is skipped), then positions the node
-// at that iteration. It returns the iteration training continues from.
+// ALL ranks committed a valid manifest (a rank that crashed mid-checkpoint
+// leaves that step incomplete — missing or torn manifest — and it is
+// skipped), then positions the node at that iteration. It returns the
+// iteration training continues from.
 func (n *Node) Resume(ctx context.Context, tier storage.Tier, prefix string) (int, error) {
-	// Intersect the per-rank committed steps.
-	counts := make(map[int]int)
+	// Intersect the per-rank restorable steps: ValidSteps checks manifest
+	// content, so a truncated manifest from a mid-commit crash rolls the
+	// node back to the previous common step instead of failing the resume.
+	sets := make([][]int, len(n.engines))
 	for rank := range n.engines {
 		r := checkpoint.NewReader(tier, rankPrefix(prefix, rank))
-		steps, err := r.Steps(ctx)
+		steps, err := r.ValidSteps(ctx)
 		if err != nil {
 			return 0, fmt.Errorf("train: resume rank %d: %w", rank, err)
 		}
-		for _, s := range steps {
-			counts[s]++
-		}
+		sets[rank] = steps
 	}
-	step := -1
-	for s, c := range counts {
-		if c == len(n.engines) && s > step {
-			step = s
-		}
-	}
-	if step < 0 {
+	step, ok := checkpoint.NewestCommonStep(sets)
+	if !ok {
 		return 0, fmt.Errorf("train: no complete checkpoint found under prefix %q", prefix)
 	}
 

@@ -311,3 +311,64 @@ func TestMutatePerRank(t *testing.T) {
 		}
 	}
 }
+
+// TestNodeResumeSkipsTornManifest: a rank whose newest manifest landed
+// truncated (a crash mid-commit) silently rolls the whole node back to
+// the previous step every rank holds intact.
+func TestNodeResumeSkipsTornManifest(t *testing.T) {
+	ctx := context.Background()
+	cfg := NodeConfig{
+		Workers: 2, ParamsPerWorker: 200, SubgroupParams: 50,
+		Tiers: nodeTiers(1000), MLP: true,
+	}
+	nd, err := NewNode(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nd.Close()
+
+	ckptTier := storage.NewMemTier("ckpt")
+	for step := 1; step <= 2; step++ {
+		if _, err := nd.TrainIteration(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nd.Checkpoint(ctx, ckptTier, "demo"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Tear rank 1's step-2 manifest: keep the key, truncate the JSON.
+	key := checkpoint.ManifestKey(rankPrefix("demo", 1), 2)
+	size, err := ckptTier.Size(ctx, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, size)
+	if err := ckptTier.Read(ctx, key, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ckptTier.Write(ctx, key, buf[:size/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	step, err := nd.Resume(ctx, ckptTier, "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if step != 1 {
+		t.Errorf("resumed at step %d, want rollback to 1 (step 2 torn on rank 1)", step)
+	}
+
+	// Tear rank 0's only remaining manifest too: nothing common survives.
+	key0 := checkpoint.ManifestKey(rankPrefix("demo", 0), 1)
+	if err := ckptTier.Write(ctx, key0, []byte(`{"formatVe`)); err != nil {
+		t.Fatal(err)
+	}
+	key1 := checkpoint.ManifestKey(rankPrefix("demo", 0), 2)
+	if err := ckptTier.Write(ctx, key1, []byte(`{`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := nd.Resume(ctx, ckptTier, "demo"); err == nil {
+		t.Fatal("resume succeeded with every rank-0 manifest torn")
+	}
+}

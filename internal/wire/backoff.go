@@ -1,0 +1,139 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/datastates/mlpoffload/internal/clock"
+)
+
+// Backoff is a jittered exponential retry policy: delay(r) for retry r
+// grows by Factor from Base, is capped at Max, and is then shrunk by a
+// deterministic jitter fraction. Delays are *pure functions* of
+// (policy, Seed, retry index) — no hidden RNG state — so two properties
+// hold at once: peers decorrelate (seed with the rank) and timing tests
+// on a virtual clock assert exact (==) simulated durations.
+//
+// The zero value is usable: withDefaults fills Base 5ms, Max 1s,
+// Factor 2, Attempts 5, no jitter.
+type Backoff struct {
+	// Base is the delay before the first retry.
+	Base time.Duration
+	// Max caps the exponential growth (applied before jitter).
+	Max time.Duration
+	// Factor is the per-retry growth multiplier.
+	Factor float64
+	// Jitter in [0, 1) shrinks each delay by up to that fraction,
+	// deterministically per (Seed, retry): delay' ∈ ((1-Jitter)·delay,
+	// delay]. 0 disables jitter (exact exponential pacing).
+	Jitter float64
+	// Attempts bounds Retry's total tries (first call included). 0
+	// defaults to 5; negative retries forever (until ctx cancels or the
+	// error is Permanent).
+	Attempts int
+	// Seed decorrelates independent retriers (e.g. one per rank). Two
+	// policies differing only in Seed produce different jitter streams.
+	Seed uint64
+}
+
+func (b Backoff) withDefaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 5 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Attempts == 0 {
+		b.Attempts = 5
+	}
+	return b
+}
+
+// Delay returns the pause before retry number r (0-based: Delay(0) is
+// the wait after the first failure).
+func (b Backoff) Delay(r int) time.Duration {
+	b = b.withDefaults()
+	d := float64(b.Base)
+	for i := 0; i < r && d < float64(b.Max); i++ {
+		d *= b.Factor
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 {
+		d -= b.Jitter * d * unit(b.Seed, uint64(r))
+	}
+	return time.Duration(d)
+}
+
+// unit maps (seed, n) to a uniform value in [0, 1) via splitmix64 — a
+// stateless, platform-independent hash, so jitter is reproducible
+// everywhere.
+func unit(seed, n uint64) float64 {
+	x := seed + 0x9E3779B97F4A7C15*(n+1)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// errPermanent marks an error Retry must not retry.
+type errPermanent struct{ err error }
+
+func (e errPermanent) Error() string { return e.err.Error() }
+func (e errPermanent) Unwrap() error { return e.err }
+
+// Permanent wraps an error so Retry stops immediately and returns it
+// (still matching the wrapped error via errors.Is/As). Use it for
+// failures more tries cannot fix: a protocol version mismatch, a rank
+// already registered.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return errPermanent{err}
+}
+
+// IsPermanent reports whether err (or anything it wraps) was marked
+// Permanent.
+func IsPermanent(err error) bool {
+	var p errPermanent
+	return errors.As(err, &p)
+}
+
+// Retry runs op until it succeeds, pacing retries with the policy on
+// clk. It returns nil on success, the last error when Attempts is
+// exhausted, immediately on a Permanent error, and the last error (or
+// ctx.Err before the first try) when ctx is canceled. Cancellation is
+// observed between attempts — an in-flight op is not interrupted, and a
+// wall-clock sleep finishes before the check, so cancellation latency
+// is bounded by Max.
+func (b Backoff) Retry(ctx context.Context, clk clock.Clock, op func(attempt int) error) error {
+	b = b.withDefaults()
+	clk = clock.Or(clk)
+	var err error
+	for attempt := 0; ; attempt++ {
+		if ctx.Err() != nil {
+			if err != nil {
+				return err
+			}
+			return ctx.Err()
+		}
+		if err = op(attempt); err == nil {
+			return nil
+		}
+		if IsPermanent(err) {
+			return err
+		}
+		if b.Attempts > 0 && attempt+1 >= b.Attempts {
+			return err
+		}
+		clk.Sleep(b.Delay(attempt))
+	}
+}

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/datastates/mlpoffload/internal/clock"
+)
+
+func TestBackoffDelayExact(t *testing.T) {
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for r, w := range want {
+		if got := b.Delay(r); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", r, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterDeterministicAndBounded(t *testing.T) {
+	base := Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: 0.5}
+	a := base
+	a.Seed = 1
+	c := base
+	c.Seed = 2
+	sawDiff := false
+	for r := 0; r < 6; r++ {
+		full := Backoff{Base: base.Base, Max: base.Max, Factor: base.Factor}.Delay(r)
+		da := a.Delay(r)
+		if da2 := a.Delay(r); da2 != da {
+			t.Fatalf("Delay(%d) not deterministic: %v then %v", r, da, da2)
+		}
+		lo := time.Duration(float64(full) * (1 - base.Jitter))
+		if da <= lo || da > full {
+			t.Errorf("seed 1 Delay(%d) = %v outside (%v, %v]", r, da, lo, full)
+		}
+		if c.Delay(r) != da {
+			sawDiff = true
+		}
+	}
+	if !sawDiff {
+		t.Error("seeds 1 and 2 produced identical jitter streams")
+	}
+}
+
+func TestBackoffRetryPacingExactVirtual(t *testing.T) {
+	clk := clock.NewVirtualAuto()
+	b := Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Attempts: 5}
+	start := clk.Now()
+	calls := 0
+	err := b.Retry(context.Background(), clk, func(attempt int) error {
+		if attempt != calls {
+			t.Fatalf("attempt = %d, want %d", attempt, calls)
+		}
+		calls++
+		if calls < 4 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d, want 4", calls)
+	}
+	// Three retries paced 10+20+40 ms — exact on the virtual clock.
+	if got, want := clk.Since(start), 70*time.Millisecond; got != want {
+		t.Fatalf("elapsed = %v, want exactly %v", got, want)
+	}
+}
+
+func TestBackoffRetryExhaustsAttempts(t *testing.T) {
+	clk := clock.NewVirtualAuto()
+	b := Backoff{Base: time.Millisecond, Factor: 2, Attempts: 3}
+	start := clk.Now()
+	calls := 0
+	sentinel := errors.New("still down")
+	err := b.Retry(context.Background(), clk, func(int) error { calls++; return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want %v", err, sentinel)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+	// Two sleeps (1ms, 2ms) happen between the three attempts; no sleep
+	// after the last failure.
+	if got, want := clk.Since(start), 3*time.Millisecond; got != want {
+		t.Fatalf("elapsed = %v, want exactly %v", got, want)
+	}
+}
+
+func TestBackoffRetryPermanentStopsImmediately(t *testing.T) {
+	clk := clock.NewVirtualAuto()
+	start := clk.Now()
+	calls := 0
+	sentinel := errors.New("version mismatch")
+	err := Backoff{Attempts: -1}.Retry(context.Background(), clk, func(int) error {
+		calls++
+		return Permanent(sentinel)
+	})
+	if !errors.Is(err, sentinel) || !IsPermanent(err) {
+		t.Fatalf("err = %v (permanent=%v), want permanent %v", err, IsPermanent(err), sentinel)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+	if got := clk.Since(start); got != 0 {
+		t.Fatalf("elapsed = %v, want 0", got)
+	}
+}
+
+func TestBackoffRetryContextCancel(t *testing.T) {
+	clk := clock.NewVirtualAuto()
+	ctx, cancel := context.WithCancel(context.Background())
+	sentinel := errors.New("down")
+	calls := 0
+	err := Backoff{Base: time.Millisecond, Attempts: -1}.Retry(ctx, clk, func(int) error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want last op error %v", err, sentinel)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+
+	if err := (Backoff{}).Retry(ctx, clk, func(int) error { t.Fatal("op ran under canceled ctx"); return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Retry err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBackoffZeroValueDefaults(t *testing.T) {
+	var b Backoff
+	if got, want := b.Delay(0), 5*time.Millisecond; got != want {
+		t.Fatalf("zero-value Delay(0) = %v, want %v", got, want)
+	}
+	if got, want := b.Delay(100), time.Second; got != want {
+		t.Fatalf("zero-value Delay(100) = %v, want cap %v", got, want)
+	}
+}

@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"time"
+
+	"github.com/datastates/mlpoffload/internal/clock"
+)
+
+// Dial connects to addr with the retry policy b pacing reconnection
+// attempts on clk — the member side of the elastic protocol, where the
+// coordinator may not be listening yet. timeout becomes both the
+// per-attempt connect budget and the framed connection's per-message
+// deadline. Returns the framed connection, or the last dial error once
+// b's attempts are exhausted (or ctx cancels between attempts).
+func Dial(ctx context.Context, clk clock.Clock, addr string, timeout time.Duration, b Backoff) (*Conn, error) {
+	clk = clock.Or(clk)
+	var conn *Conn
+	err := b.Retry(ctx, clk, func(int) error {
+		d := net.Dialer{Timeout: timeout}
+		nc, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return err
+		}
+		conn = NewConn(nc, clk, timeout)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return conn, nil
+}
+
+// Listen opens a TCP listener on addr (":0" picks a free port — tests
+// and single-host examples read the chosen address back via
+// Listener.Addr).
+func Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}

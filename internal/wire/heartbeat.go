@@ -1,0 +1,107 @@
+package wire
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/datastates/mlpoffload/internal/clock"
+)
+
+// Liveness tracks the last heartbeat seen from each rank and decides
+// death by elapsed clock time. A rank is dead once clk.Since(lastBeat)
+// >= timeout — the boundary is inclusive, matching the repo's aio aging
+// convention, so a virtual-clock test that advances exactly timeout
+// observes the transition with an exact (==) assertion.
+//
+// Liveness is pure bookkeeping: it never reads sockets. The owner calls
+// Beat when a heartbeat (or any frame — all traffic proves liveness)
+// arrives, and polls Dead from its monitor loop.
+type Liveness struct {
+	clk     clock.Clock
+	timeout time.Duration
+
+	mu   sync.Mutex
+	last map[int]time.Time
+}
+
+// NewLiveness tracks peers against timeout on clk (nil clk = wall).
+func NewLiveness(clk clock.Clock, timeout time.Duration) *Liveness {
+	return &Liveness{clk: clock.Or(clk), timeout: timeout, last: make(map[int]time.Time)}
+}
+
+// Track starts watching rank, counting its join as a beat.
+func (l *Liveness) Track(rank int) { l.Beat(rank) }
+
+// Beat records a sign of life from rank at the current clock time.
+func (l *Liveness) Beat(rank int) {
+	now := l.clk.Now()
+	l.mu.Lock()
+	l.last[rank] = now
+	l.mu.Unlock()
+}
+
+// Forget stops watching rank (it left cleanly or was declared dead and
+// handled).
+func (l *Liveness) Forget(rank int) {
+	l.mu.Lock()
+	delete(l.last, rank)
+	l.mu.Unlock()
+}
+
+// Alive reports whether rank is tracked and within the timeout.
+func (l *Liveness) Alive(rank int) bool {
+	l.mu.Lock()
+	last, ok := l.last[rank]
+	l.mu.Unlock()
+	return ok && l.clk.Since(last) < l.timeout
+}
+
+// Dead returns the tracked ranks whose last beat is at least timeout
+// old, ascending. The caller decides what death means (recovery,
+// eviction); Liveness keeps reporting them until Forget.
+func (l *Liveness) Dead() []int {
+	l.mu.Lock()
+	var dead []int
+	for rank, last := range l.last {
+		if l.clk.Since(last) >= l.timeout {
+			dead = append(dead, rank)
+		}
+	}
+	l.mu.Unlock()
+	sort.Ints(dead)
+	return dead
+}
+
+// LastBeat returns when rank last proved liveness.
+func (l *Liveness) LastBeat(rank int) (time.Time, bool) {
+	l.mu.Lock()
+	last, ok := l.last[rank]
+	l.mu.Unlock()
+	return last, ok
+}
+
+// Heartbeat sends empty frames of type t on c every interval until stop
+// closes (returning nil) or a send fails (returning the error). Run it
+// in its own goroutine; Conn serializes writers, so heartbeats interleave
+// safely with the owner's request traffic.
+func Heartbeat(clk clock.Clock, c *Conn, t byte, interval time.Duration, stop <-chan struct{}) error {
+	clk = clock.Or(clk)
+	for {
+		select {
+		case <-stop:
+			return nil
+		case <-clk.After(interval):
+		}
+		// stop may have closed while the tick was pending; a final
+		// heartbeat then is harmless, but checking keeps shutdown prompt.
+		select {
+		case <-stop:
+			return nil
+		default:
+		}
+		if err := c.Send(t, nil); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/datastates/mlpoffload/internal/clock"
+)
+
+func TestLivenessExactTimeoutBoundary(t *testing.T) {
+	clk := clock.NewVirtual()
+	const timeout = 100 * time.Millisecond
+	l := NewLiveness(clk, timeout)
+	l.Track(3)
+
+	// One nanosecond short of the timeout: still alive.
+	clk.Advance(timeout - time.Nanosecond)
+	if !l.Alive(3) {
+		t.Fatal("rank 3 dead at timeout-1ns")
+	}
+	if dead := l.Dead(); len(dead) != 0 {
+		t.Fatalf("Dead() = %v at timeout-1ns, want none", dead)
+	}
+
+	// Exactly at the timeout: dead (inclusive boundary).
+	clk.Advance(time.Nanosecond)
+	if l.Alive(3) {
+		t.Fatal("rank 3 alive at exactly timeout")
+	}
+	if dead := l.Dead(); !reflect.DeepEqual(dead, []int{3}) {
+		t.Fatalf("Dead() = %v at exactly timeout, want [3]", dead)
+	}
+}
+
+func TestLivenessBeatResetsAndForget(t *testing.T) {
+	clk := clock.NewVirtual()
+	const timeout = 50 * time.Millisecond
+	l := NewLiveness(clk, timeout)
+	l.Track(0)
+	l.Track(1)
+
+	clk.Advance(40 * time.Millisecond)
+	l.Beat(1) // rank 1 refreshed; rank 0's clock keeps running
+	clk.Advance(10 * time.Millisecond)
+	if dead := l.Dead(); !reflect.DeepEqual(dead, []int{0}) {
+		t.Fatalf("Dead() = %v, want [0]", dead)
+	}
+	if !l.Alive(1) {
+		t.Fatal("rank 1 dead 10ms after its beat")
+	}
+
+	l.Forget(0)
+	if dead := l.Dead(); len(dead) != 0 {
+		t.Fatalf("Dead() after Forget = %v, want none", dead)
+	}
+	if _, ok := l.LastBeat(0); ok {
+		t.Fatal("LastBeat(0) still tracked after Forget")
+	}
+
+	clk.Advance(40 * time.Millisecond)
+	if dead := l.Dead(); !reflect.DeepEqual(dead, []int{1}) {
+		t.Fatalf("Dead() = %v, want [1]", dead)
+	}
+}
+
+func TestLivenessDeadSortedMultiRank(t *testing.T) {
+	clk := clock.NewVirtual()
+	l := NewLiveness(clk, 10*time.Millisecond)
+	for _, r := range []int{5, 1, 9} {
+		l.Track(r)
+	}
+	clk.Advance(10 * time.Millisecond)
+	if dead := l.Dead(); !reflect.DeepEqual(dead, []int{1, 5, 9}) {
+		t.Fatalf("Dead() = %v, want sorted [1 5 9]", dead)
+	}
+}
+
+// TestHeartbeatCadenceVirtual drives the sender loop on a manual
+// virtual clock: each Advance of exactly one interval emits exactly one
+// heartbeat frame.
+func TestHeartbeatCadenceVirtual(t *testing.T) {
+	clk := clock.NewVirtual()
+	const interval = 20 * time.Millisecond
+	a, b := net.Pipe()
+	sender := NewConn(a, clk, 0)
+	receiver := NewConn(b, clk, 0)
+	defer sender.Close()
+	defer receiver.Close()
+
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() { errc <- Heartbeat(clk, sender, 0x7F, interval, stop) }()
+
+	for i := 0; i < 3; i++ {
+		clk.BlockUntil(1) // sender parked on After(interval)
+		clk.Advance(interval)
+		typ, payload, err := receiver.Recv(-1)
+		if err != nil {
+			t.Fatalf("beat %d: %v", i, err)
+		}
+		if typ != 0x7F || len(payload) != 0 {
+			t.Fatalf("beat %d: type %#x payload %d bytes, want 0x7f empty", i, typ, len(payload))
+		}
+	}
+
+	close(stop)
+	clk.BlockUntil(1)
+	clk.Advance(interval) // release the parked After so the loop sees stop
+	if err := <-errc; err != nil {
+		t.Fatalf("Heartbeat returned %v after stop, want nil", err)
+	}
+}
+
+func TestHeartbeatReturnsSendError(t *testing.T) {
+	clk := clock.NewVirtual()
+	a, b := net.Pipe()
+	sender := NewConn(a, clk, 0)
+	b.Close() // peer gone: first send must fail
+
+	stop := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() { errc <- Heartbeat(clk, sender, 1, time.Millisecond, stop) }()
+	clk.BlockUntil(1)
+	clk.Advance(time.Millisecond)
+	if err := <-errc; err == nil {
+		t.Fatal("Heartbeat returned nil with a closed peer")
+	}
+	sender.Close()
+}

@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tcpPair returns two framed ends of a loopback TCP connection.
+func tcpPair(t *testing.T, timeout time.Duration) (*Conn, *Conn) {
+	t.Helper()
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	type accepted struct {
+		nc  net.Conn
+		err error
+	}
+	acc := make(chan accepted, 1)
+	go func() {
+		nc, err := ln.Accept()
+		acc <- accepted{nc, err}
+	}()
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	a := <-acc
+	if a.err != nil {
+		t.Fatalf("accept: %v", a.err)
+	}
+	c1 := NewConn(client, nil, timeout)
+	c2 := NewConn(a.nc, nil, timeout)
+	t.Cleanup(func() { c1.Close(); c2.Close() })
+	return c1, c2
+}
+
+func TestConnRoundTrip(t *testing.T) {
+	c1, c2 := tcpPair(t, 2*time.Second)
+	msgs := []struct {
+		typ     byte
+		payload []byte
+	}{
+		{1, []byte(`{"rank":2,"iter":17}`)},
+		{0x7F, nil}, // heartbeat: empty payload, frame length 1
+		{9, bytes.Repeat([]byte{0xAB}, 64*1024)},
+	}
+	for _, m := range msgs {
+		if err := c1.Send(m.typ, m.payload); err != nil {
+			t.Fatalf("send type %d: %v", m.typ, err)
+		}
+		typ, payload, err := c2.Recv(0)
+		if err != nil {
+			t.Fatalf("recv type %d: %v", m.typ, err)
+		}
+		if typ != m.typ || !bytes.Equal(payload, m.payload) {
+			t.Fatalf("recv = (%d, %d bytes), want (%d, %d bytes)", typ, len(payload), m.typ, len(m.payload))
+		}
+	}
+	// Full duplex: the server side sends too.
+	if err := c2.Send(3, []byte("ack")); err != nil {
+		t.Fatalf("reverse send: %v", err)
+	}
+	if typ, payload, err := c1.Recv(0); err != nil || typ != 3 || string(payload) != "ack" {
+		t.Fatalf("reverse recv = (%d, %q, %v)", typ, payload, err)
+	}
+}
+
+func TestConnRejectsOversizedSend(t *testing.T) {
+	c1, _ := tcpPair(t, time.Second)
+	if err := c1.Send(1, make([]byte, MaxFrame)); err == nil {
+		t.Fatal("Send accepted a frame exceeding MaxFrame")
+	}
+}
+
+func TestConnRejectsBadLengthOnRecv(t *testing.T) {
+	for name, hdr := range map[string][]byte{
+		"zero":     {0, 0, 0, 0, 1},
+		"oversize": {0xFF, 0xFF, 0xFF, 0xFF, 1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			ln, err := Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatalf("listen: %v", err)
+			}
+			defer ln.Close()
+			go func() {
+				nc, err := net.Dial("tcp", ln.Addr().String())
+				if err != nil {
+					return
+				}
+				nc.Write(hdr)
+				nc.Close()
+			}()
+			nc, err := ln.Accept()
+			if err != nil {
+				t.Fatalf("accept: %v", err)
+			}
+			c := NewConn(nc, nil, time.Second)
+			defer c.Close()
+			if _, _, err := c.Recv(0); err == nil || !strings.Contains(err.Error(), "out of range") {
+				t.Fatalf("Recv err = %v, want length-out-of-range", err)
+			}
+		})
+	}
+}
+
+func TestConnRecvIdleTimeout(t *testing.T) {
+	c1, _ := tcpPair(t, time.Second)
+	start := time.Now() //mlpvet:allow clockcheck kernel deadline test: the socket timeout is real wall time
+	_, _, err := c1.Recv(30 * time.Millisecond)
+	if err == nil {
+		t.Fatal("Recv returned nil with a silent peer")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("Recv err = %v, not a timeout", err)
+	}
+	//mlpvet:allow clockcheck sanity bound on the same wall-clock kernel deadline
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Recv took %v, deadline did not arm", elapsed)
+	}
+}
+
+func TestConnConcurrentSendersInterleaveWhole(t *testing.T) {
+	c1, c2 := tcpPair(t, 5*time.Second)
+	const perSender, senders = 50, 4
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(s)}, 777)
+			for i := 0; i < perSender; i++ {
+				if err := c1.Send(byte(s), payload); err != nil {
+					t.Errorf("sender %d: %v", s, err)
+					return
+				}
+			}
+		}(s)
+	}
+	counts := make(map[byte]int)
+	for i := 0; i < perSender*senders; i++ {
+		typ, payload, err := c2.Recv(0)
+		if err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+		if len(payload) != 777 {
+			t.Fatalf("frame %d: %d bytes, want 777 (torn interleave)", i, len(payload))
+		}
+		for _, b := range payload {
+			if b != typ {
+				t.Fatalf("frame %d type %d contains byte %d: frames interleaved mid-write", i, typ, b)
+			}
+		}
+		counts[typ]++
+	}
+	wg.Wait()
+	for s := byte(0); s < senders; s++ {
+		if counts[s] != perSender {
+			t.Fatalf("sender %d delivered %d frames, want %d", s, counts[s], perSender)
+		}
+	}
+}
+
+func TestDialRetriesUntilListenerAppears(t *testing.T) {
+	// Reserve a port, close it, and only start listening after the first
+	// dial attempts have failed.
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	ready := make(chan net.Listener, 1)
+	go func() {
+		//mlpvet:allow clockcheck real dial retries against a real late listener
+		time.Sleep(50 * time.Millisecond)
+		ln2, err := Listen(addr)
+		if err != nil {
+			ready <- nil
+			return
+		}
+		go func() {
+			if nc, err := ln2.Accept(); err == nil {
+				nc.Close()
+			}
+		}()
+		ready <- ln2
+	}()
+
+	b := Backoff{Base: 20 * time.Millisecond, Max: 100 * time.Millisecond, Factor: 2, Attempts: 50}
+	c, err := Dial(t.Context(), nil, addr, time.Second, b)
+	ln2 := <-ready
+	if ln2 != nil {
+		defer ln2.Close()
+	}
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	c.Close()
+}

@@ -51,6 +51,7 @@
 package mlpoffload
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/datastates/mlpoffload/internal/checkpoint"
@@ -69,6 +70,7 @@ import (
 	"github.com/datastates/mlpoffload/internal/tiercodec"
 	"github.com/datastates/mlpoffload/internal/tierlock"
 	"github.com/datastates/mlpoffload/internal/train"
+	"github.com/datastates/mlpoffload/internal/wire"
 )
 
 // ---- Real engine ----
@@ -180,6 +182,51 @@ type TrainNodeConfig = train.NodeConfig
 // NewTrainNode constructs all worker engines and offloads their initial
 // optimizer state.
 func NewTrainNode(cfg TrainNodeConfig) (*TrainNode, error) { return train.NewNode(cfg) }
+
+// ---- Elastic multi-rank training over TCP ----
+
+// ElasticCoordinator is the server side of the elastic protocol: it
+// admits members, releases iteration barriers, detects dead ranks by
+// missed heartbeats, and drives rollback-and-re-shard recovery.
+type ElasticCoordinator = train.Coordinator
+
+// ElasticCoordinatorConfig configures an ElasticCoordinator.
+type ElasticCoordinatorConfig = train.CoordinatorConfig
+
+// ElasticMember is one elastic training member: a process owning one
+// rank's engine (plus any ranks adopted during recoveries), joined to a
+// coordinator over TCP.
+type ElasticMember = train.Member
+
+// ElasticMemberConfig configures an ElasticMember.
+type ElasticMemberConfig = train.MemberConfig
+
+// ElasticRunReport summarizes a completed elastic run; ElasticRecovery
+// records one dead-rank recovery inside it.
+type ElasticRunReport = train.RunReport
+type ElasticRecovery = train.Recovery
+
+// NewElasticCoordinator opens the coordinator's listener so members can
+// start dialing before Run is called.
+func NewElasticCoordinator(cfg ElasticCoordinatorConfig) (*ElasticCoordinator, error) {
+	return train.NewCoordinator(cfg)
+}
+
+// RunElasticMember joins the coordinator and trains until the run
+// completes. The returned member keeps its engines open for inspection;
+// Close releases them.
+func RunElasticMember(ctx context.Context, cfg ElasticMemberConfig) (*ElasticMember, error) {
+	return train.RunMember(ctx, cfg)
+}
+
+// RetryBackoff is the shared clock-driven retry policy (jittered
+// capped exponential) used by the wire transport, engine corrupt-read
+// retries, and member dialing. Its zero value is usable.
+type RetryBackoff = wire.Backoff
+
+// RecoverySpec models elastic failure/recovery economics — expected
+// rollback cost and the Young/Daly optimal checkpoint interval.
+type RecoverySpec = cluster.RecoverySpec
 
 // ---- Real model substrate ----
 

@@ -36,12 +36,14 @@ import (
 	"github.com/datastates/mlpoffload/tools/analyzers/passes/aioop"
 	"github.com/datastates/mlpoffload/tools/analyzers/passes/bufown"
 	"github.com/datastates/mlpoffload/tools/analyzers/passes/clockcheck"
+	"github.com/datastates/mlpoffload/tools/analyzers/passes/deadlinecheck"
 	"github.com/datastates/mlpoffload/tools/analyzers/passes/pinpair"
 	"github.com/datastates/mlpoffload/tools/analyzers/passes/unsafeconfine"
 )
 
 var analyzers = []*analysis.Analyzer{
 	clockcheck.Analyzer,
+	deadlinecheck.Analyzer,
 	bufown.Analyzer,
 	pinpair.Analyzer,
 	aioop.Analyzer,

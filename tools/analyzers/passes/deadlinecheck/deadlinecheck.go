@@ -1,0 +1,134 @@
+// Package deadlinecheck enforces the wire-transport deadline
+// discipline: every net.Conn deadline (SetDeadline, SetReadDeadline,
+// SetWriteDeadline) must be computed from an injected
+// internal/clock.Clock — clk.Now().Add(timeout) — or be the explicit
+// time.Time{} clear. A deadline built from time.Now() (or any other
+// source) splits the transport's notion of time from the engine's
+// injectable clock: the timeout tests that assert exact virtual
+// durations (internal/wire) silently fall back to wall-clock behavior,
+// and a virtual-clock run can arm kernel deadlines that fire mid-test.
+//
+// Genuinely wall-clock sites are annotated:
+//
+//	//mlpvet:allow deadlinecheck <reason>      one site
+//	//mlpvet:allowfile deadlinecheck <reason>  a whole file
+package deadlinecheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/datastates/mlpoffload/tools/analyzers/analysis"
+	"github.com/datastates/mlpoffload/tools/analyzers/directive"
+)
+
+// Analyzer flags net deadlines not derived from the injected clock.
+var Analyzer = &analysis.Analyzer{
+	Name: "deadlinecheck",
+	Doc: `require net.Conn deadlines to derive from an injected clock.Clock
+
+A socket deadline is a timestamp, and timestamps come from the engine's
+single injectable time source. Passing anything but clk.Now().Add(...)
+(or the time.Time{} clear) re-couples the transport to the wall clock
+behind the clock abstraction's back.`,
+	Run: run,
+}
+
+// clockSuffix identifies the injectable clock package.
+const clockSuffix = "internal/clock"
+
+// deadlineMethods are the net.Conn deadline setters.
+var deadlineMethods = map[string]bool{
+	"SetDeadline":      true,
+	"SetReadDeadline":  true,
+	"SetWriteDeadline": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	sheet := directive.Collect(pass.Fset, pass.Files, pass.Analyzer.Name)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || !deadlineMethods[fn.Name()] {
+				return true
+			}
+			// Only the net package's deadline setters (net.Conn and the
+			// concrete net types); a same-named method elsewhere is not a
+			// socket deadline.
+			if fn.Pkg() == nil || fn.Pkg().Path() != "net" {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil || len(call.Args) != 1 {
+				return true
+			}
+			arg := call.Args[0]
+			if clockDerived(pass, arg) || isZeroTimeClear(pass, arg) {
+				return true
+			}
+			if sheet.Allowed(call.Pos()) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "net deadline in %s not derived from the injected clock: compute it as clk.Now().Add(timeout) on a clock.Clock, or clear it with time.Time{} (or annotate with //mlpvet:allow deadlinecheck <reason>)", fn.Name())
+			return true
+		})
+	}
+	sheet.Flush(pass)
+	return nil, nil
+}
+
+// clockDerived reports whether the expression contains a call to a Now
+// method defined in internal/clock — the Clock interface's, or a
+// concrete clock implementation's.
+func clockDerived(pass *analysis.Pass, expr ast.Expr) bool {
+	derived := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Name() != "Now" || fn.Pkg() == nil {
+			return true
+		}
+		if strings.HasSuffix(fn.Pkg().Path(), clockSuffix) {
+			derived = true
+			return false
+		}
+		return true
+	})
+	return derived
+}
+
+// isZeroTimeClear reports whether the argument is the literal
+// time.Time{} — the documented way to clear a deadline, which involves
+// no clock at all.
+func isZeroTimeClear(pass *analysis.Pass, expr ast.Expr) bool {
+	lit, ok := expr.(*ast.CompositeLit)
+	if !ok || len(lit.Elts) != 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == "time"
+}

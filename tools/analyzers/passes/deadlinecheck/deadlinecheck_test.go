@@ -1,0 +1,15 @@
+package deadlinecheck_test
+
+import (
+	"testing"
+
+	"github.com/datastates/mlpoffload/tools/analyzers/analysis/analysistest"
+	"github.com/datastates/mlpoffload/tools/analyzers/passes/deadlinecheck"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, deadlinecheck.Analyzer,
+		"a",          // flagged wall deadlines, clock-derived and cleared ones clean
+		"directives", // allow, reasonless, stale
+	)
+}

@@ -1,0 +1,42 @@
+// Package a exercises deadlinecheck: net deadlines must derive from the
+// injected clock (clk.Now().Add) or be the time.Time{} clear; anything
+// else — time.Now, a bare Time variable — is flagged. Same-named
+// methods outside the net package are not socket deadlines.
+package a
+
+import (
+	"mlp/internal/clock"
+	"net"
+	"time"
+)
+
+func bad(c net.Conn, d time.Duration) {
+	_ = c.SetReadDeadline(time.Now().Add(d)) // want `net deadline in SetReadDeadline not derived from the injected clock`
+	var t time.Time
+	_ = c.SetDeadline(t)               // want `net deadline in SetDeadline not derived from the injected clock`
+	_ = c.SetWriteDeadline(time.Now()) // want `net deadline in SetWriteDeadline not derived from the injected clock`
+}
+
+func badConcrete(c *net.TCPConn, d time.Duration) {
+	_ = c.SetWriteDeadline(time.Now().Add(d)) // want `net deadline in SetWriteDeadline not derived from the injected clock`
+}
+
+func good(c net.Conn, clk clock.Clock, d time.Duration) {
+	_ = c.SetWriteDeadline(clk.Now().Add(d))
+	_ = c.SetReadDeadline(clk.Now().Add(2 * d))
+	_ = c.SetReadDeadline(time.Time{}) // clearing involves no clock
+}
+
+func goodConcrete(c *net.TCPConn, w clock.Wall, d time.Duration) {
+	_ = c.SetDeadline(w.Now().Add(d)) // a concrete clock's Now counts too
+}
+
+// notASocket has a deadline setter of its own; deadlinecheck only cares
+// about the net package's.
+type notASocket struct{}
+
+func (notASocket) SetDeadline(t time.Time) error { return nil }
+
+func unrelated(n notASocket) {
+	_ = n.SetDeadline(time.Now())
+}

@@ -1,0 +1,22 @@
+// Package directives exercises the mlpvet:allow machinery for
+// deadlinecheck: a reasoned directive suppresses its finding, a
+// reasonless one suppresses nothing, and an unmatched one is stale.
+package directives
+
+import (
+	"net"
+	"time"
+)
+
+func annotated(c net.Conn) {
+	//mlpvet:allow deadlinecheck wall-deadline probe in a throwaway diagnostic tool
+	_ = c.SetReadDeadline(time.Now())
+}
+
+func reasonless(c net.Conn) {
+	//mlpvet:allow deadlinecheck // want `directive has no reason`
+	_ = c.SetReadDeadline(time.Now()) // want `net deadline in SetReadDeadline not derived from the injected clock`
+}
+
+//mlpvet:allow deadlinecheck nothing below sets a deadline // want `stale mlpvet:allow deadlinecheck directive`
+func stale(d time.Duration) time.Duration { return 2 * d }

@@ -1,0 +1,18 @@
+// Package net is a hermetic stub of the standard library's net package:
+// the Conn deadline setters deadlinecheck recognizes by defining
+// package, plus a concrete type exercising the method-set path.
+package net
+
+import "time"
+
+type Conn interface {
+	SetDeadline(t time.Time) error
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+type TCPConn struct{}
+
+func (c *TCPConn) SetDeadline(t time.Time) error      { return nil }
+func (c *TCPConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *TCPConn) SetWriteDeadline(t time.Time) error { return nil }

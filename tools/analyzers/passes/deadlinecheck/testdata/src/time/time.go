@@ -1,0 +1,20 @@
+// Package time is a hermetic stub of the standard library's time package
+// for analysistest fixtures: just enough surface for the fixtures to
+// type-check without a GOROOT source tree.
+package time
+
+type Duration int64
+
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+type Time struct{}
+
+func (t Time) Add(d Duration) Time { return t }
+func (t Time) Sub(u Time) Duration { return 0 }
+
+func Now() Time { return Time{} }
